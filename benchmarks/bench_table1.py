@@ -1,0 +1,63 @@
+"""Table 1: naySL / nayHorn / nope on LimitedPlus and LimitedIf benchmarks.
+
+Each pytest-benchmark entry measures one (tool, benchmark) cell of Table 1 on
+the benchmark's recorded witness example set — the final, dominating CEGIS
+iteration.  The module-level ``test_table1_rows`` run prints the full quick
+table (verdicts, measured time, paper time) so the harness output can be
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NayHorn, NaySL, Nope
+from repro.experiments import QUICK_TABLE1, render_rows, table1
+from repro.suites import get_benchmark
+
+#: (benchmark, suite) cells measured individually; a representative subset of
+#: the rows of Table 1 that every tool handles quickly.
+CELLS = [
+    ("plane1", "LimitedPlus"),
+    ("plane2", "LimitedPlus"),
+    ("guard1", "LimitedPlus"),
+    ("search_2", "LimitedPlus"),
+    ("max2", "LimitedIf"),
+    ("guard2", "LimitedIf"),
+]
+
+TOOLS = {
+    "naySL": lambda: NaySL(seed=0),
+    "nayHorn": lambda: NayHorn(seed=0),
+    "nope": lambda: Nope(seed=0),
+}
+
+
+@pytest.mark.parametrize("benchmark_name,suite", CELLS)
+@pytest.mark.parametrize("tool_name", list(TOOLS))
+def test_table1_cell(benchmark, benchmark_name, suite, tool_name):
+    entry = get_benchmark(benchmark_name, suite)
+    tool = TOOLS[tool_name]()
+    examples = entry.witness_examples
+
+    def run():
+        return tool.check(entry.problem, examples)
+
+    result = benchmark(run)
+    # Soundness: no tool may claim a realizable/unknown verdict is
+    # "unrealizable" wrongly; the named benchmarks are all unrealizable, so an
+    # exact tool must prove it, and approximate tools may only say unknown.
+    if tool_name == "naySL":
+        assert result.verdict.value == "unrealizable"
+    else:
+        assert result.verdict.value in ("unrealizable", "unknown")
+
+
+def test_table1_rows(capsys):
+    rows = table1(quick=True, timeout=60.0)
+    assert rows, "table 1 produced no rows"
+    nay_sl_rows = [row for row in rows if row.tool == "naySL"]
+    assert all(row.verdict == "unrealizable" for row in nay_sl_rows)
+    with capsys.disabled():
+        print("\n== Table 1 (quick subset: " + ", ".join(QUICK_TABLE1) + ") ==")
+        print(render_rows(rows))

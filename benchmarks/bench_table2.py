@@ -1,0 +1,76 @@
+"""Table 2 (Appendix A): naySL / nayHorn / nope on LimitedConst benchmarks.
+
+The paper's headline for this table is that *every* tool solves *every*
+LimitedConst benchmark quickly, with naySL's time growing with the number of
+array variables.  The benchmark entries measure representative cells; the
+row test regenerates the quick table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NayHorn, NaySL, Nope
+from repro.experiments import QUICK_TABLE2, render_rows, table2
+from repro.suites import get_benchmark
+
+CELLS = [
+    "array_search_2",
+    "array_search_6",
+    "array_sum_2_5",
+    "array_sum_6_15",
+    "mpg_example1",
+    "mpg_guard1",
+    "mpg_plane2",
+]
+
+TOOLS = {
+    "naySL": lambda: NaySL(seed=0),
+    "nayHorn": lambda: NayHorn(seed=0),
+    "nope": lambda: Nope(seed=0),
+}
+
+
+@pytest.mark.parametrize("benchmark_name", CELLS)
+@pytest.mark.parametrize("tool_name", list(TOOLS))
+def test_table2_cell(benchmark, benchmark_name, tool_name):
+    entry = get_benchmark(benchmark_name, "LimitedConst")
+    tool = TOOLS[tool_name]()
+    examples = entry.witness_examples
+
+    def run():
+        return tool.check(entry.problem, examples)
+
+    result = benchmark(run)
+    if tool_name == "naySL":
+        assert result.verdict.value == "unrealizable"
+    else:
+        assert result.verdict.value in ("unrealizable", "unknown")
+
+
+def test_table2_rows(capsys):
+    rows = table2(quick=True, timeout=60.0)
+    assert rows, "table 2 produced no rows"
+    nay_sl_rows = [row for row in rows if row.tool == "naySL"]
+    assert all(row.verdict == "unrealizable" for row in nay_sl_rows)
+    with capsys.disabled():
+        print("\n== Table 2 (quick subset: " + ", ".join(QUICK_TABLE2) + ") ==")
+        print(render_rows(rows))
+
+
+def test_table2_scaling_with_array_size(capsys):
+    """naySL's LimitedConst time grows with the array size (Table 2 shape)."""
+    small = get_benchmark("array_search_2", "LimitedConst")
+    large = get_benchmark("array_search_10", "LimitedConst")
+    tool = NaySL(seed=0)
+    import time
+
+    start = time.monotonic()
+    assert tool.check(small.problem, small.witness_examples).verdict.value == "unrealizable"
+    small_time = time.monotonic() - start
+    start = time.monotonic()
+    assert tool.check(large.problem, large.witness_examples).verdict.value == "unrealizable"
+    large_time = time.monotonic() - start
+    with capsys.disabled():
+        print(f"\narray_search_2: {small_time:.3f}s, array_search_10: {large_time:.3f}s")
+    assert large_time > small_time

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The pytest-benchmark entries measure the
+dominating computation of each experiment on a quick, representative subset;
+``python -m repro.experiments <name> --full`` runs the full sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.suites import benchmarks_by_suite
+
+
+@pytest.fixture(scope="session")
+def suites():
+    return benchmarks_by_suite(include_scaling=True)

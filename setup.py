@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment used for this reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs fail.  Keeping a minimal
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to the classic ``setup.py develop`` code path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""The three solver configurations compared in the evaluation (§8).
+
+* :class:`NaySL` — the exact mode (semi-linear sets + Newton's method);
+* :class:`NayHorn` — the approximate mode over the GFA equations (a
+  constrained-Horn-clause engine in the paper, an abstract-interpretation
+  engine here; see DESIGN.md);
+* :class:`Nope` — the prior-work baseline (Hu et al. CAV 2019), which reduces
+  unrealizability to program reachability and then to Horn clauses; our
+  reimplementation reproduces the extra encoding indirection and its cost.
+
+All three expose the same interface: ``solve(problem) -> CegisResult`` (the
+full CEGIS loop) and ``check(problem, examples) -> CheckResult`` (one
+unrealizability check over a fixed example set).
+"""
+
+from repro.baselines.nay_sl import NaySL
+from repro.baselines.nay_horn import NayHorn
+from repro.baselines.nope import Nope
+
+__all__ = ["NaySL", "NayHorn", "Nope"]

@@ -1,0 +1,100 @@
+"""Command line entry point: ``repro-nay`` (also ``python -m repro.cli``).
+
+Subcommands:
+
+* ``solve <file.sl>``       — run the NAY CEGIS loop on a SyGuS-IF problem;
+* ``check <benchmark>``     — run one unrealizability check on a named
+  benchmark's witness example set with a chosen tool;
+* ``list``                  — list the benchmark suites;
+* ``experiments <name>``    — shorthand for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import experiments
+from repro.baselines import NayHorn, NaySL, Nope
+from repro.suites import all_benchmarks, get_benchmark
+from repro.sygus import parse_sygus_file
+
+
+def _tool(name: str, seed: Optional[int], timeout: Optional[float]):
+    if name == "naySL":
+        return NaySL(seed=seed, timeout_seconds=timeout)
+    if name == "nayHorn":
+        return NayHorn(seed=seed, timeout_seconds=timeout)
+    if name == "nope":
+        return Nope(seed=seed, timeout_seconds=timeout)
+    raise SystemExit(f"unknown tool {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-nay", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run the CEGIS loop on a .sl file")
+    solve.add_argument("path")
+    solve.add_argument("--tool", default="naySL", choices=["naySL", "nayHorn", "nope"])
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--timeout", type=float, default=600.0)
+
+    check = subparsers.add_parser("check", help="check a named benchmark")
+    check.add_argument("benchmark")
+    check.add_argument("--tool", default="naySL", choices=["naySL", "nayHorn", "nope"])
+    check.add_argument("--timeout", type=float, default=600.0)
+
+    subparsers.add_parser("list", help="list all benchmarks")
+
+    experiment = subparsers.add_parser("experiments", help="regenerate tables/figures")
+    experiment.add_argument("name", choices=sorted(experiments.EXPERIMENTS) + ["all"])
+    experiment.add_argument("--full", action="store_true")
+
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "solve":
+        problem = parse_sygus_file(arguments.path)
+        tool = _tool(arguments.tool, arguments.seed, arguments.timeout)
+        result = tool.solve(problem)
+        print(f"verdict: {result.verdict.value}")
+        if result.solution is not None:
+            print(f"solution: {result.solution.to_sexpr()}")
+        print(f"examples used: {result.num_examples}")
+        print(f"time: {result.elapsed_seconds:.2f}s")
+        return 0
+
+    if arguments.command == "check":
+        benchmark = get_benchmark(arguments.benchmark)
+        tool = _tool(arguments.tool, 0, arguments.timeout)
+        examples = benchmark.witness_examples
+        if examples is None:
+            print("benchmark has no recorded witness examples; running CEGIS instead")
+            result = tool.solve(benchmark.problem)
+            print(f"verdict: {result.verdict.value}")
+            return 0
+        result = tool.check(benchmark.problem, examples)
+        print(f"verdict: {result.verdict.value} on {examples}")
+        print(f"time: {result.elapsed_seconds:.2f}s")
+        return 0
+
+    if arguments.command == "list":
+        for benchmark in all_benchmarks(include_scaling=True):
+            stats = benchmark.problem.grammar
+            print(
+                f"{benchmark.suite:13s} {benchmark.name:20s} "
+                f"|N|={stats.num_nonterminals:3d} |delta|={stats.num_productions:3d}"
+            )
+        return 0
+
+    if arguments.command == "experiments":
+        return experiments.main(
+            [arguments.name] + (["--full"] if arguments.full else [])
+        )
+
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

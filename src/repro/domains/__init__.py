@@ -1,0 +1,18 @@
+"""Abstract domains used by the grammar-flow-analysis framework.
+
+* :mod:`repro.domains.semilinear` — semi-linear sets (§5.3), the exact domain
+  for integer-valued nonterminals;
+* :mod:`repro.domains.boolvectors` — finite sets of Boolean vectors (§6.2),
+  the exact domain for Boolean-valued nonterminals;
+* :mod:`repro.domains.clia` — the multi-sorted abstract semantics of CLIA
+  operators over the two domains above (§6.2), including ``LessThan#`` and
+  ``IfThenElse#``;
+* :mod:`repro.domains.numeric` — approximate numeric domains (intervals,
+  congruences, and their product) used by the Horn-clause/Kleene approximate
+  mode described in §4.3.
+"""
+
+from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.domains.boolvectors import BoolVectorSet
+
+__all__ = ["LinearSet", "SemiLinearSet", "BoolVectorSet"]

@@ -1,0 +1,114 @@
+"""Sets of Boolean vectors: the exact abstract domain for Boolean nonterminals.
+
+For an example set of size ``d`` a Boolean-valued term evaluates to a vector
+in ``B^d``; the abstraction of a Boolean nonterminal is the *set* of vectors
+its terms can produce (§6.2).  The domain is finite (at most ``2^d``
+elements), which is what makes the iterative algorithms SolveBool (§6.3) and
+SolveMutual (§6.4) terminate.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.utils.vectors import BoolVector
+
+
+class BoolVectorSet:
+    """An immutable set of Boolean vectors of a fixed dimension."""
+
+    __slots__ = ("_vectors", "_dimension")
+
+    def __init__(self, vectors: Iterable[BoolVector] = (), dimension: int = 0):
+        frozen = frozenset(vectors)
+        self._vectors: FrozenSet[BoolVector] = frozen
+        if frozen:
+            self._dimension = next(iter(frozen)).dimension
+        else:
+            self._dimension = dimension
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def empty(dimension: int) -> "BoolVectorSet":
+        return BoolVectorSet((), dimension)
+
+    @staticmethod
+    def singleton(vector: BoolVector) -> "BoolVectorSet":
+        return BoolVectorSet([vector], vector.dimension)
+
+    @staticmethod
+    def top(dimension: int) -> "BoolVectorSet":
+        """All 2^dimension vectors (used by the approximate mode)."""
+        return BoolVectorSet(BoolVector.enumerate_all(dimension), dimension)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def vectors(self) -> FrozenSet[BoolVector]:
+        return self._vectors
+
+    def is_empty(self) -> bool:
+        return not self._vectors
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self) -> Iterator[BoolVector]:
+        return iter(sorted(self._vectors, key=lambda v: v.values))
+
+    def __contains__(self, vector: BoolVector) -> bool:
+        return vector in self._vectors
+
+    # -- lattice / abstract operations ----------------------------------------
+
+    def combine(self, other: "BoolVectorSet") -> "BoolVectorSet":
+        """``(+)`` on the Boolean side of the multi-sorted domain: set union."""
+        return BoolVectorSet(
+            self._vectors | other._vectors, max(self._dimension, other._dimension)
+        )
+
+    def leq(self, other: "BoolVectorSet") -> bool:
+        return self._vectors <= other._vectors
+
+    def negate(self) -> "BoolVectorSet":
+        """``Not#``: element-wise negation of every vector."""
+        return BoolVectorSet({~vector for vector in self._vectors}, self._dimension)
+
+    def conjoin(self, other: "BoolVectorSet") -> "BoolVectorSet":
+        """``And#``: element-wise conjunction over all pairs."""
+        return BoolVectorSet(
+            {left & right for left in self._vectors for right in other._vectors},
+            max(self._dimension, other._dimension),
+        )
+
+    def disjoin(self, other: "BoolVectorSet") -> "BoolVectorSet":
+        """``Or#``: element-wise disjunction over all pairs."""
+        return BoolVectorSet(
+            {left | right for left in self._vectors for right in other._vectors},
+            max(self._dimension, other._dimension),
+        )
+
+    # -- misc -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolVectorSet):
+            return NotImplemented
+        return self._vectors == other._vectors
+
+    def __hash__(self) -> int:
+        return hash(self._vectors)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            "(" + ", ".join("t" if bit else "f" for bit in vector) + ")"
+            for vector in self
+        )
+        return "{" + rendered + "}"
+
+    def __repr__(self) -> str:
+        return f"BoolVectorSet({self})"

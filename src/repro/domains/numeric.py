@@ -1,0 +1,345 @@
+"""Approximate numeric abstract domains for the Horn-clause/Kleene mode (§4.3).
+
+The paper's approximate mode encodes the GFA equations as constrained Horn
+clauses and hands them to Spacer.  Spacer is not available offline, so the
+reproduction's approximate engine instead runs Kleene iteration with widening
+over a reduced product of two classic numeric domains, applied component-wise
+to the example vector:
+
+* :class:`Interval` — value ranges with the standard widening (§4.3 mentions
+  widening-based Kleene iteration as the generic sound-but-incomplete
+  instantiation of the framework);
+* :class:`Congruence` — values of the form ``r + m*Z``, which captures the
+  "every term is a multiple of 3x" style of invariant that the motivating
+  example of §1/§2 needs.
+
+Boolean nonterminals keep using the exact Boolean-vector-set domain (it is
+finite).  The product transformer is sound but deliberately *not* exact, so
+the approximate engine returns three-valued answers (Thm. 4.5(1)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.logic.formulas import Formula, TRUE, atom_eq, atom_ge, atom_le, conjunction
+from repro.logic.terms import LinearExpression
+from repro.utils.vectors import BoolVector, IntVector
+
+_NEG_INF = None  # encoded as None in the lower bound
+_POS_INF = None  # encoded as None in the upper bound
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A possibly-unbounded integer interval ``[low, high]`` (None = infinite).
+
+    The empty interval is represented by ``low=0, high=-1`` via
+    :meth:`Interval.empty`.
+    """
+
+    low: Optional[int]
+    high: Optional[int]
+
+    @staticmethod
+    def empty() -> "Interval":
+        return Interval(0, -1)
+
+    @staticmethod
+    def constant(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    def is_empty(self) -> bool:
+        return self.low is not None and self.high is not None and self.low > self.high
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        low = None if self.low is None or other.low is None else min(self.low, other.low)
+        high = (
+            None if self.high is None or other.high is None else max(self.high, other.high)
+        )
+        return Interval(low, high)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to infinity."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        low = self.low
+        if other.low is None or (low is not None and other.low < low):
+            low = None
+        high = self.high
+        if other.high is None or (high is not None and other.high > high):
+            high = None
+        return Interval(low, high)
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return Interval.empty()
+        low = None if self.low is None or other.low is None else self.low + other.low
+        high = (
+            None if self.high is None or other.high is None else self.high + other.high
+        )
+        return Interval(low, high)
+
+    def negate(self) -> "Interval":
+        if self.is_empty():
+            return self
+        low = None if self.high is None else -self.high
+        high = None if self.low is None else -self.low
+        return Interval(low, high)
+
+    def leq(self, other: "Interval") -> bool:
+        if self.is_empty():
+            return True
+        if other.is_empty():
+            return False
+        low_ok = other.low is None or (self.low is not None and self.low >= other.low)
+        high_ok = other.high is None or (
+            self.high is not None and self.high <= other.high
+        )
+        return low_ok and high_ok
+
+    def contains(self, value: int) -> bool:
+        if self.is_empty():
+            return False
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def symbolic(self, output: LinearExpression) -> Formula:
+        if self.is_empty():
+            from repro.logic.formulas import FALSE
+
+            return FALSE
+        constraints = []
+        if self.low is not None:
+            constraints.append(atom_ge(output, self.low))
+        if self.high is not None:
+            constraints.append(atom_le(output, self.high))
+        return conjunction(constraints) if constraints else TRUE
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "[]"
+        low = "-inf" if self.low is None else str(self.low)
+        high = "+inf" if self.high is None else str(self.high)
+        return f"[{low}, {high}]"
+
+
+@dataclass(frozen=True)
+class Congruence:
+    """The congruence domain: the set ``remainder + modulus * Z``.
+
+    ``modulus == 0`` denotes the single value ``remainder``; ``modulus == 1``
+    denotes all integers (top).  The empty set is ``Congruence(0, 0, empty=True)``
+    via :meth:`Congruence.empty`.
+    """
+
+    remainder: int
+    modulus: int
+    empty: bool = False
+
+    @staticmethod
+    def empty_value() -> "Congruence":
+        return Congruence(0, 0, empty=True)
+
+    @staticmethod
+    def constant(value: int) -> "Congruence":
+        return Congruence(value, 0)
+
+    @staticmethod
+    def top() -> "Congruence":
+        return Congruence(0, 1)
+
+    def is_empty(self) -> bool:
+        return self.empty
+
+    def _normalised(self) -> "Congruence":
+        if self.empty:
+            return self
+        if self.modulus == 0:
+            return self
+        return Congruence(self.remainder % self.modulus, self.modulus)
+
+    def join(self, other: "Congruence") -> "Congruence":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        left = self._normalised()
+        right = other._normalised()
+        modulus = math.gcd(
+            math.gcd(left.modulus, right.modulus), abs(left.remainder - right.remainder)
+        )
+        if modulus == 0:
+            return Congruence(left.remainder, 0)
+        return Congruence(left.remainder % modulus, modulus)
+
+    def widen(self, other: "Congruence") -> "Congruence":
+        # The congruence lattice has no infinite ascending chains (moduli only
+        # ever divide), so widening is plain join.
+        return self.join(other)
+
+    def add(self, other: "Congruence") -> "Congruence":
+        if self.empty or other.empty:
+            return Congruence.empty_value()
+        modulus = math.gcd(self.modulus, other.modulus)
+        remainder = self.remainder + other.remainder
+        if modulus == 0:
+            return Congruence(remainder, 0)
+        return Congruence(remainder % modulus, modulus)
+
+    def negate(self) -> "Congruence":
+        if self.empty:
+            return self
+        if self.modulus == 0:
+            return Congruence(-self.remainder, 0)
+        return Congruence((-self.remainder) % self.modulus, self.modulus)
+
+    def leq(self, other: "Congruence") -> bool:
+        if self.empty:
+            return True
+        if other.empty:
+            return False
+        left = self._normalised()
+        right = other._normalised()
+        if right.modulus == 0:
+            return left.modulus == 0 and left.remainder == right.remainder
+        return (
+            left.modulus % right.modulus == 0 or left.modulus == 0
+        ) and (left.remainder - right.remainder) % right.modulus == 0
+
+    def contains(self, value: int) -> bool:
+        if self.empty:
+            return False
+        if self.modulus == 0:
+            return value == self.remainder
+        return (value - self.remainder) % self.modulus == 0
+
+    def symbolic(self, output: LinearExpression, tag: str) -> Formula:
+        if self.empty:
+            from repro.logic.formulas import FALSE
+
+            return FALSE
+        if self.modulus == 0:
+            return atom_eq(output, self.remainder)
+        if self.modulus == 1:
+            return TRUE
+        witness = LinearExpression.variable(f"_cong_{tag}")
+        return atom_eq(output, witness.scale(self.modulus) + self.remainder)
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "bot"
+        if self.modulus == 0:
+            return f"{{{self.remainder}}}"
+        return f"{self.remainder} + {self.modulus}Z"
+
+
+@dataclass(frozen=True)
+class ProductValue:
+    """The reduced product (interval, congruence) applied per example component."""
+
+    intervals: Tuple[Interval, ...]
+    congruences: Tuple[Congruence, ...]
+
+    @staticmethod
+    def bottom(dimension: int) -> "ProductValue":
+        return ProductValue(
+            tuple(Interval.empty() for _ in range(dimension)),
+            tuple(Congruence.empty_value() for _ in range(dimension)),
+        )
+
+    @staticmethod
+    def constant(vector: IntVector) -> "ProductValue":
+        return ProductValue(
+            tuple(Interval.constant(value) for value in vector),
+            tuple(Congruence.constant(value) for value in vector),
+        )
+
+    @property
+    def dimension(self) -> int:
+        return len(self.intervals)
+
+    def is_empty(self) -> bool:
+        return any(interval.is_empty() for interval in self.intervals) or any(
+            congruence.is_empty() for congruence in self.congruences
+        )
+
+    def join(self, other: "ProductValue") -> "ProductValue":
+        return ProductValue(
+            tuple(a.join(b) for a, b in zip(self.intervals, other.intervals)),
+            tuple(a.join(b) for a, b in zip(self.congruences, other.congruences)),
+        )
+
+    def widen(self, other: "ProductValue") -> "ProductValue":
+        return ProductValue(
+            tuple(a.widen(b) for a, b in zip(self.intervals, other.intervals)),
+            tuple(a.widen(b) for a, b in zip(self.congruences, other.congruences)),
+        )
+
+    def add(self, other: "ProductValue") -> "ProductValue":
+        return ProductValue(
+            tuple(a.add(b) for a, b in zip(self.intervals, other.intervals)),
+            tuple(a.add(b) for a, b in zip(self.congruences, other.congruences)),
+        )
+
+    def negate(self) -> "ProductValue":
+        return ProductValue(
+            tuple(interval.negate() for interval in self.intervals),
+            tuple(congruence.negate() for congruence in self.congruences),
+        )
+
+    def leq(self, other: "ProductValue") -> bool:
+        return all(
+            a.leq(b) for a, b in zip(self.intervals, other.intervals)
+        ) and all(a.leq(b) for a, b in zip(self.congruences, other.congruences))
+
+    def select(self, mask: BoolVector, other: "ProductValue") -> "ProductValue":
+        """Per-component choice: keep ``self`` where the mask is true."""
+        return ProductValue(
+            tuple(
+                a if keep else b
+                for a, b, keep in zip(self.intervals, other.intervals, mask)
+            ),
+            tuple(
+                a if keep else b
+                for a, b, keep in zip(self.congruences, other.congruences, mask)
+            ),
+        )
+
+    def contains(self, vector: IntVector) -> bool:
+        return all(
+            interval.contains(value)
+            for interval, value in zip(self.intervals, vector)
+        ) and all(
+            congruence.contains(value)
+            for congruence, value in zip(self.congruences, vector)
+        )
+
+    def symbolic(self, outputs: Sequence[LinearExpression]) -> Formula:
+        constraints: List[Formula] = []
+        for index, output in enumerate(outputs):
+            constraints.append(self.intervals[index].symbolic(output))
+            constraints.append(self.congruences[index].symbolic(output, tag=str(index)))
+        return conjunction(constraints)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{interval}&{congruence}"
+            for interval, congruence in zip(self.intervals, self.congruences)
+        ]
+        return "<" + ", ".join(parts) + ">"

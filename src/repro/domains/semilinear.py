@@ -1,0 +1,316 @@
+"""Semi-linear sets and their commutative idempotent omega-continuous semiring.
+
+A *linear set* ``<u, {v1, ..., vn}>`` denotes ``{u + l1*v1 + ... + ln*vn |
+li in N}`` (Def. 5.5); a *semi-linear set* is a finite union of linear sets.
+The paper shows (Prop. 5.8) that semi-linear sets with
+
+* ``combine``  (union, written ``(+)`` in the paper),
+* ``extend``   (Minkowski sum with union of generators, written ``(x)``), and
+* ``star``     (Eqn. (20)),
+
+form a commutative, idempotent, omega-continuous semiring, which is what
+Newton's method (Lem. 5.2) requires.  This module implements the domain, the
+three operations, the projection ``projSL`` used by the CLIA machinery
+(§6.2), symbolic concretization (§5.4), and the subsumption-based
+simplification mentioned as optimisation (i) in §7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.formulas import Formula, atom_eq, atom_ge, conjunction, disjunction
+from repro.logic.terms import LinearExpression
+from repro.utils.errors import SolverLimitError
+from repro.utils.vectors import BoolVector, IntVector
+
+
+@dataclass(frozen=True)
+class LinearSet:
+    """A linear set ``<offset, generators>`` of integer vectors."""
+
+    offset: IntVector
+    generators: Tuple[IntVector, ...]
+
+    def __post_init__(self) -> None:
+        # Deduplicate and drop zero generators; they do not change the set.
+        cleaned: List[IntVector] = []
+        for generator in self.generators:
+            if generator.is_zero():
+                continue
+            if generator not in cleaned:
+                cleaned.append(generator)
+        object.__setattr__(
+            self, "generators", tuple(sorted(cleaned, key=lambda v: v.values))
+        )
+
+    @property
+    def dimension(self) -> int:
+        return self.offset.dimension
+
+    def sample(self, max_coefficient: int = 2) -> Iterator[IntVector]:
+        """Enumerate a few concrete members (testing helper)."""
+        def rec(index: int, current: IntVector) -> Iterator[IntVector]:
+            if index == len(self.generators):
+                yield current
+                return
+            for coefficient in range(max_coefficient + 1):
+                yield from rec(
+                    index + 1, current + self.generators[index].scale(coefficient)
+                )
+
+        yield from rec(0, self.offset)
+
+    def contains(self, vector: IntVector) -> bool:
+        """Exact membership via integer feasibility of the defining equations."""
+        if vector.dimension != self.dimension:
+            return False
+        if not self.generators:
+            return self.offset == vector
+        outputs = [LinearExpression.constant_expr(value) for value in vector]
+        membership = self.symbolic(outputs, tag="member")
+        from repro.logic.solver import check_sat
+
+        return check_sat(membership).is_sat
+
+    def project(self, mask: BoolVector) -> "LinearSet":
+        """``projS``: zero out the coordinates where ``mask`` is false (§6.2)."""
+        return LinearSet(
+            self.offset.mask(mask),
+            tuple(generator.mask(mask) for generator in self.generators),
+        )
+
+    def translate(self, other: "LinearSet") -> "LinearSet":
+        """Minkowski sum of two linear sets (a single linear set again)."""
+        return LinearSet(
+            self.offset + other.offset, self.generators + other.generators
+        )
+
+    def symbolic(self, outputs: Sequence[LinearExpression], tag: str) -> Formula:
+        """Symbolic concretization (§5.4): outputs = offset + sum lambda*gen."""
+        constraints: List[Formula] = []
+        names = [f"_lam_{tag}_{i}" for i in range(len(self.generators))]
+        for coordinate, output in enumerate(outputs):
+            expression = LinearExpression.constant_expr(self.offset[coordinate])
+            for name, generator in zip(names, self.generators):
+                expression = expression + LinearExpression(
+                    {name: generator[coordinate]}, 0
+                )
+            constraints.append(atom_eq(output, expression))
+        for name in names:
+            constraints.append(atom_ge(LinearExpression.variable(name), 0))
+        return conjunction(constraints)
+
+    def __str__(self) -> str:
+        generators = ", ".join(str(list(g.values)) for g in self.generators)
+        return f"<{list(self.offset.values)}, {{{generators}}}>"
+
+
+class SemiLinearSet:
+    """A finite union of linear sets, with semiring operations.
+
+    The empty union is the semiring ``0``; ``{<0, {}>}`` is the semiring ``1``.
+    """
+
+    __slots__ = ("_linear_sets", "_dimension")
+
+    def __init__(self, linear_sets: Iterable[LinearSet] = (), dimension: int = 0):
+        sets: List[LinearSet] = []
+        for linear_set in linear_sets:
+            if linear_set not in sets:
+                sets.append(linear_set)
+        self._linear_sets: Tuple[LinearSet, ...] = tuple(sets)
+        if self._linear_sets:
+            self._dimension = self._linear_sets[0].dimension
+        else:
+            self._dimension = dimension
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def empty(dimension: int) -> "SemiLinearSet":
+        """The semiring zero: the empty set of vectors."""
+        return SemiLinearSet((), dimension)
+
+    @staticmethod
+    def unit(dimension: int) -> "SemiLinearSet":
+        """The semiring one: the singleton {zero vector}."""
+        return SemiLinearSet([LinearSet(IntVector.zero(dimension), ())], dimension)
+
+    @staticmethod
+    def singleton(vector: IntVector) -> "SemiLinearSet":
+        """The singleton set containing one concrete vector."""
+        return SemiLinearSet([LinearSet(vector, ())], vector.dimension)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def linear_sets(self) -> Tuple[LinearSet, ...]:
+        return self._linear_sets
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def is_empty(self) -> bool:
+        return not self._linear_sets
+
+    @property
+    def size(self) -> int:
+        """The size measure used in §5.3: sum over linear sets of |V_i| + 1."""
+        return sum(len(ls.generators) + 1 for ls in self._linear_sets)
+
+    # -- semiring operations --------------------------------------------------
+
+    def combine(self, other: "SemiLinearSet") -> "SemiLinearSet":
+        """``(+)``: set union."""
+        self._check(other)
+        return SemiLinearSet(
+            self._linear_sets + other._linear_sets,
+            max(self._dimension, other._dimension),
+        )
+
+    def extend(self, other: "SemiLinearSet") -> "SemiLinearSet":
+        """``(x)``: element-wise sums (Minkowski sum), per Eqn. before (20)."""
+        self._check(other)
+        if self.is_empty() or other.is_empty():
+            return SemiLinearSet.empty(max(self._dimension, other._dimension))
+        return SemiLinearSet(
+            [
+                left.translate(right)
+                for left in self._linear_sets
+                for right in other._linear_sets
+            ],
+            self._dimension,
+        )
+
+    def star(self) -> "SemiLinearSet":
+        """Kleene star (Eqn. (20)): iterated extension including zero copies."""
+        offset = IntVector.zero(self._dimension)
+        generators: List[IntVector] = []
+        for linear_set in self._linear_sets:
+            if not linear_set.offset.is_zero():
+                generators.append(linear_set.offset)
+            generators.extend(linear_set.generators)
+        return SemiLinearSet([LinearSet(offset, tuple(generators))], self._dimension)
+
+    # -- domain operations ----------------------------------------------------
+
+    def project(self, mask: BoolVector) -> "SemiLinearSet":
+        """``projSL`` (§6.2): zero out coordinates where ``mask`` is false."""
+        return SemiLinearSet(
+            [linear_set.project(mask) for linear_set in self._linear_sets],
+            self._dimension,
+        )
+
+    def contains(self, vector: IntVector) -> bool:
+        return any(linear_set.contains(vector) for linear_set in self._linear_sets)
+
+    def leq(self, other: "SemiLinearSet") -> bool:
+        """The induced order ``a <= b  iff  a (+) b = b`` — here syntactic:
+        every linear set of ``self`` appears in (or is subsumed by) ``other``."""
+        return all(
+            linear_set in other._linear_sets
+            or any(_subsumes(candidate, linear_set) for candidate in other._linear_sets)
+            for linear_set in self._linear_sets
+        )
+
+    def simplify(self) -> "SemiLinearSet":
+        """Remove linear sets subsumed by another linear set (§7, opt. (i)).
+
+        Subsumption is checked with a sound, incomplete criterion (see
+        :func:`_subsumes`), so simplification never changes the denoted set.
+        """
+        sets = list(self._linear_sets)
+        kept: List[LinearSet] = []
+        for index, candidate in enumerate(sets):
+            subsumed = False
+            for other_index, other in enumerate(sets):
+                if other_index == index:
+                    continue
+                if not _subsumes(other, candidate):
+                    continue
+                if _subsumes(candidate, other) and index < other_index:
+                    # Equal denotations: keep the earlier of the two copies.
+                    continue
+                subsumed = True
+                break
+            if not subsumed:
+                kept.append(candidate)
+        return SemiLinearSet(kept, self._dimension)
+
+    def symbolic(self, outputs: Sequence[LinearExpression], tag: str = "") -> Formula:
+        """Symbolic concretization ``gamma_hat`` (Eqn. (26)).
+
+        ``tag`` namespaces the existential ``lambda`` parameters so that two
+        different semi-linear sets can be concretized inside one formula (as
+        ``LessThan#`` does) without their parameters colliding.
+        """
+        if not self._linear_sets:
+            from repro.logic.formulas import FALSE
+
+            return FALSE
+        return disjunction(
+            [
+                linear_set.symbolic(outputs, tag=f"{tag}{index}")
+                for index, linear_set in enumerate(self._linear_sets)
+            ]
+        )
+
+    def sample(self, max_coefficient: int = 2, limit: int = 200) -> List[IntVector]:
+        """A few concrete member vectors (testing helper)."""
+        members: List[IntVector] = []
+        for linear_set in self._linear_sets:
+            for vector in linear_set.sample(max_coefficient):
+                if vector not in members:
+                    members.append(vector)
+                if len(members) >= limit:
+                    return members
+        return members
+
+    # -- misc -----------------------------------------------------------------
+
+    def _check(self, other: "SemiLinearSet") -> None:
+        if (
+            not self.is_empty()
+            and not other.is_empty()
+            and self._dimension != other._dimension
+        ):
+            raise ValueError("semi-linear sets have different dimensions")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SemiLinearSet):
+            return NotImplemented
+        return set(self._linear_sets) == set(other._linear_sets)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._linear_sets))
+
+    def __str__(self) -> str:
+        if not self._linear_sets:
+            return "{}"
+        return "{" + ", ".join(str(ls) for ls in self._linear_sets) + "}"
+
+    def __repr__(self) -> str:
+        return f"SemiLinearSet({self})"
+
+
+def _subsumes(container: LinearSet, candidate: LinearSet) -> bool:
+    """Sound check that ``candidate``'s denotation is inside ``container``'s.
+
+    The criterion: every generator of ``candidate`` must literally be a
+    generator of ``container``, and ``candidate``'s offset must be reachable
+    from ``container``'s offset using ``container``'s generators (an integer
+    feasibility query).  This is sufficient but not necessary, which is all
+    the simplification needs.
+    """
+    if container.dimension != candidate.dimension:
+        return False
+    container_generators = set(container.generators)
+    if not all(generator in container_generators for generator in candidate.generators):
+        return False
+    try:
+        return container.contains(candidate.offset)
+    except SolverLimitError:  # pragma: no cover - defensive
+        return False

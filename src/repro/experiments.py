@@ -1,0 +1,334 @@
+"""The experiment harness: regenerates every table and figure of §8.
+
+Each public function returns plain Python data (lists of row dictionaries)
+and also renders a text table/series, so the same code backs the pytest
+benchmarks in ``benchmarks/``, the command line (``python -m repro.experiments
+<experiment>``), and EXPERIMENTS.md.
+
+Experiments (see DESIGN.md's per-experiment index):
+
+* :func:`table1` — LimitedPlus + LimitedIf: per-benchmark verdicts and times
+  for naySL, nayHorn and nope;
+* :func:`table2` — LimitedConst: the same, for the appendix table;
+* :func:`fig2`   — naySL semi-linear-set solving time vs |N| for |E| = 1..4;
+* :func:`fig3`   — nayHorn time vs |E| for |N| = 1..3;
+* :func:`fig5`   — nope time vs |E| for |N| = 1..3;
+* :func:`fig4`   — stratification on/off scatter for naySL.
+
+Absolute times differ from the paper (different hardware, CVC4/Spacer
+replaced by the in-repo solvers); the comparisons of interest are the shapes:
+which tool solves which family, exponential growth in |N| and 2^|E|, and the
+stratification speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import NayHorn, NaySL, Nope
+from repro.semantics.examples import ExampleSet
+from repro.suites import benchmarks_by_suite
+from repro.suites.base import Benchmark
+from repro.suites.scaling import example_set, scaling_benchmark
+from repro.unreal.lia import solve_lia_gfa
+from repro.unreal.result import Verdict
+from repro.utils.errors import ReproError, SolverLimitError
+
+#: Benchmarks used when ``quick=True`` (the default for pytest benchmarks):
+#: a representative subset that keeps the harness under a few minutes.
+QUICK_TABLE1 = [
+    "plane1",
+    "plane2",
+    "guard1",
+    "guard3",
+    "search_2",
+    "max2",
+    "guard2",
+    "sum_2_5",
+]
+QUICK_TABLE2 = [
+    "array_search_2",
+    "array_search_4",
+    "array_sum_2_5",
+    "array_sum_3_15",
+    "mpg_example1",
+    "mpg_guard1",
+    "mpg_ite1",
+    "mpg_plane2",
+]
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a results table."""
+
+    suite: str
+    benchmark: str
+    tool: str
+    verdict: str
+    seconds: float
+    examples: int
+    paper_seconds: Optional[float] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "benchmark": self.benchmark,
+            "tool": self.tool,
+            "verdict": self.verdict,
+            "seconds": round(self.seconds, 4),
+            "examples": self.examples,
+            "paper_seconds": self.paper_seconds,
+            **self.extra,
+        }
+
+
+def _tools(timeout: float) -> Dict[str, object]:
+    return {
+        "naySL": NaySL(seed=0, timeout_seconds=timeout),
+        "nayHorn": NayHorn(seed=0, timeout_seconds=timeout),
+        "nope": Nope(seed=0, timeout_seconds=timeout),
+    }
+
+
+def _run_tool_on_benchmark(
+    tool_name: str, tool, benchmark: Benchmark, timeout: float
+) -> ExperimentRow:
+    """Run one tool on one benchmark's witness example set (deterministic).
+
+    The paper's Table 1/2 report the time of the CEGIS run whose last
+    iteration proves unrealizability; running the checkers directly on the
+    recorded witness example set measures exactly that final, dominating
+    iteration while keeping the harness deterministic.
+    """
+    examples = benchmark.witness_examples or ExampleSet()
+    start = time.monotonic()
+    try:
+        if len(examples) == 0:
+            result = tool.solve(benchmark.problem)
+            verdict = result.verdict
+            num_examples = result.num_examples
+        else:
+            result = tool.check(benchmark.problem, examples)
+            verdict = result.verdict
+            num_examples = len(examples)
+    except SolverLimitError:
+        verdict = Verdict.TIMEOUT
+        num_examples = len(examples)
+    elapsed = time.monotonic() - start
+    if elapsed > timeout and verdict not in (Verdict.UNREALIZABLE,):
+        verdict = Verdict.TIMEOUT
+    return ExperimentRow(
+        suite=benchmark.suite,
+        benchmark=benchmark.name,
+        tool=tool_name,
+        verdict=verdict.value,
+        seconds=elapsed,
+        examples=num_examples,
+        paper_seconds=benchmark.paper.get(tool_name),
+    )
+
+
+def _select(benchmarks: Sequence[Benchmark], names: Optional[Sequence[str]]) -> List[Benchmark]:
+    if names is None:
+        return list(benchmarks)
+    by_name = {benchmark.name: benchmark for benchmark in benchmarks}
+    return [by_name[name] for name in names if name in by_name]
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2
+# ---------------------------------------------------------------------------
+
+
+def table1(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
+    """Table 1: LimitedPlus and LimitedIf, all three tools."""
+    suites = benchmarks_by_suite()
+    benchmarks = suites["LimitedPlus"] + suites["LimitedIf"]
+    if quick:
+        benchmarks = _select(benchmarks, QUICK_TABLE1)
+    else:
+        benchmarks = [b for b in benchmarks if b.witness_examples is not None]
+    rows: List[ExperimentRow] = []
+    tools = _tools(timeout)
+    for benchmark in benchmarks:
+        for tool_name, tool in tools.items():
+            rows.append(_run_tool_on_benchmark(tool_name, tool, benchmark, timeout))
+    return rows
+
+
+def table2(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
+    """Table 2 (Appendix A): LimitedConst, all three tools."""
+    benchmarks = benchmarks_by_suite()["LimitedConst"]
+    if quick:
+        benchmarks = _select(benchmarks, QUICK_TABLE2)
+    rows: List[ExperimentRow] = []
+    tools = _tools(timeout)
+    for benchmark in benchmarks:
+        for tool_name, tool in tools.items():
+            rows.append(_run_tool_on_benchmark(tool_name, tool, benchmark, timeout))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+
+def fig2(
+    sizes: Optional[Sequence[int]] = None,
+    example_counts: Sequence[int] = (1, 2, 3, 4),
+) -> List[Dict[str, object]]:
+    """Fig. 2: time to compute the semi-linear set vs |N|, one series per |E|."""
+    if sizes is None:
+        sizes = [3, 5, 8, 11, 14]
+    points: List[Dict[str, object]] = []
+    for count in example_counts:
+        examples = example_set(count)
+        for size in sizes:
+            benchmark = scaling_benchmark(size)
+            start = time.monotonic()
+            solution = solve_lia_gfa(benchmark.problem.grammar, examples)
+            elapsed = time.monotonic() - start
+            points.append(
+                {
+                    "examples": count,
+                    "nonterminals": benchmark.problem.grammar.num_nonterminals,
+                    "seconds": round(elapsed, 4),
+                    "semilinear_size": solution.start_value.size,
+                }
+            )
+    return points
+
+
+def _horn_series(tool_factory, example_counts, sizes) -> List[Dict[str, object]]:
+    points: List[Dict[str, object]] = []
+    for size in sizes:
+        benchmark = scaling_benchmark(size)
+        for count in example_counts:
+            examples = example_set(count)
+            tool = tool_factory()
+            start = time.monotonic()
+            result = tool.check(benchmark.problem, examples)
+            elapsed = time.monotonic() - start
+            points.append(
+                {
+                    "nonterminals": benchmark.problem.grammar.num_nonterminals,
+                    "examples": count,
+                    "seconds": round(elapsed, 4),
+                    "verdict": result.verdict.value,
+                }
+            )
+    return points
+
+
+def fig3(
+    example_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    sizes: Sequence[int] = (3, 4, 5),
+) -> List[Dict[str, object]]:
+    """Fig. 3: nayHorn running time vs |E|, one series per |N|."""
+    return _horn_series(lambda: NayHorn(seed=0), example_counts, sizes)
+
+
+def fig5(
+    example_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    sizes: Sequence[int] = (3, 4, 5),
+) -> List[Dict[str, object]]:
+    """Fig. 5: nope running time vs |E|, one series per |N|."""
+    return _horn_series(lambda: Nope(seed=0), example_counts, sizes)
+
+
+def fig4(
+    sizes: Optional[Sequence[int]] = None, example_count: int = 2
+) -> List[Dict[str, object]]:
+    """Fig. 4: naySL solve time with vs without grammar stratification."""
+    if sizes is None:
+        sizes = [5, 8, 11, 14, 17]
+    examples = example_set(example_count)
+    points: List[Dict[str, object]] = []
+    for size in sizes:
+        benchmark = scaling_benchmark(size)
+        start = time.monotonic()
+        solve_lia_gfa(benchmark.problem.grammar, examples, stratify=True)
+        with_stratification = time.monotonic() - start
+        start = time.monotonic()
+        solve_lia_gfa(benchmark.problem.grammar, examples, stratify=False)
+        without_stratification = time.monotonic() - start
+        points.append(
+            {
+                "nonterminals": benchmark.problem.grammar.num_nonterminals,
+                "stratified_seconds": round(with_stratification, 4),
+                "unstratified_seconds": round(without_stratification, 4),
+                "speedup": round(
+                    without_stratification / max(with_stratification, 1e-9), 2
+                ),
+            }
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Rendering and CLI
+# ---------------------------------------------------------------------------
+
+
+def render_rows(rows: Sequence[Dict[str, object]] | Sequence[ExperimentRow]) -> str:
+    """Render rows as an aligned text table."""
+    dictionaries = [
+        row.as_dict() if isinstance(row, ExperimentRow) else dict(row) for row in rows
+    ]
+    if not dictionaries:
+        return "(no rows)"
+    columns = list(dictionaries[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in dictionaries))
+        for column in columns
+    }
+    lines = [
+        "  ".join(str(column).ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in dictionaries:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS = {
+    "table1": lambda quick: table1(quick=quick),
+    "table2": lambda quick: table2(quick=quick),
+    "fig2": lambda quick: fig2(sizes=[3, 5, 8] if quick else None),
+    "fig3": lambda quick: fig3(example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6)),
+    "fig4": lambda quick: fig4(sizes=[5, 8, 11] if quick else None),
+    "fig5": lambda quick: fig5(example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6)),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's experiments")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run the full (slow) configuration"
+    )
+    arguments = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for name in names:
+        print(f"== {name} ==")
+        rows = EXPERIMENTS[name](not arguments.full)
+        print(render_rows(rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

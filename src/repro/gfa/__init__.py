@@ -1,0 +1,31 @@
+"""Grammar flow analysis: equation systems and their solvers (§4, §5.1).
+
+The GFA problem associates each nonterminal with an equation (Eqn. 12/25)
+over an abstract domain.  Two families of solvers are provided:
+
+* :mod:`repro.gfa.newton` — Newton's method / Newtonian Program Analysis for
+  polynomial systems over commutative idempotent omega-continuous semirings
+  (Lem. 5.2), used by the exact semi-linear-set instantiation;
+* :mod:`repro.gfa.kleene` — Kleene iteration, with optional widening, used
+  for finite domains (Boolean-vector sets) and for the approximate mode.
+
+:mod:`repro.gfa.equations` defines the polynomial equation representation
+shared by both, and :mod:`repro.gfa.builder` constructs equations from a
+grammar, an example set, and an interpretation of the alphabet symbols.
+"""
+
+from repro.gfa.semiring import Semiring, SemiLinearSemiring
+from repro.gfa.equations import Monomial, Polynomial, EquationSystem
+from repro.gfa.newton import solve_newton, solve_linear_system
+from repro.gfa.kleene import solve_kleene
+
+__all__ = [
+    "Semiring",
+    "SemiLinearSemiring",
+    "Monomial",
+    "Polynomial",
+    "EquationSystem",
+    "solve_newton",
+    "solve_linear_system",
+    "solve_kleene",
+]

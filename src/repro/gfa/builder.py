@@ -1,0 +1,126 @@
+"""Construction of GFA equation systems from grammars (Def. 4.4, Eqn. 25).
+
+Two builders are provided:
+
+* :func:`build_lia_equations` — for LIA+ grammars: every nonterminal becomes
+  one equation whose monomials come from its productions (``Plus`` is the
+  semiring extend, leaves are constant semi-linear sets, ``Pass`` is the
+  identity monomial);
+* :func:`build_remif_equations` — for the integer part of CLIA+ grammars
+  once the Boolean nonterminals have been given values: this is the RemIf
+  rewriting of §6.4, producing one equation per (nonterminal, Boolean mask)
+  pair so that ``IfThenElse#`` becomes expressible with extend/combine only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.clia import CliaInterpretation
+from repro.domains.semilinear import SemiLinearSet
+from repro.gfa.equations import EquationSystem, Monomial, Polynomial
+from repro.grammar.alphabet import Sort
+from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
+from repro.utils.errors import UnsupportedFeatureError
+from repro.utils.vectors import BoolVector
+
+
+def build_lia_equations(
+    grammar: RegularTreeGrammar,
+    interpretation: CliaInterpretation,
+) -> EquationSystem:
+    """The equation system of Eqn. (25) for an LIA+ grammar."""
+    one = SemiLinearSet.unit(interpretation.dimension)
+    equations: Dict[Nonterminal, Polynomial] = {}
+    for nonterminal in grammar.nonterminals:
+        monomials: List[Monomial] = []
+        for production in grammar.productions_of(nonterminal):
+            name = production.symbol.name
+            if name == "Plus":
+                monomials.append(Monomial(one, tuple(production.args)))
+            elif name == "Pass":
+                monomials.append(Monomial(one, (production.args[0],)))
+            elif name == "Num":
+                monomials.append(
+                    Monomial(interpretation.num(int(production.symbol.payload)), ())
+                )
+            elif name == "Var":
+                monomials.append(
+                    Monomial(interpretation.var(str(production.symbol.payload)), ())
+                )
+            elif name == "NegVar":
+                monomials.append(
+                    Monomial(interpretation.neg_var(str(production.symbol.payload)), ())
+                )
+            else:
+                raise UnsupportedFeatureError(
+                    f"operator {name} is not part of LIA+; use the CLIA procedure"
+                )
+        equations[nonterminal] = Polynomial(tuple(monomials))
+    return EquationSystem(equations)
+
+
+def build_remif_equations(
+    grammar: RegularTreeGrammar,
+    interpretation: CliaInterpretation,
+    boolean_values: Mapping[Nonterminal, BoolVectorSet],
+) -> EquationSystem:
+    """The RemIf-rewritten integer equations of §6.4 (Step 2 of SolveMutual).
+
+    Keys of the resulting system are ``(nonterminal, mask)`` pairs where the
+    mask ranges over all Boolean vectors of dimension |E|; the value of the
+    original nonterminal ``X`` is the solution of ``(X, all-true)``
+    (Lem. 6.8).
+    """
+    dimension = interpretation.dimension
+    one = SemiLinearSet.unit(dimension)
+    masks = list(BoolVector.enumerate_all(dimension))
+    integer_nonterminals = [
+        nonterminal
+        for nonterminal in grammar.nonterminals
+        if nonterminal.sort == Sort.INT
+    ]
+
+    equations: Dict[object, Polynomial] = {}
+    for nonterminal in integer_nonterminals:
+        for mask in masks:
+            monomials: List[Monomial] = []
+            for production in grammar.productions_of(nonterminal):
+                name = production.symbol.name
+                if name == "Plus":
+                    monomials.append(
+                        Monomial(one, tuple((arg, mask) for arg in production.args))
+                    )
+                elif name == "Pass":
+                    monomials.append(Monomial(one, ((production.args[0], mask),)))
+                elif name == "Num":
+                    constant = interpretation.num(int(production.symbol.payload))
+                    monomials.append(Monomial(constant.project(mask), ()))
+                elif name == "Var":
+                    constant = interpretation.var(str(production.symbol.payload))
+                    monomials.append(Monomial(constant.project(mask), ()))
+                elif name == "NegVar":
+                    constant = interpretation.neg_var(str(production.symbol.payload))
+                    monomials.append(Monomial(constant.project(mask), ()))
+                elif name == "IfThenElse":
+                    guard, then_nt, else_nt = production.args
+                    guard_values = boolean_values.get(
+                        guard, BoolVectorSet.empty(dimension)
+                    )
+                    for guard_vector in guard_values:
+                        monomials.append(
+                            Monomial(
+                                one,
+                                (
+                                    (then_nt, mask & guard_vector),
+                                    (else_nt, mask & ~guard_vector),
+                                ),
+                            )
+                        )
+                else:
+                    raise UnsupportedFeatureError(
+                        f"integer operator {name} is not supported by RemIf"
+                    )
+            equations[(nonterminal, mask)] = Polynomial(tuple(monomials))
+    return EquationSystem(equations)

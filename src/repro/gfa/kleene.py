@@ -1,0 +1,66 @@
+"""Kleene iteration for GFA equation systems (§4.3).
+
+Kleene iteration is exact on domains satisfying the ascending chain condition
+(sets of Boolean vectors — the SolveBool algorithm of §6.3 is exactly this)
+and, with widening, provides the generic sound-but-incomplete instantiation
+of the framework that the approximate mode uses (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.gfa.equations import EquationSystem, Key
+from repro.gfa.semiring import Semiring
+from repro.utils.errors import SolverLimitError
+
+
+def solve_kleene(
+    system: EquationSystem,
+    semiring: Semiring,
+    max_iterations: int = 10000,
+    widen: Optional[Callable[[object, object], object]] = None,
+    widening_delay: int = 8,
+) -> Dict[Key, object]:
+    """Least-fixpoint (or post-fixpoint, when widening) by chaotic iteration.
+
+    Without ``widen`` the iteration computes the least fixpoint and raises
+    :class:`SolverLimitError` if it fails to converge within the budget (for
+    finite domains such as Boolean-vector sets the bound ``n * 2^|E|`` of
+    Lem. 6.5 is far below the default).  With ``widen`` the iterate is widened
+    after ``widening_delay`` rounds, guaranteeing termination on domains with
+    infinite ascending chains at the price of over-approximation.
+    """
+    current = system.zero_assignment(semiring)
+    for iteration in range(max_iterations):
+        candidate = system.evaluate(semiring, current)
+        # Values must never shrink; join with the previous iterate.
+        merged = {
+            key: semiring.combine(current[key], candidate[key]) for key in current
+        }
+        if widen is not None and iteration >= widening_delay:
+            merged = {key: widen(current[key], merged[key]) for key in current}
+        if all(semiring.equal(merged[key], current[key]) for key in current):
+            return current
+        current = merged
+    raise SolverLimitError(
+        f"Kleene iteration did not converge within {max_iterations} iterations"
+    )
+
+
+def iterate_to_fixpoint(
+    step: Callable[[Mapping[Key, object]], Dict[Key, object]],
+    initial: Mapping[Key, object],
+    equal: Callable[[object, object], bool],
+    max_iterations: int = 10000,
+) -> Dict[Key, object]:
+    """Generic fixpoint driver used by SolveBool/SolveMutual (§6.3, §6.4)."""
+    current = dict(initial)
+    for _ in range(max_iterations):
+        successor = step(current)
+        if all(equal(successor[key], current[key]) for key in current):
+            return successor
+        current = successor
+    raise SolverLimitError(
+        f"fixpoint iteration did not converge within {max_iterations} iterations"
+    )

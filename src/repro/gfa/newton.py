@@ -1,0 +1,152 @@
+"""Newton's method (Newtonian Program Analysis) for polynomial systems (§5.1).
+
+For a system ``X = F(X)`` over a commutative, idempotent, omega-continuous
+semiring, the Newton sequence is (Esparza, Kiefer, Luttenberger 2010):
+
+    nu(0)   = F(0)
+    nu(i+1) = nu(i) (+) Delta(i)
+
+where ``Delta(i)`` is the least solution of the *linear* system
+
+    Y = DF|_{nu(i)}(Y) (+) F(nu(i))
+
+(``DF`` is the formal differential; for idempotent semirings the simple
+update term ``F(nu(i))`` suffices).  Lemma 5.2 guarantees the least fixpoint
+is reached after at most ``|N|`` iterations; the implementation additionally
+stops as soon as two consecutive approximations are equal.
+
+Linear systems over a star semiring are solved by Gaussian elimination using
+the identity ``Y = a Y (+) b  =>  Y = a* b`` and back-substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.gfa.equations import EquationSystem, Key, Monomial, Polynomial
+from repro.gfa.semiring import Semiring
+
+
+def solve_newton(
+    system: EquationSystem,
+    semiring: Semiring,
+    max_iterations: int | None = None,
+) -> Dict[Key, object]:
+    """Least solution of a polynomial equation system by Newton's method."""
+    variables = list(system.variables)
+    if not variables:
+        return {}
+    iterations = max_iterations if max_iterations is not None else len(variables) + 1
+
+    zero = system.zero_assignment(semiring)
+    current = system.evaluate(semiring, zero)  # nu(0) = F(0)
+
+    for _ in range(iterations):
+        update = system.evaluate(semiring, current)  # F(nu(i))
+        # Build the linearised system Y = A Y (+) b with
+        #   A[x][y] = dF_x/dX_y evaluated at nu(i),  b[x] = F_x(nu(i)).
+        matrix: Dict[Key, Dict[Key, object]] = {}
+        for variable in variables:
+            row: Dict[Key, object] = {}
+            polynomial = system.equations[variable]
+            for other in variables:
+                row[other] = polynomial.differentiate(other, semiring, current)
+            matrix[variable] = row
+        delta = solve_linear_system(matrix, update, semiring)
+        successor = {
+            variable: semiring.combine(current[variable], delta[variable])
+            for variable in variables
+        }
+        if all(
+            semiring.equal(successor[variable], current[variable])
+            for variable in variables
+        ):
+            return successor
+        current = successor
+    return current
+
+
+def solve_linear_system(
+    matrix: Mapping[Key, Mapping[Key, object]],
+    constants: Mapping[Key, object],
+    semiring: Semiring,
+) -> Dict[Key, object]:
+    """Least solution of ``Y_x = (+)_y A[x][y] Y_y (+) b_x`` over a star semiring.
+
+    Gaussian elimination: processing variables in order, the equation for the
+    pivot variable ``x`` is solved as ``Y_x = A[x][x]* (rest)`` and the result
+    is substituted in the remaining equations; back-substitution then yields
+    closed forms for every variable.
+    """
+    variables: List[Key] = list(constants.keys())
+    # Work on mutable copies.
+    coefficients: Dict[Key, Dict[Key, object]] = {
+        x: {y: matrix[x].get(y, semiring.zero()) for y in variables} for x in variables
+    }
+    offsets: Dict[Key, object] = {x: constants[x] for x in variables}
+
+    # Forward elimination.
+    for index, pivot in enumerate(variables):
+        star = semiring.star(coefficients[pivot][pivot])
+        # Y_pivot = star (x) ( sum_{y != pivot} A[pivot][y] Y_y (+) b_pivot )
+        for other in variables:
+            if other == pivot:
+                coefficients[pivot][other] = semiring.zero()
+            else:
+                coefficients[pivot][other] = semiring.extend(
+                    star, coefficients[pivot][other]
+                )
+        offsets[pivot] = semiring.extend(star, offsets[pivot])
+        # Substitute into the equations of later variables.
+        for later in variables[index + 1 :]:
+            factor = coefficients[later][pivot]
+            if semiring.equal(factor, semiring.zero()):
+                continue
+            coefficients[later][pivot] = semiring.zero()
+            for other in variables:
+                contribution = semiring.extend(factor, coefficients[pivot][other])
+                coefficients[later][other] = semiring.combine(
+                    coefficients[later][other], contribution
+                )
+            offsets[later] = semiring.combine(
+                offsets[later], semiring.extend(factor, offsets[pivot])
+            )
+
+    # Back-substitution.
+    solution: Dict[Key, object] = {}
+    for pivot in reversed(variables):
+        value = offsets[pivot]
+        for other in variables:
+            if other in solution:
+                factor = coefficients[pivot][other]
+                if not semiring.equal(factor, semiring.zero()):
+                    value = semiring.combine(
+                        value, semiring.extend(factor, solution[other])
+                    )
+        solution[pivot] = value
+    return solution
+
+
+def solve_stratified(
+    system: EquationSystem,
+    semiring: Semiring,
+    strata: Sequence[Sequence[Key]],
+) -> Dict[Key, object]:
+    """Solve a system stratum by stratum (§7), using Newton inside each stratum.
+
+    ``strata`` must list the variables in dependency order (dependencies
+    first); variables from earlier strata are substituted as constants before
+    solving each stratum, so Newton only ever sees the (usually small)
+    mutually recursive cores.
+    """
+    solved: Dict[Key, object] = {}
+    for stratum in strata:
+        stratum_keys = [key for key in stratum if key in system.equations]
+        if not stratum_keys:
+            continue
+        sub_system = system.restricted_to(stratum_keys).substitute_constants(
+            semiring, solved
+        )
+        solution = solve_newton(sub_system, semiring)
+        solved.update(solution)
+    return solved

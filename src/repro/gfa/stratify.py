@@ -1,0 +1,68 @@
+"""Stratified solving of GFA equation systems (§7).
+
+The optimisation of §7 finds the strongly connected components of the
+dependence graph among equation variables, collapses them into a DAG, and
+solves the strata in topological order.  This module provides the SCC
+computation over an :class:`~repro.gfa.equations.EquationSystem` (the grammar
+level SCCs live in :mod:`repro.grammar.analysis`); the actual per-stratum
+solving is :func:`repro.gfa.newton.solve_stratified`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gfa.equations import EquationSystem, Key
+
+
+def equation_strata(system: EquationSystem) -> List[Tuple[Key, ...]]:
+    """SCCs of the equation dependence graph in dependency-first order."""
+    dependencies: Dict[Key, List[Key]] = {key: [] for key in system.variables}
+    for key, polynomial in system.equations.items():
+        for used in polynomial.variables():
+            if used in dependencies and used not in dependencies[key]:
+                dependencies[key].append(used)
+
+    index_counter = 0
+    indices: Dict[Key, int] = {}
+    lowlinks: Dict[Key, int] = {}
+    on_stack: Dict[Key, bool] = {}
+    stack: List[Key] = []
+    components: List[Tuple[Key, ...]] = []
+
+    def strongconnect(node: Key) -> None:
+        nonlocal index_counter
+        indices[node] = index_counter
+        lowlinks[node] = index_counter
+        index_counter += 1
+        stack.append(node)
+        on_stack[node] = True
+        for successor in dependencies[node]:
+            if successor not in indices:
+                strongconnect(successor)
+                lowlinks[node] = min(lowlinks[node], lowlinks[successor])
+            elif on_stack.get(successor, False):
+                lowlinks[node] = min(lowlinks[node], indices[successor])
+        if lowlinks[node] == indices[node]:
+            component: List[Key] = []
+            while True:
+                member = stack.pop()
+                on_stack[member] = False
+                component.append(member)
+                if member == node:
+                    break
+            components.append(tuple(component))
+
+    for key in system.variables:
+        if key not in indices:
+            strongconnect(key)
+    return components
+
+
+def single_stratum(system: EquationSystem) -> List[Tuple[Key, ...]]:
+    """The degenerate stratification (everything in one stratum).
+
+    Used to measure the benefit of stratification (Fig. 4): solving with this
+    "stratification" is exactly the unoptimised solver.
+    """
+    return [tuple(system.variables)]

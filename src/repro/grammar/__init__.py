@@ -1,0 +1,37 @@
+"""Regular tree grammars and term representations (§3.1 of the paper)."""
+
+from repro.grammar.alphabet import Symbol, RankedAlphabet, Sort
+from repro.grammar.terms import Term
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.transforms import (
+    remove_minus,
+    lower_nary_plus,
+    normalize_for_gfa,
+)
+from repro.grammar.analysis import (
+    dependence_graph,
+    strongly_connected_components,
+    stratify,
+    reachable_nonterminals,
+    productive_nonterminals,
+    trim,
+)
+
+__all__ = [
+    "Symbol",
+    "RankedAlphabet",
+    "Sort",
+    "Term",
+    "Nonterminal",
+    "Production",
+    "RegularTreeGrammar",
+    "remove_minus",
+    "lower_nary_plus",
+    "normalize_for_gfa",
+    "dependence_graph",
+    "strongly_connected_components",
+    "stratify",
+    "reachable_nonterminals",
+    "productive_nonterminals",
+    "trim",
+]

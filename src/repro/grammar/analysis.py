@@ -1,0 +1,185 @@
+"""Structural analyses over regular tree grammars.
+
+These are the standard grammar analyses the paper relies on:
+
+* the *dependence graph* over nonterminals (§7: an edge ``B -> A`` when ``B``
+  appears on the right-hand side of a production of ``A``);
+* strongly connected components and a topological order of the condensed
+  graph, which drive the stratified GFA equation solving of §7;
+* reachability and productivity, used to trim useless nonterminals before
+  building GFA equations;
+* simple statistics used by the benchmark tables (|N|, |delta|, |V|).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+
+
+def dependence_graph(
+    grammar: RegularTreeGrammar,
+) -> Dict[Nonterminal, Set[Nonterminal]]:
+    """Return successor sets: ``succ[B]`` contains ``A`` when ``A``'s value
+    depends on ``B`` (i.e., ``B`` occurs on the right-hand side of a
+    production of ``A``), matching the orientation described in §7."""
+    successors: Dict[Nonterminal, Set[Nonterminal]] = {
+        nt: set() for nt in grammar.nonterminals
+    }
+    for production in grammar.productions:
+        for arg in production.args:
+            successors[arg].add(production.lhs)
+    return successors
+
+
+def strongly_connected_components(
+    grammar: RegularTreeGrammar,
+) -> List[Tuple[Nonterminal, ...]]:
+    """Tarjan's algorithm over the dependence graph.
+
+    The returned list is in *reverse topological order of dependence*: a
+    component appears after every component it depends on, which is exactly
+    the order in which the stratified equation solver should process strata.
+    """
+    # Edges for Tarjan: from a nonterminal to the nonterminals it depends on
+    # would give reverse topological order of dependencies last; we instead
+    # run Tarjan on "A depends on B" edges (A -> B) and rely on the property
+    # that Tarjan emits components in reverse topological order of that graph,
+    # i.e. dependencies (callees) first.
+    dependencies: Dict[Nonterminal, List[Nonterminal]] = {
+        nt: [] for nt in grammar.nonterminals
+    }
+    for production in grammar.productions:
+        for arg in production.args:
+            if arg not in dependencies[production.lhs]:
+                dependencies[production.lhs].append(arg)
+
+    index_counter = 0
+    indices: Dict[Nonterminal, int] = {}
+    lowlinks: Dict[Nonterminal, int] = {}
+    on_stack: Set[Nonterminal] = set()
+    stack: List[Nonterminal] = []
+    components: List[Tuple[Nonterminal, ...]] = []
+
+    def strongconnect(node: Nonterminal) -> None:
+        nonlocal index_counter
+        indices[node] = index_counter
+        lowlinks[node] = index_counter
+        index_counter += 1
+        stack.append(node)
+        on_stack.add(node)
+        for successor in dependencies[node]:
+            if successor not in indices:
+                strongconnect(successor)
+                lowlinks[node] = min(lowlinks[node], lowlinks[successor])
+            elif successor in on_stack:
+                lowlinks[node] = min(lowlinks[node], indices[successor])
+        if lowlinks[node] == indices[node]:
+            component: List[Nonterminal] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            components.append(tuple(component))
+
+    for nonterminal in grammar.nonterminals:
+        if nonterminal not in indices:
+            strongconnect(nonterminal)
+    return components
+
+
+def stratify(grammar: RegularTreeGrammar) -> List[Tuple[Nonterminal, ...]]:
+    """Return the strata of §7: SCCs ordered so dependencies come first.
+
+    The equation solver processes the strata in this order, solving each
+    stratum with the values of earlier strata substituted in as constants.
+    """
+    return strongly_connected_components(grammar)
+
+
+def reachable_nonterminals(grammar: RegularTreeGrammar) -> Set[Nonterminal]:
+    """Nonterminals reachable from the start symbol via productions."""
+    reached: Set[Nonterminal] = {grammar.start}
+    frontier = [grammar.start]
+    while frontier:
+        current = frontier.pop()
+        for production in grammar.productions_of(current):
+            for arg in production.args:
+                if arg not in reached:
+                    reached.add(arg)
+                    frontier.append(arg)
+    return reached
+
+
+def productive_nonterminals(grammar: RegularTreeGrammar) -> Set[Nonterminal]:
+    """Nonterminals that derive at least one finite tree."""
+    productive: Set[Nonterminal] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in productive:
+                continue
+            if all(arg in productive for arg in production.args):
+                productive.add(production.lhs)
+                changed = True
+    return productive
+
+
+def trim(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+    """Remove unreachable and unproductive nonterminals and their productions.
+
+    The start symbol is always kept, even if its language is empty (an empty
+    language is a legitimate — trivially unrealizable — search space and the
+    unrealizability checker handles it directly).
+    """
+    productive = productive_nonterminals(grammar)
+    keep_productions = [
+        production
+        for production in grammar.productions
+        if production.lhs in productive
+        and all(arg in productive for arg in production.args)
+    ]
+    intermediate = RegularTreeGrammar(
+        [nt for nt in grammar.nonterminals if nt in productive or nt == grammar.start],
+        grammar.start,
+        keep_productions,
+        name=grammar.name,
+    )
+    reachable = reachable_nonterminals(intermediate)
+    productions = [
+        production
+        for production in intermediate.productions
+        if production.lhs in reachable
+    ]
+    nonterminals = [nt for nt in intermediate.nonterminals if nt in reachable]
+    return RegularTreeGrammar(
+        nonterminals, grammar.start, productions, name=grammar.name
+    )
+
+
+def grammar_statistics(grammar: RegularTreeGrammar) -> Dict[str, int]:
+    """The |N|, |delta|, |V| statistics reported in Tables 1 and 2."""
+    return {
+        "nonterminals": grammar.num_nonterminals,
+        "productions": grammar.num_productions,
+        "variables": len(grammar.variables()),
+    }
+
+
+def mutually_recursive_components(
+    grammar: RegularTreeGrammar,
+) -> List[Tuple[Nonterminal, ...]]:
+    """SCCs with more than one member, or self-recursive single nonterminals."""
+    recursive: List[Tuple[Nonterminal, ...]] = []
+    for component in strongly_connected_components(grammar):
+        if len(component) > 1:
+            recursive.append(component)
+            continue
+        only = component[0]
+        if any(only in production.args for production in grammar.productions_of(only)):
+            recursive.append(component)
+    return recursive

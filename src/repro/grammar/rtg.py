@@ -1,0 +1,246 @@
+"""Regular tree grammars (Def. 3.1) and bounded term generation.
+
+A regular tree grammar (RTG) is a tuple ``(N, Sigma, S, delta)`` where ``N``
+is a finite set of arity-0 nonterminals, ``Sigma`` a ranked alphabet, ``S``
+the start nonterminal, and ``delta`` a set of productions of the form
+``A -> sigma(A1, ..., Ak)``.
+
+Besides the representation itself this module provides:
+
+* validation (sorts of productions must be consistent, every right-hand-side
+  nonterminal must be declared);
+* bounded enumeration of the language of a nonterminal, used by tests and by
+  the brute-force cross-checking oracle for unrealizability verdicts;
+* statistics (|N|, |delta|) that the paper's tables report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.grammar.alphabet import RankedAlphabet, Sort, Symbol
+from repro.grammar.terms import Term
+from repro.utils.errors import GrammarError
+
+
+@dataclass(frozen=True)
+class Nonterminal:
+    """A named, sorted nonterminal symbol of arity 0."""
+
+    name: str
+    sort: Sort = Sort.INT
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Nonterminal({self.name}:{self.sort})"
+
+
+@dataclass(frozen=True)
+class Production:
+    """A production ``lhs -> symbol(args...)`` of a regular tree grammar."""
+
+    lhs: Nonterminal
+    symbol: Symbol
+    args: Tuple[Nonterminal, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.symbol.arity:
+            raise GrammarError(
+                f"production {self.lhs} -> {self.symbol} expects "
+                f"{self.symbol.arity} arguments, got {len(self.args)}"
+            )
+
+    def __str__(self) -> str:
+        if not self.args:
+            return f"{self.lhs} -> {self.symbol}"
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.lhs} -> {self.symbol.name}({inner})"
+
+
+class RegularTreeGrammar:
+    """A regular tree grammar with sort checking and bounded enumeration."""
+
+    def __init__(
+        self,
+        nonterminals: Iterable[Nonterminal],
+        start: Nonterminal,
+        productions: Iterable[Production],
+        name: str = "G",
+    ):
+        self.name = name
+        self.nonterminals: Tuple[Nonterminal, ...] = tuple(nonterminals)
+        self.start = start
+        self.productions: Tuple[Production, ...] = tuple(productions)
+        self._by_lhs: Dict[Nonterminal, List[Production]] = {
+            nt: [] for nt in self.nonterminals
+        }
+        self._validate()
+        for production in self.productions:
+            self._by_lhs[production.lhs].append(production)
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        declared = set(self.nonterminals)
+        if len(declared) != len(self.nonterminals):
+            raise GrammarError("duplicate nonterminal declarations")
+        if self.start not in declared:
+            raise GrammarError(f"start nonterminal {self.start} is not declared")
+        for production in self.productions:
+            if production.lhs not in declared:
+                raise GrammarError(f"undeclared left-hand side in {production}")
+            for arg in production.args:
+                if arg not in declared:
+                    raise GrammarError(f"undeclared nonterminal {arg} in {production}")
+            if production.symbol.result_sort != production.lhs.sort:
+                raise GrammarError(
+                    f"sort mismatch in {production}: symbol produces "
+                    f"{production.symbol.result_sort} but {production.lhs} has "
+                    f"sort {production.lhs.sort}"
+                )
+            for arg, expected in zip(production.args, production.symbol.argument_sorts):
+                if arg.sort != expected:
+                    raise GrammarError(
+                        f"sort mismatch in {production}: argument {arg} has sort "
+                        f"{arg.sort}, expected {expected}"
+                    )
+
+    # -- accessors -----------------------------------------------------------
+
+    def productions_of(self, nonterminal: Nonterminal) -> Sequence[Production]:
+        """delta_A: the productions whose left-hand side is ``nonterminal``."""
+        return tuple(self._by_lhs[nonterminal])
+
+    def alphabet(self) -> RankedAlphabet:
+        return RankedAlphabet(production.symbol for production in self.productions)
+
+    def variables(self) -> Tuple[str, ...]:
+        """The input-variable names mentioned by Var/NegVar leaf productions."""
+        names: List[str] = []
+        for production in self.productions:
+            if production.symbol.name in ("Var", "NegVar"):
+                name = str(production.symbol.payload)
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    @property
+    def num_nonterminals(self) -> int:
+        return len(self.nonterminals)
+
+    @property
+    def num_productions(self) -> int:
+        return len(self.productions)
+
+    def is_lia(self) -> bool:
+        return self.alphabet().is_lia()
+
+    def is_lia_plus(self) -> bool:
+        return self.alphabet().is_lia_plus()
+
+    def is_clia(self) -> bool:
+        return self.alphabet().is_clia()
+
+    # -- language ------------------------------------------------------------
+
+    def generate(
+        self,
+        nonterminal: Optional[Nonterminal] = None,
+        max_size: int = 6,
+        limit: Optional[int] = None,
+    ) -> Iterator[Term]:
+        """Enumerate terms derivable from ``nonterminal`` up to ``max_size``.
+
+        Enumeration is by increasing term size (number of symbol occurrences),
+        which makes it suitable both for tests (bounded language membership)
+        and as the skeleton of the enumerative synthesizer.
+        """
+        root = nonterminal if nonterminal is not None else self.start
+        count = 0
+        for size in range(1, max_size + 1):
+            for term in self._terms_of_size(root, size, {}):
+                yield term
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+    def _terms_of_size(
+        self,
+        nonterminal: Nonterminal,
+        size: int,
+        cache: Dict[Tuple[Nonterminal, int], List[Term]],
+    ) -> List[Term]:
+        key = (nonterminal, size)
+        if key in cache:
+            return cache[key]
+        results: List[Term] = []
+        if size >= 1:
+            for production in self._by_lhs[nonterminal]:
+                arity = production.symbol.arity
+                if arity == 0:
+                    if size == 1:
+                        results.append(Term.leaf(production.symbol))
+                    continue
+                remaining = size - 1
+                if remaining < arity:
+                    continue
+                for split in _compositions(remaining, arity):
+                    child_choices = [
+                        self._terms_of_size(arg, part, cache)
+                        for arg, part in zip(production.args, split)
+                    ]
+                    if any(not choices for choices in child_choices):
+                        continue
+                    for children in itertools.product(*child_choices):
+                        results.append(Term(production.symbol, tuple(children)))
+        cache[key] = results
+        return results
+
+    def contains(self, term: Term, max_size: Optional[int] = None) -> bool:
+        """Bounded membership check: is ``term`` derivable from the start symbol?
+
+        Uses a straightforward top-down matching of the term against the
+        productions; the grammar's recursion is bounded by the term itself, so
+        no size bound is required (``max_size`` is accepted for symmetry with
+        :meth:`generate` and ignored).
+        """
+        del max_size
+        return self._derivable(self.start, term)
+
+    def _derivable(self, nonterminal: Nonterminal, term: Term) -> bool:
+        for production in self._by_lhs[nonterminal]:
+            if production.symbol != term.symbol:
+                continue
+            if all(
+                self._derivable(arg, child)
+                for arg, child in zip(production.args, term.children)
+            ):
+                return True
+        return False
+
+    # -- misc ----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lines = [f"grammar {self.name} (start {self.start}):"]
+        for nonterminal in self.nonterminals:
+            rhss = " | ".join(
+                str(production).split(" -> ", 1)[1]
+                for production in self._by_lhs[nonterminal]
+            )
+            lines.append(f"  {nonterminal} ::= {rhss}")
+        return "\n".join(lines)
+
+
+def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """Yield all ways to write ``total`` as an ordered sum of ``parts`` >= 1."""
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest

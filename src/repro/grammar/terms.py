@@ -1,0 +1,125 @@
+"""Ranked trees (terms) over an alphabet (§3.1).
+
+A term is an application of a :class:`~repro.grammar.alphabet.Symbol` to as
+many child terms as the symbol's arity.  Terms are immutable and hashable so
+that the enumerative synthesizer can use them in observational-equivalence
+caches, and they support structural helpers (size, depth, traversal, symbol
+counting) used throughout the test suite and the synthesizer's ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.grammar.alphabet import Sort, Symbol
+from repro.utils.errors import GrammarError
+
+
+@dataclass(frozen=True)
+class Term:
+    """An immutable ranked tree: a symbol applied to child terms."""
+
+    symbol: Symbol
+    children: Tuple["Term", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.children) != self.symbol.arity:
+            raise GrammarError(
+                f"symbol {self.symbol.name} has arity {self.symbol.arity} but "
+                f"was applied to {len(self.children)} children"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def leaf(symbol: Symbol) -> "Term":
+        return Term(symbol, ())
+
+    @staticmethod
+    def apply(symbol: Symbol, *children: "Term") -> "Term":
+        return Term(symbol, tuple(children))
+
+    # -- structural queries --------------------------------------------------
+
+    @property
+    def sort(self) -> Sort:
+        return self.symbol.result_sort
+
+    def size(self) -> int:
+        """Number of symbol occurrences in the term."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the term; a leaf has depth 1."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield every subterm, pre-order, including the term itself."""
+        yield self
+        for child in self.children:
+            yield from child.subterms()
+
+    def count_symbol(self, name: str) -> int:
+        """Count occurrences of symbols with the given operator name.
+
+        The Limited* benchmark families (§8) are built around bounding the
+        number of ``Plus`` or ``IfThenElse`` occurrences a solution may use,
+        so this helper is used both by the suite generators and by tests that
+        check the generated grammars really enforce those bounds.
+        """
+        return sum(1 for sub in self.subterms() if sub.symbol.name == name)
+
+    def variables(self) -> Iterator[str]:
+        """Yield the names of Var/NegVar leaves, with repetition."""
+        for sub in self.subterms():
+            if sub.symbol.name in ("Var", "NegVar"):
+                yield str(sub.symbol.payload)
+
+    def map_symbols(self, mapping: Callable[[Symbol], Symbol]) -> "Term":
+        """Rebuild the term applying ``mapping`` to every symbol."""
+        return Term(
+            mapping(self.symbol),
+            tuple(child.map_symbols(mapping) for child in self.children),
+        )
+
+    # -- pretty printing -----------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.symbol)
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.symbol.name}({inner})"
+
+    def to_sexpr(self) -> str:
+        """Render the term in SyGuS-IF concrete syntax."""
+        name = self.symbol.name
+        if name == "Num":
+            value = int(self.symbol.payload)  # type: ignore[arg-type]
+            return str(value) if value >= 0 else f"(- {abs(value)})"
+        if name == "BoolConst":
+            return "true" if self.symbol.payload else "false"
+        if name == "Var":
+            return str(self.symbol.payload)
+        if name == "NegVar":
+            return f"(- {self.symbol.payload})"
+        if name == "Pass":
+            return self.children[0].to_sexpr()
+        sexpr_names: Dict[str, str] = {
+            "Plus": "+",
+            "Minus": "-",
+            "IfThenElse": "ite",
+            "And": "and",
+            "Or": "or",
+            "Not": "not",
+            "LessThan": "<",
+            "LessEq": "<=",
+            "GreaterThan": ">",
+            "GreaterEq": ">=",
+            "Equal": "=",
+        }
+        op = sexpr_names.get(name, name)
+        inner = " ".join(child.to_sexpr() for child in self.children)
+        return f"({op} {inner})"

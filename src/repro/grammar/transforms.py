@@ -1,0 +1,178 @@
+"""Grammar transformations used before grammar flow analysis.
+
+Two rewrites from the paper are implemented here:
+
+* :func:`lower_nary_plus` — the paper allows n-ary ``Plus`` symbols for
+  readability (footnote 1) and lowers them to a chain of binary ``Plus``
+  productions through fresh nonterminals; we do the same so that the rest of
+  the pipeline only ever sees binary operators.
+
+* :func:`remove_minus` — the rewrite ``h`` of §5.2 that pushes negation to the
+  leaves: every integer nonterminal ``X`` gets a twin ``X-`` generating the
+  negations of the terms of ``X``, ``Minus(X1, X2)`` becomes
+  ``Plus(X1, X2-)``, and the leaf symbols ``Num(c)`` / ``Var(x)`` get negated
+  twins ``Num(-c)`` / ``NegVar(x)``.  The construction extends to CLIA
+  grammars (§6.1): Boolean nonterminals are left untouched, and
+  ``IfThenElse(B, X1, X2)`` under a negated nonterminal becomes
+  ``IfThenElse(B, X1-, X2-)``.
+
+:func:`normalize_for_gfa` chains the two rewrites and trims unreachable and
+unproductive nonterminals, producing the grammar shape that the GFA equation
+generator expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.grammar import alphabet as alph
+from repro.grammar.alphabet import Sort, Symbol
+from repro.grammar.analysis import trim
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.utils.errors import GrammarError, UnsupportedFeatureError
+
+
+def lower_nary_plus(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+    """Rewrite n-ary ``Plus`` productions (n > 2) into chains of binary Plus.
+
+    A production ``X -> Plus(A1, ..., An)`` becomes::
+
+        X    -> Plus(A1, X_1)
+        X_1  -> Plus(A2, X_2)
+        ...
+        X_n-2 -> Plus(A_{n-1}, A_n)
+
+    using fresh helper nonterminals, mirroring footnote 1 of the paper.
+    """
+    nonterminals: List[Nonterminal] = list(grammar.nonterminals)
+    productions: List[Production] = []
+    fresh_counter = 0
+
+    def fresh(base: Nonterminal) -> Nonterminal:
+        nonlocal fresh_counter
+        fresh_counter += 1
+        candidate = Nonterminal(f"{base.name}__plus{fresh_counter}", Sort.INT)
+        nonterminals.append(candidate)
+        return candidate
+
+    for production in grammar.productions:
+        symbol = production.symbol
+        if symbol.name == "Plus" and symbol.arity > 2:
+            args = list(production.args)
+            lhs = production.lhs
+            while len(args) > 2:
+                helper = fresh(production.lhs)
+                productions.append(
+                    Production(lhs, alph.plus(2), (args[0], helper))
+                )
+                lhs = helper
+                args = args[1:]
+            productions.append(Production(lhs, alph.plus(2), tuple(args)))
+        else:
+            productions.append(production)
+
+    return RegularTreeGrammar(
+        nonterminals, grammar.start, productions, name=grammar.name
+    )
+
+
+def _negated(nonterminal: Nonterminal) -> Nonterminal:
+    return Nonterminal(nonterminal.name + "-", nonterminal.sort)
+
+
+def remove_minus(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+    """Apply the Minus-removal rewrite ``h`` of §5.2 (extended to CLIA).
+
+    The result contains no ``Minus`` symbol; negation only appears at leaves
+    through ``Num(-c)`` and ``NegVar(x)``.  Lemma 5.4 guarantees the rewritten
+    grammar is semantically equivalent to the original.
+    """
+    int_nonterminals = [nt for nt in grammar.nonterminals if nt.sort == Sort.INT]
+    negatives: Dict[Nonterminal, Nonterminal] = {
+        nt: _negated(nt) for nt in int_nonterminals
+    }
+
+    nonterminals: List[Nonterminal] = list(grammar.nonterminals) + [
+        negatives[nt] for nt in int_nonterminals
+    ]
+    productions: List[Production] = []
+
+    for production in grammar.productions:
+        lhs = production.lhs
+        symbol = production.symbol
+        args = production.args
+        name = symbol.name
+
+        if lhs.sort == Sort.BOOL:
+            # Boolean productions never need a negated twin; they may refer to
+            # (positive) integer nonterminals, which are preserved as-is.
+            productions.append(production)
+            continue
+
+        neg_lhs = negatives[lhs]
+        if name == "Plus":
+            if symbol.arity != 2:
+                raise GrammarError("remove_minus expects binary Plus; lower n-ary first")
+            a1, a2 = args
+            productions.append(Production(lhs, alph.plus(2), (a1, a2)))
+            productions.append(
+                Production(neg_lhs, alph.plus(2), (negatives[a1], negatives[a2]))
+            )
+        elif name == "Minus":
+            a1, a2 = args
+            productions.append(Production(lhs, alph.plus(2), (a1, negatives[a2])))
+            productions.append(
+                Production(neg_lhs, alph.plus(2), (negatives[a1], a2))
+            )
+        elif name == "Num":
+            value = int(symbol.payload)  # type: ignore[arg-type]
+            productions.append(Production(lhs, alph.num(value), ()))
+            productions.append(Production(neg_lhs, alph.num(-value), ()))
+        elif name == "Var":
+            variable = str(symbol.payload)
+            productions.append(Production(lhs, alph.var(variable), ()))
+            productions.append(Production(neg_lhs, alph.neg_var(variable), ()))
+        elif name == "NegVar":
+            variable = str(symbol.payload)
+            productions.append(Production(lhs, alph.neg_var(variable), ()))
+            productions.append(Production(neg_lhs, alph.var(variable), ()))
+        elif name == "IfThenElse":
+            guard, then_nt, else_nt = args
+            productions.append(
+                Production(lhs, alph.if_then_else(), (guard, then_nt, else_nt))
+            )
+            productions.append(
+                Production(
+                    neg_lhs,
+                    alph.if_then_else(),
+                    (guard, negatives[then_nt], negatives[else_nt]),
+                )
+            )
+        elif name == "Pass":
+            (target,) = args
+            productions.append(Production(lhs, alph.pass_through(Sort.INT), (target,)))
+            productions.append(
+                Production(neg_lhs, alph.pass_through(Sort.INT), (negatives[target],))
+            )
+        else:
+            raise UnsupportedFeatureError(
+                f"remove_minus does not support integer operator {name}"
+            )
+
+    rewritten = RegularTreeGrammar(
+        nonterminals, grammar.start, productions, name=grammar.name + "+"
+    )
+    # Negated twins that no production refers to are useless; drop them.
+    return trim(rewritten)
+
+
+def normalize_for_gfa(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+    """Lower n-ary Plus, remove Minus, and trim useless nonterminals.
+
+    This is the normal form assumed by the GFA equation generator: binary
+    operators only, no ``Minus``, and every nonterminal both reachable from
+    the start symbol and productive.
+    """
+    lowered = lower_nary_plus(grammar)
+    without_minus = remove_minus(lowered)
+    return trim(without_minus)

@@ -1,0 +1,70 @@
+"""A self-contained quantifier-free linear integer arithmetic (QF-LIA) solver.
+
+The paper's implementation delegates all satisfiability questions to CVC4 and
+Z3.  Neither is available in this environment, so this package provides an
+exact, from-scratch substitute that supports the exact query shapes the
+unrealizability pipeline needs:
+
+* satisfiability of quantifier-free LIA formulas (arbitrary Boolean structure
+  over linear atoms, all variables implicitly existentially quantified over
+  the integers, with optional non-negativity side conditions for the
+  semi-linear-set parameters ``lambda``);
+* model extraction, used by the CEGIS verifier to produce counterexamples.
+
+The solver is organised as a classic DPLL(T)-style layered design:
+
+``terms``        linear expressions over named integer variables
+``formulas``     Boolean formulas over linear atoms, with smart constructors
+``rewrites``     NNF conversion, constant folding, substitution
+``simplex``      exact rational feasibility (two-phase simplex, Fractions)
+``diophantine``  GCD tests and integer equality elimination
+``ilp``          integer feasibility by branch-and-bound over the simplex
+``solver``       Boolean-structure search delegating conjunctions to ``ilp``
+"""
+
+from repro.logic.terms import LinearExpression
+from repro.logic.formulas import (
+    Formula,
+    Atom,
+    BoolLit,
+    And,
+    Or,
+    Not,
+    TRUE,
+    FALSE,
+    conjunction,
+    disjunction,
+    negation,
+    atom_le,
+    atom_lt,
+    atom_ge,
+    atom_gt,
+    atom_eq,
+    atom_ne,
+)
+from repro.logic.solver import SatResult, SatStatus, check_sat, Model
+
+__all__ = [
+    "LinearExpression",
+    "Formula",
+    "Atom",
+    "BoolLit",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "atom_le",
+    "atom_lt",
+    "atom_ge",
+    "atom_gt",
+    "atom_eq",
+    "atom_ne",
+    "SatResult",
+    "SatStatus",
+    "check_sat",
+    "Model",
+]

@@ -1,0 +1,194 @@
+"""Integer feasibility of conjunctions of linear atoms (branch-and-bound).
+
+This is the theory solver of the DPLL(T) stack: given a conjunction of linear
+atoms over integer variables it either returns a satisfying integer model or
+reports infeasibility.  The pipeline is:
+
+1. normalise atoms (strict inequalities become non-strict by adding one,
+   which is sound because all coefficients and variables are integers);
+2. recover equalities hidden as pairs of opposite inequalities;
+3. eliminate equalities with exact integer reasoning
+   (:mod:`repro.logic.diophantine`);
+4. branch-and-bound on the rational relaxation solved by the exact simplex
+   (:mod:`repro.logic.simplex`).
+
+A node budget guards against pathological inputs; exceeding it raises
+:class:`~repro.utils.errors.SolverLimitError` rather than looping forever.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.diophantine import eliminate_equalities, lift_model
+from repro.logic.formulas import Atom, Comparison
+from repro.logic.simplex import feasible_point
+from repro.logic.terms import LinearExpression
+from repro.utils.errors import SolverError, SolverLimitError
+
+#: Default branch-and-bound node budget.  The queries produced by the
+#: unrealizability pipeline are tiny (tens of nodes); this budget exists only
+#: to fail loudly on pathological inputs instead of looping.
+DEFAULT_NODE_LIMIT = 4000
+
+
+def integer_feasible(
+    atoms: Sequence[Atom],
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> Optional[Dict[str, int]]:
+    """Return an integer model of the conjunction of atoms, or None if unsat.
+
+    Atoms with the ``!=`` comparison are not supported here (the Boolean
+    search layer splits them); passing one raises :class:`SolverError`.
+    """
+    equalities: List[LinearExpression] = []
+    inequalities: List[LinearExpression] = []
+    for atom in atoms:
+        if atom.comparison == Comparison.EQ:
+            equalities.append(atom.expression)
+        elif atom.comparison == Comparison.LE:
+            inequalities.append(atom.expression)
+        elif atom.comparison == Comparison.LT:
+            inequalities.append(atom.expression + 1)
+        else:
+            raise SolverError("disequalities must be split before calling the ILP core")
+
+    original_variables = sorted(
+        {name for atom in atoms for name in atom.expression.variables}
+    )
+
+    extra_equalities, inequalities = _recover_equalities(inequalities)
+    equalities.extend(extra_equalities)
+
+    if _strip_infeasible(inequalities):
+        return None
+
+    elimination = eliminate_equalities(equalities, inequalities)
+    if not elimination.satisfiable:
+        return None
+
+    reduced_model = _branch_and_bound(elimination.inequalities, node_limit)
+    if reduced_model is None:
+        return None
+
+    model = lift_model(reduced_model, elimination.substitutions)
+    # Variables that vanished entirely are unconstrained; default them to 0.
+    for name in original_variables:
+        model.setdefault(name, 0)
+    # Drop helper variables introduced by the elimination.
+    return {name: value for name, value in model.items() if name in original_variables}
+
+
+def _recover_equalities(
+    inequalities: Sequence[LinearExpression],
+) -> Tuple[List[LinearExpression], List[LinearExpression]]:
+    """Turn pairs ``expr <= 0`` and ``-expr <= 0`` into equalities ``expr = 0``.
+
+    Without this step, branch-and-bound could diverge on integer-infeasible
+    equalities that were written as inequality pairs.
+    """
+    keyed = {}
+    for expression in inequalities:
+        key = (tuple(sorted(expression.coefficients.items())), expression.constant)
+        keyed.setdefault(key, []).append(expression)
+
+    equalities: List[LinearExpression] = []
+    remaining: List[LinearExpression] = []
+    consumed = set()
+    items = list(keyed.items())
+    for key, expressions in items:
+        if key in consumed:
+            continue
+        expression = expressions[0]
+        negated = -expression
+        negated_key = (
+            tuple(sorted(negated.coefficients.items())),
+            negated.constant,
+        )
+        if negated_key in keyed and negated_key != key and negated_key not in consumed:
+            equalities.append(expression)
+            consumed.add(key)
+            consumed.add(negated_key)
+        else:
+            remaining.extend(expressions)
+            consumed.add(key)
+    return equalities, remaining
+
+
+def _strip_infeasible(inequalities: Sequence[LinearExpression]) -> bool:
+    """GCD test on two-sided strips: detect ``L <= c.x <= U`` with no multiple
+    of ``gcd(c)`` inside ``[L, U]``.
+
+    Branch-and-bound alone can take very long on such strips (the rational
+    relaxation stays feasible while no integer point exists), so this cheap
+    necessary-condition check prunes them up front.  Returning True means the
+    system is definitely integer-infeasible.
+    """
+    upper_bounds: Dict[Tuple[Tuple[str, int], ...], int] = {}
+    for expression in inequalities:
+        coefficients = tuple(sorted(expression.coefficients.items()))
+        if not coefficients:
+            continue
+        # expression <= 0  means  c.x <= -constant
+        bound = -expression.constant
+        key = coefficients
+        if key not in upper_bounds or bound < upper_bounds[key]:
+            upper_bounds[key] = bound
+    for key, upper in upper_bounds.items():
+        negated_key = tuple(sorted((name, -value) for name, value in key))
+        if negated_key not in upper_bounds:
+            continue
+        lower = -upper_bounds[negated_key]
+        if lower > upper:
+            return True
+        gcd = 0
+        for _, value in key:
+            gcd = math.gcd(gcd, abs(value))
+        if gcd == 0:
+            continue
+        # The value of c.x is always a multiple of gcd; is one in [lower, upper]?
+        if (upper // gcd) * gcd < lower:
+            return True
+    return False
+
+
+def _branch_and_bound(
+    inequalities: List[LinearExpression],
+    node_limit: int,
+) -> Optional[Dict[str, int]]:
+    """Depth-first branch-and-bound over the exact rational relaxation."""
+    stack: List[List[LinearExpression]] = [[]]
+    nodes = 0
+    while stack:
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverLimitError(
+                f"branch-and-bound exceeded the node budget ({node_limit})"
+            )
+        bounds = stack.pop()
+        point = feasible_point(list(inequalities) + bounds)
+        if point is None:
+            continue
+        fractional = _first_fractional(point)
+        if fractional is None:
+            return {name: int(value) for name, value in point.items()}
+        name, value = fractional
+        floor_value = math.floor(value)
+        ceil_value = floor_value + 1
+        upper = LinearExpression({name: 1}, -floor_value)  # x - floor <= 0
+        lower = LinearExpression({name: -1}, ceil_value)  # ceil - x <= 0
+        stack.append(bounds + [lower])
+        stack.append(bounds + [upper])
+    return None
+
+
+def _first_fractional(
+    point: Dict[str, Fraction],
+) -> Optional[Tuple[str, Fraction]]:
+    for name in sorted(point):
+        value = point[name]
+        if value.denominator != 1:
+            return name, value
+    return None

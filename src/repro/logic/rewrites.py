@@ -1,0 +1,66 @@
+"""Formula rewrites: negation normal form and light simplification.
+
+The solver only understands And/Or trees over atoms, so :func:`to_nnf` pushes
+every negation down to the atoms (where it is absorbed by
+:meth:`Atom.negated`).  :func:`simplify` performs constant folding on ground
+sub-formulas; the smart constructors already do most of the work so this is a
+thin re-traversal used after substitutions.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BoolLit,
+    Formula,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+    make_atom,
+    negation,
+)
+from repro.utils.errors import SolverError
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Return an equivalent formula without Not nodes."""
+    if isinstance(formula, (BoolLit, Atom)):
+        return formula
+    if isinstance(formula, And):
+        return conjunction([to_nnf(operand) for operand in formula.operands])
+    if isinstance(formula, Or):
+        return disjunction([to_nnf(operand) for operand in formula.operands])
+    if isinstance(formula, Not):
+        return _negate_nnf(formula.operand)
+    raise SolverError(f"unknown formula node {type(formula).__name__}")
+
+
+def _negate_nnf(formula: Formula) -> Formula:
+    if isinstance(formula, BoolLit):
+        return BoolLit(not formula.value)
+    if isinstance(formula, Atom):
+        return formula.negated()
+    if isinstance(formula, And):
+        return disjunction([_negate_nnf(operand) for operand in formula.operands])
+    if isinstance(formula, Or):
+        return conjunction([_negate_nnf(operand) for operand in formula.operands])
+    if isinstance(formula, Not):
+        return to_nnf(formula.operand)
+    raise SolverError(f"unknown formula node {type(formula).__name__}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Re-run the smart constructors over the whole formula tree."""
+    if isinstance(formula, BoolLit):
+        return formula
+    if isinstance(formula, Atom):
+        return make_atom(formula.expression, formula.comparison)
+    if isinstance(formula, And):
+        return conjunction([simplify(operand) for operand in formula.operands])
+    if isinstance(formula, Or):
+        return disjunction([simplify(operand) for operand in formula.operands])
+    if isinstance(formula, Not):
+        return negation(simplify(formula.operand))
+    raise SolverError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,165 @@
+"""Exact rational feasibility of linear inequality systems (Phase-I simplex).
+
+This is the LP relaxation engine underneath the integer branch-and-bound
+procedure.  It answers one question: given constraints ``expr <= 0`` over
+free rational variables, is the system feasible, and if so produce one
+feasible point.
+
+The implementation is a textbook two-phase simplex restricted to Phase I
+(feasibility only), using ``fractions.Fraction`` for exact arithmetic and
+Bland's anti-cycling pivot rule, so it always terminates with an exact
+answer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.terms import LinearExpression
+
+
+def feasible_point(
+    constraints: Sequence[LinearExpression],
+) -> Optional[Dict[str, Fraction]]:
+    """Find a rational point satisfying ``expr <= 0`` for every constraint.
+
+    Returns a mapping from variable name to :class:`fractions.Fraction`, or
+    ``None`` when the system is infeasible.  Variables not mentioned in any
+    constraint are simply absent from the returned mapping (any value works).
+    """
+    variables = sorted({name for expr in constraints for name in expr.variables})
+    if not variables:
+        for expr in constraints:
+            if expr.constant > 0:
+                return None
+        return {}
+
+    # Split each free variable x into x = pos - neg with pos, neg >= 0, add a
+    # slack per constraint, and an artificial variable per row; the columns
+    # are laid out as [pos..., neg..., slack..., artificial...].
+    num_vars = len(variables)
+    num_rows = len(constraints)
+    var_index = {name: i for i, name in enumerate(variables)}
+    num_columns = 2 * num_vars + 2 * num_rows
+
+    rows: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    for expr in constraints:
+        row = [Fraction(0)] * num_columns
+        for name, coefficient in expr.coefficients.items():
+            row[var_index[name]] += Fraction(coefficient)
+            row[num_vars + var_index[name]] -= Fraction(coefficient)
+        # expr <= 0  <=>  sum coeff*x <= -constant
+        row[2 * num_vars + len(rows)] = Fraction(1)  # slack
+        bound = Fraction(-expr.constant)
+        if bound < 0:
+            row = [-value for value in row]
+            bound = -bound
+        artificial_column = 2 * num_vars + num_rows + len(rows)
+        row[artificial_column] = Fraction(1)
+        rows.append(row)
+        rhs.append(bound)
+
+    basis = [2 * num_vars + num_rows + i for i in range(num_rows)]
+
+    # Phase-I objective: minimise the sum of artificial variables.  Reduced
+    # costs for column j: c_j - sum of tableau column j over rows whose basic
+    # variable is artificial (cost 1).  Initially every basic variable is
+    # artificial, so the reduced-cost row starts as c_j - sum_i rows[i][j].
+    def column_cost(column: int) -> Fraction:
+        return Fraction(1) if column >= 2 * num_vars + num_rows else Fraction(0)
+
+    reduced = [
+        column_cost(j) - sum(rows[i][j] for i in range(num_rows))
+        for j in range(num_columns)
+    ]
+    objective = -sum(rhs, Fraction(0))
+
+    max_pivots = 8000 + 200 * num_columns
+    for _ in range(max_pivots):
+        entering = next((j for j in range(num_columns) if reduced[j] < 0), None)
+        if entering is None:
+            break
+        # Ratio test with Bland's rule on ties.
+        leaving_row = None
+        best_ratio: Optional[Fraction] = None
+        for i in range(num_rows):
+            coefficient = rows[i][entering]
+            if coefficient > 0:
+                ratio = rhs[i] / coefficient
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[i] < basis[leaving_row])
+                ):
+                    best_ratio = ratio
+                    leaving_row = i
+        if leaving_row is None:
+            # Unbounded Phase-I objective cannot happen (it is bounded below
+            # by 0); defensively treat as infeasible.
+            return None
+        _pivot(rows, rhs, reduced, leaving_row, entering)
+        basis[leaving_row] = entering
+    else:  # pragma: no cover - defensive: Bland's rule prevents cycling
+        return None
+    del objective
+
+    # At Phase-I optimality the system is feasible iff every artificial
+    # variable sits at value zero.
+    artificial_start = 2 * num_vars + num_rows
+    phase_one_value = sum(
+        (rhs[i] for i in range(num_rows) if basis[i] >= artificial_start),
+        Fraction(0),
+    )
+    if phase_one_value != 0:
+        return None
+
+    point: Dict[str, Fraction] = {}
+    values = [Fraction(0)] * num_columns
+    for i, column in enumerate(basis):
+        values[column] = rhs[i]
+    for name, index in var_index.items():
+        point[name] = values[index] - values[num_vars + index]
+    return point
+
+
+def _pivot(
+    rows: List[List[Fraction]],
+    rhs: List[Fraction],
+    reduced: List[Fraction],
+    pivot_row: int,
+    pivot_column: int,
+) -> None:
+    """In-place Gauss-Jordan pivot of the tableau and the reduced-cost row."""
+    pivot_value = rows[pivot_row][pivot_column]
+    inverse = Fraction(1) / pivot_value
+    rows[pivot_row] = [value * inverse for value in rows[pivot_row]]
+    rhs[pivot_row] = rhs[pivot_row] * inverse
+    for i in range(len(rows)):
+        if i == pivot_row:
+            continue
+        factor = rows[i][pivot_column]
+        if factor != 0:
+            rows[i] = [
+                value - factor * pivot_entry
+                for value, pivot_entry in zip(rows[i], rows[pivot_row])
+            ]
+            rhs[i] = rhs[i] - factor * rhs[pivot_row]
+    factor = reduced[pivot_column]
+    if factor != 0:
+        for j in range(len(reduced)):
+            reduced[j] = reduced[j] - factor * rows[pivot_row][j]
+
+
+def satisfies(
+    constraints: Sequence[LinearExpression], point: Dict[str, Fraction]
+) -> bool:
+    """Check a rational point against ``expr <= 0`` constraints (test helper)."""
+    for expr in constraints:
+        total = Fraction(expr.constant)
+        for name, coefficient in expr.coefficients.items():
+            total += Fraction(coefficient) * point.get(name, Fraction(0))
+        if total > 0:
+            return False
+    return True

@@ -1,0 +1,137 @@
+"""Satisfiability of quantifier-free LIA formulas with model extraction.
+
+The solver performs a depth-first search over the Boolean structure of the
+formula (in negation normal form), accumulating linear atoms along each
+branch and delegating the resulting conjunctions to the complete integer
+feasibility core (:mod:`repro.logic.ilp`).  Disequality atoms are split into
+the two strict-inequality cases.
+
+Because the theory core is complete, exhausting every Boolean branch without
+finding a feasible conjunction proves unsatisfiability, so the solver returns
+two-valued answers (plus a model on SAT).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    BoolLit,
+    Comparison,
+    Formula,
+    Not,
+    Or,
+    make_atom,
+)
+from repro.logic.ilp import DEFAULT_NODE_LIMIT, integer_feasible
+from repro.logic.rewrites import simplify, to_nnf
+from repro.utils.errors import SolverError
+
+Model = Dict[str, int]
+
+
+class SatStatus(enum.Enum):
+    """Two-valued verdicts of the QF-LIA solver."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+@dataclass
+class SatResult:
+    """The outcome of a satisfiability check."""
+
+    status: SatStatus
+    model: Optional[Model] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SatStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == SatStatus.UNSAT
+
+
+def check_sat(
+    formula: Formula,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+) -> SatResult:
+    """Decide satisfiability of a QF-LIA formula over the integers."""
+    prepared = to_nnf(simplify(formula))
+    statistics = {"theory_calls": 0, "branches": 0}
+    model = _search([prepared], [], statistics, node_limit)
+    if model is None:
+        return SatResult(SatStatus.UNSAT, None, statistics)
+    # The theory core only assigns variables that occur in atoms on the
+    # satisfied branch; give every other variable a default value so that
+    # ``formula.evaluate(model)`` is total.
+    for name in formula.variables():
+        model.setdefault(name, 0)
+    return SatResult(SatStatus.SAT, model, statistics)
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """Convenience wrapper returning a bare Boolean."""
+    return check_sat(formula).is_sat
+
+
+def is_valid(formula: Formula) -> bool:
+    """Validity over the integers: the negation is unsatisfiable."""
+    from repro.logic.formulas import negation
+
+    return check_sat(negation(formula)).is_unsat
+
+
+def _search(
+    pending: List[Formula],
+    atoms: List[Atom],
+    statistics: Dict[str, int],
+    node_limit: int,
+) -> Optional[Model]:
+    """Depth-first search over Boolean structure; returns a model or None."""
+    if not pending:
+        statistics["theory_calls"] += 1
+        return integer_feasible(atoms, node_limit=node_limit)
+
+    first = pending[0]
+    rest = pending[1:]
+
+    if isinstance(first, BoolLit):
+        if first.value:
+            return _search(rest, atoms, statistics, node_limit)
+        return None
+
+    if isinstance(first, Atom):
+        if first.comparison == Comparison.NE:
+            # expr != 0  <=>  expr < 0  or  -expr < 0
+            statistics["branches"] += 1
+            less = make_atom(first.expression, Comparison.LT)
+            greater = make_atom(-first.expression, Comparison.LT)
+            for case in (less, greater):
+                result = _search([case] + rest, atoms, statistics, node_limit)
+                if result is not None:
+                    return result
+            return None
+        return _search(rest, atoms + [first], statistics, node_limit)
+
+    if isinstance(first, And):
+        return _search(list(first.operands) + rest, atoms, statistics, node_limit)
+
+    if isinstance(first, Or):
+        statistics["branches"] += 1
+        for operand in first.operands:
+            result = _search([operand] + rest, atoms, statistics, node_limit)
+            if result is not None:
+                return result
+        return None
+
+    if isinstance(first, Not):  # pragma: no cover - NNF removes Not nodes
+        raise SolverError("solver requires formulas in negation normal form")
+
+    raise SolverError(f"unknown formula node {type(first).__name__}")

@@ -1,0 +1,6 @@
+"""Concrete semantics of LIA/CLIA terms over finite example sets."""
+
+from repro.semantics.examples import Example, ExampleSet
+from repro.semantics.evaluator import evaluate, evaluate_on_example
+
+__all__ = ["Example", "ExampleSet", "evaluate", "evaluate_on_example"]

@@ -1,0 +1,141 @@
+"""Finite example sets ``E = <i_1, ..., i_n>`` (Def. 3.4).
+
+An *example* is an assignment of integer values to the input variables of the
+function being synthesized.  An :class:`ExampleSet` is an ordered tuple of
+examples; all vectors manipulated by the GFA machinery are indexed by this
+order.  ``mu_E(x)`` (Ex. 3.6) projects the example set onto one variable and
+returns the corresponding :class:`~repro.utils.vectors.IntVector`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.errors import SemanticsError
+from repro.utils.vectors import IntVector
+
+
+@dataclass(frozen=True)
+class Example:
+    """A single input valuation: variable name -> integer value."""
+
+    assignment: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[str, int]) -> "Example":
+        return Example(tuple(sorted((str(k), int(v)) for k, v in mapping.items())))
+
+    def value(self, variable: str) -> int:
+        for name, value in self.assignment:
+            if name == variable:
+                return value
+        raise SemanticsError(f"example does not assign variable {variable!r}")
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.assignment)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.assignment)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}={value}" for name, value in self.assignment)
+        return f"{{{inner}}}"
+
+
+class ExampleSet:
+    """An ordered, duplicate-free collection of examples."""
+
+    def __init__(self, examples: Iterable[Example] = ()):
+        self._examples: Tuple[Example, ...] = ()
+        for example in examples:
+            self._examples = self._append(self._examples, example)
+
+    @staticmethod
+    def _append(
+        existing: Tuple[Example, ...], example: Example
+    ) -> Tuple[Example, ...]:
+        if example in existing:
+            return existing
+        if existing and example.variables() != existing[0].variables():
+            raise SemanticsError(
+                "all examples in an example set must assign the same variables"
+            )
+        return existing + (example,)
+
+    @staticmethod
+    def of(*assignments: Mapping[str, int]) -> "ExampleSet":
+        return ExampleSet(Example.of(assignment) for assignment in assignments)
+
+    @staticmethod
+    def random(
+        variables: Sequence[str],
+        count: int,
+        rng: Optional[random.Random] = None,
+        low: int = -50,
+        high: int = 50,
+    ) -> "ExampleSet":
+        """Random examples with values in [low, high], as in Alg. 2 line 1."""
+        rng = rng if rng is not None else random.Random()
+        examples = []
+        for _ in range(count):
+            examples.append(
+                Example.of({v: rng.randint(low, high) for v in variables})
+            )
+        return ExampleSet(examples)
+
+    # -- collection protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self._examples)
+
+    def __getitem__(self, index: int) -> Example:
+        return self._examples[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExampleSet) and self._examples == other._examples
+
+    def __hash__(self) -> int:
+        return hash(self._examples)
+
+    # -- operations ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._examples)
+
+    def is_empty(self) -> bool:
+        return not self._examples
+
+    def variables(self) -> Tuple[str, ...]:
+        if not self._examples:
+            return ()
+        return self._examples[0].variables()
+
+    def extended(self, example: Example) -> "ExampleSet":
+        """Return a new example set with ``example`` appended (CEGIS step)."""
+        extended = ExampleSet()
+        extended._examples = self._append(self._examples, example)
+        return extended
+
+    def union(self, other: "ExampleSet") -> "ExampleSet":
+        merged = ExampleSet()
+        merged._examples = self._examples
+        for example in other:
+            merged._examples = self._append(merged._examples, example)
+        return merged
+
+    def projection(self, variable: str) -> IntVector:
+        """``mu_E(variable)``: the vector of the variable's values across E."""
+        return IntVector(example.value(variable) for example in self._examples)
+
+    def constant(self, value: int) -> IntVector:
+        """The vector ``<value, ..., value>`` of dimension |E|."""
+        return IntVector.constant(value, len(self._examples))
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(example) for example in self._examples) + ">"

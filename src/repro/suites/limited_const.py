@@ -1,0 +1,162 @@
+"""The LimitedConst benchmark family (§8, Table 2 / Appendix A).
+
+Each benchmark's grammar is a full CLIA grammar whose constant pool is
+restricted below what the optimal solution of the underlying problem needs.
+All 45 entries of Table 2 are represented; every tool solved every
+LimitedConst benchmark in the paper, so all entries carry per-tool times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.semantics.examples import ExampleSet
+from repro.suites.base import (
+    Benchmark,
+    array_search_spec,
+    array_sum_spec,
+    const_restricted_grammar,
+    guarded_linear_spec,
+    linear_spec,
+    make_benchmark,
+    scaled_variable_spec,
+)
+
+SUITE = "LimitedConst"
+
+
+def _paper(
+    nonterminals: int,
+    productions: int,
+    variables: int,
+    examples: int,
+    nay_sl: float,
+    nay_horn: float,
+    nope: float,
+) -> Dict[str, Optional[float]]:
+    return {
+        "nonterminals": nonterminals,
+        "productions": productions,
+        "variables": variables,
+        "examples": examples,
+        "naySL": nay_sl,
+        "nayHorn": nay_horn,
+        "nope": nope,
+    }
+
+
+#: Table 2 rows: name -> (|N|, |delta|, |V|, |E|, naySL, nayHorn, nope).
+_TABLE2 = {
+    "array_search_2": (2, 10, 3, 2, 0.17, 0.04, 0.78),
+    "array_search_3": (2, 11, 4, 2, 0.30, 0.04, 1.26),
+    "array_search_4": (2, 12, 5, 2, 0.47, 0.01, 1.25),
+    "array_search_5": (2, 13, 6, 2, 0.57, 0.04, 1.01),
+    "array_search_6": (2, 14, 7, 2, 0.77, 0.03, 0.87),
+    "array_search_7": (2, 15, 8, 2, 0.97, 0.03, 0.85),
+    "array_search_8": (2, 16, 9, 2, 1.28, 0.04, 0.97),
+    "array_search_9": (2, 17, 10, 2, 1.58, 0.04, 0.70),
+    "array_search_10": (2, 18, 11, 2, 1.88, 0.04, 0.80),
+    "array_search_11": (2, 19, 12, 2, 2.21, 0.01, 1.09),
+    "array_search_12": (2, 20, 13, 2, 2.62, 0.02, 1.13),
+    "array_search_13": (2, 21, 14, 2, 3.05, 0.05, 0.73),
+    "array_search_14": (2, 22, 15, 2, 3.49, 0.05, 0.77),
+    "array_search_15": (2, 23, 16, 2, 3.79, 0.03, 1.06),
+    "array_sum_2_5": (2, 9, 2, 2, 0.13, 0.04, 1.30),
+    "array_sum_2_15": (2, 9, 2, 2, 0.14, 0.01, 1.46),
+    "array_sum_3_5": (2, 10, 3, 2, 0.07, 0.01, 1.31),
+    "array_sum_3_15": (2, 10, 3, 2, 0.07, 0.04, 1.28),
+    "array_sum_4_5": (2, 11, 4, 2, 0.13, 0.03, 2.52),
+    "array_sum_4_15": (2, 11, 4, 2, 0.34, 0.05, 1.35),
+    "array_sum_5_5": (2, 12, 5, 2, 0.07, 0.02, 1.41),
+    "array_sum_5_15": (2, 12, 5, 2, 0.34, 0.07, 1.43),
+    "array_sum_6_5": (2, 13, 6, 2, 0.14, 0.10, 2.37),
+    "array_sum_6_15": (2, 13, 6, 2, 0.34, 0.02, 1.56),
+    "array_sum_7_5": (2, 14, 7, 2, 0.14, 0.01, 0.76),
+    "array_sum_7_15": (2, 14, 7, 2, 0.34, 0.08, 1.87),
+    "array_sum_8_5": (2, 15, 8, 2, 0.07, 0.09, 1.33),
+    "array_sum_8_15": (2, 15, 8, 2, 0.13, 0.10, 1.53),
+    "array_sum_9_5": (2, 16, 9, 2, 0.07, 0.01, 1.50),
+    "array_sum_9_15": (2, 16, 9, 2, 0.34, 0.03, 1.44),
+    "array_sum_10_5": (2, 17, 10, 2, 0.07, 0.03, 2.29),
+    "array_sum_10_15": (2, 17, 10, 2, 0.27, 0.07, 0.87),
+    "mpg_example1": (2, 9, 2, 1, 0.07, 0.05, 0.36),
+    "mpg_example2": (2, 9, 3, 3, 5.17, 0.09, 0.50),
+    "mpg_example3": (2, 10, 3, 1, 0.07, 0.03, 0.57),
+    "mpg_example4": (2, 11, 4, 1, 0.07, 0.04, 0.44),
+    "mpg_example5": (2, 9, 2, 1, 0.01, 0.08, 0.99),
+    "mpg_guard1": (2, 10, 3, 3, 15.84, 0.01, 3.08),
+    "mpg_guard2": (2, 10, 3, 3, 16.44, 0.03, 2.49),
+    "mpg_guard3": (2, 10, 3, 3, 15.57, 0.08, 0.44),
+    "mpg_guard4": (2, 10, 3, 3, 15.70, 1.44, 24.18),
+    "mpg_ite1": (2, 10, 3, 1, 0.01, 0.02, 0.33),
+    "mpg_ite2": (2, 10, 3, 1, 0.07, 0.18, 0.41),
+    "mpg_plane2": (2, 10, 3, 1, 0.07, 0.12, 0.47),
+    "mpg_plane3": (2, 10, 3, 1, 0.07, 0.08, 0.74),
+}
+
+
+def _even_array_witness(count: int) -> ExampleSet:
+    """A sorted all-even array with an odd key: the required insertion index
+    is 1, which no sum of even inputs (plus the odd key or zero) can equal."""
+    assignment = {f"x{i}": 2 * i for i in range(1, count + 1)}
+    assignment["k"] = 3
+    return ExampleSet.of(assignment)
+
+
+def _sum_witness(count: int, threshold: int) -> ExampleSet:
+    """Two examples that no restricted-constant term can satisfy together.
+
+    The low example is a positive scaling of the high one, so every guard the
+    constant-free grammar can build (a homogeneous comparison) has the same
+    truth value on both examples and conditionals cannot distinguish them;
+    but the required outputs (a pair sum vs 0) are not related by the same
+    scaling, ruling out every homogeneous linear term as well.
+    """
+    high = {f"x{i}": (threshold if i <= 2 else 0) for i in range(1, count + 1)}
+    low = {f"x{i}": (1 if i <= 2 else 0) for i in range(1, count + 1)}
+    return ExampleSet.of(high, low)
+
+
+def limited_const_suite() -> List[Benchmark]:
+    """The 45 LimitedConst benchmarks (Table 2)."""
+    benchmarks: List[Benchmark] = []
+    for name, stats in _TABLE2.items():
+        paper = _paper(*stats)
+        if name.startswith("array_search_"):
+            count = int(name.rsplit("_", 1)[1])
+            variables = [f"x{i}" for i in range(1, count + 1)] + ["k"]
+            grammar = const_restricted_grammar(variables, [0], name=name)
+            spec = array_search_spec(count)
+            witness = _even_array_witness(count)
+        elif name.startswith("array_sum_"):
+            parts = name.split("_")
+            count, threshold = int(parts[2]), int(parts[3])
+            variables = [f"x{i}" for i in range(1, count + 1)]
+            grammar = const_restricted_grammar(variables, [0], name=name)
+            spec = array_sum_spec(count, threshold)
+            witness = _sum_witness(count, threshold)
+        elif name.startswith("mpg_example"):
+            index = int(name[-1])
+            variables = ["x", "y"]
+            grammar = const_restricted_grammar(variables, [0], name=name)
+            spec = linear_spec({"x": 1, "y": 1}, index)
+            witness = ExampleSet.of({"x": 0, "y": 0})
+        elif name.startswith("mpg_guard"):
+            index = int(name[-1])
+            grammar = const_restricted_grammar(["x"], [0], name=name)
+            spec = guarded_linear_spec("x", index, index, 0)
+            witness = ExampleSet.of({"x": 0}, {"x": index + 1}, {"x": index - 1})
+        elif name.startswith("mpg_ite"):
+            index = int(name[-1])
+            grammar = const_restricted_grammar(["x"], [0, 2], name=name)
+            spec = guarded_linear_spec("x", 0, 2 * index + 1, 2 * index + 1)
+            witness = ExampleSet.of({"x": 0})
+        else:  # mpg_plane2 / mpg_plane3
+            index = int(name[-1])
+            grammar = const_restricted_grammar(["x"], [0], name=name)
+            spec = scaled_variable_spec("x", index, index)
+            witness = ExampleSet.of({"x": 0})
+        benchmarks.append(
+            make_benchmark(name, SUITE, grammar, spec, "CLIA", paper, witness)
+        )
+    return benchmarks

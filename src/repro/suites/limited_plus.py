@@ -1,0 +1,232 @@
+"""The LimitedPlus benchmark family (§8, Table 1 top half).
+
+Each benchmark's grammar allows one fewer ``Plus`` operator than the known
+optimal solution of the underlying SyGuS-competition problem needs, which
+makes the problem unrealizable.  The named benchmarks carry the statistics
+Table 1 reports for their namesakes (grammar size, number of examples, and
+the per-tool running times, with ``None`` denoting a timeout); the remaining
+entries (``plus_hard_*``) stand in for the 18 LimitedPlus benchmarks no tool
+solved within the timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.semantics.examples import ExampleSet
+from repro.suites.base import (
+    Benchmark,
+    bounded_plus_grammar,
+    guarded_linear_spec,
+    linear_spec,
+    make_benchmark,
+    max_spec,
+    scaled_variable_spec,
+    array_search_spec,
+    array_sum_spec,
+)
+
+SUITE = "LimitedPlus"
+
+
+def _paper(
+    nonterminals: int,
+    productions: int,
+    variables: int,
+    examples: float,
+    nay_sl: Optional[float],
+    nay_horn: Optional[float],
+    nope: Optional[float],
+) -> Dict[str, Optional[float]]:
+    return {
+        "nonterminals": nonterminals,
+        "productions": productions,
+        "variables": variables,
+        "examples": examples,
+        "naySL": nay_sl,
+        "nayHorn": nay_horn,
+        "nope": nope,
+    }
+
+
+def limited_plus_suite() -> List[Benchmark]:
+    """The 30 LimitedPlus benchmarks."""
+    benchmarks: List[Benchmark] = []
+
+    # guard1..guard4: guarded linear functions f(x) = x+k if x<k else x, with
+    # the grammar's Plus budget one below k (so the then-branch constant k
+    # cannot be assembled).
+    guard_stats = {
+        "guard1": (2, _paper(7, 24, 3, 2, 0.24, None, None)),
+        "guard2": (3, _paper(9, 34, 3, 3, 12.86, None, None)),
+        "guard3": (4, _paper(11, 41, 3, 1, 0.07, None, None)),
+        "guard4": (5, _paper(11, 72, 3, 3.5, 147.50, None, None)),
+    }
+    for name, (constant, stats) in guard_stats.items():
+        grammar = bounded_plus_grammar(
+            ["x"],
+            [0, 1],
+            plus_budget=max(0, constant - 2),
+            with_ite=True,
+            comparison_constants=[constant],
+            name=name,
+        )
+        spec = guarded_linear_spec("x", constant, constant, 0)
+        benchmarks.append(
+            make_benchmark(
+                name,
+                SUITE,
+                grammar,
+                spec,
+                "CLIA",
+                stats,
+                witness_examples=ExampleSet.of({"x": 0}),
+            )
+        )
+
+    # plane1..plane3: purely linear targets f(x) = k*x + k; the grammar's Plus
+    # budget is one too small to build the needed sum of atoms.
+    plane_stats = {
+        "plane1": (2, _paper(2, 5, 2, 1, 0.07, 0.55, 0.69)),
+        "plane2": (8, _paper(17, 60, 2, 1.6, 0.90, None, None)),
+        "plane3": (14, _paper(29, 122, 2, 1.5, 15.73, None, None)),
+    }
+    for name, (factor, stats) in plane_stats.items():
+        grammar = bounded_plus_grammar(
+            ["x"], [0], plus_budget=factor - 2, with_ite=False, name=name
+        )
+        spec = scaled_variable_spec("x", factor, 0)
+        benchmarks.append(
+            make_benchmark(
+                name,
+                SUITE,
+                grammar,
+                spec,
+                "LIA",
+                stats,
+                witness_examples=ExampleSet.of({"x": 1}),
+            )
+        )
+
+    # ite1, ite2: conditional targets whose branches each need one more Plus
+    # than the budget allows.
+    ite_stats = {
+        "ite1": (3, _paper(7, 2, 3, 2, 1.05, None, None)),
+        "ite2": (4, _paper(9, 34, 3, 4, 294.88, None, None)),
+    }
+    for name, (constant, stats) in ite_stats.items():
+        grammar = bounded_plus_grammar(
+            ["x"],
+            [0, 1],
+            plus_budget=max(0, constant - 2),
+            with_ite=True,
+            comparison_constants=[0],
+            name=name,
+        )
+        spec = guarded_linear_spec("x", 0, constant, constant)
+        benchmarks.append(
+            make_benchmark(
+                name,
+                SUITE,
+                grammar,
+                spec,
+                "CLIA",
+                stats,
+                witness_examples=ExampleSet.of({"x": 0}),
+            )
+        )
+
+    # sum_2_5: the array_sum spec with a Plus budget too small to produce the
+    # pair sum and the comparison threshold.
+    grammar = bounded_plus_grammar(
+        ["x1", "x2"],
+        [0, 1],
+        plus_budget=1,
+        with_ite=True,
+        comparison_constants=[5],
+        name="sum_2_5",
+    )
+    benchmarks.append(
+        make_benchmark(
+            "sum_2_5",
+            SUITE,
+            grammar,
+            array_sum_spec(2, 5),
+            "CLIA",
+            _paper(11, 40, 2, 4, 15.48, None, None),
+            witness_examples=ExampleSet.of(
+                {"x1": 4, "x2": 4}, {"x1": 2, "x2": 2}, {"x1": 6, "x2": 0}
+            ),
+        )
+    )
+
+    # search_2, search_3: array_search with a Plus budget of zero (the optimal
+    # solutions need one addition to form index constants).
+    search_stats = {
+        "search_2": (2, _paper(5, 16, 3, 3, 1.21, None, None)),
+        "search_3": (3, _paper(7, 25, 4, 4, 2.65, None, None)),
+    }
+    for name, (count, stats) in search_stats.items():
+        variables = [f"x{i}" for i in range(1, count + 1)] + ["k"]
+        grammar = bounded_plus_grammar(
+            variables,
+            [0],
+            plus_budget=0,
+            with_ite=True,
+            comparison_constants=[],
+            name=name,
+        )
+        spec = array_search_spec(count)
+        witness = ExampleSet.of(
+            {**{f"x{i}": 2 * i for i in range(1, count + 1)}, "k": 3}
+        )
+        benchmarks.append(
+            make_benchmark(name, SUITE, grammar, spec, "CLIA", stats, witness)
+        )
+
+    # max2_plus: max of two inputs where the (artificially) required extra
+    # addition is unavailable; stands in for the remaining named family.
+    grammar = bounded_plus_grammar(
+        ["x", "y"], [0], plus_budget=0, with_ite=True, name="max2_plus"
+    )
+    benchmarks.append(
+        make_benchmark(
+            "max2_plus",
+            SUITE,
+            grammar,
+            linear_spec({"x": 1, "y": 1}, 1),
+            "CLIA",
+            _paper(4, 12, 2, 1, None, None, None),
+            witness_examples=ExampleSet.of({"x": 1, "y": 1}),
+        )
+    )
+
+    # The 17 remaining LimitedPlus benchmarks were solved by no tool within
+    # the paper's timeout; they are represented by progressively larger
+    # instances of the same construction.
+    index = 0
+    while len(benchmarks) < 30:
+        index += 1
+        factor = 5 + index
+        name = f"plus_hard_{index}"
+        grammar = bounded_plus_grammar(
+            ["x", "y"],
+            [0, 1],
+            plus_budget=factor - 2,
+            with_ite=True,
+            comparison_constants=[factor],
+            name=name,
+        )
+        spec = linear_spec({"x": factor, "y": 1}, factor)
+        benchmarks.append(
+            make_benchmark(
+                name,
+                SUITE,
+                grammar,
+                spec,
+                "CLIA",
+                _paper(3 + factor, 10 + 4 * factor, 2, None, None, None, None),
+                witness_examples=ExampleSet.of({"x": 1, "y": 0}),
+            )
+        )
+    return benchmarks

@@ -1,0 +1,44 @@
+"""A registry over all benchmark suites, used by the CLI and the harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.suites.base import Benchmark
+from repro.suites.limited_const import limited_const_suite
+from repro.suites.limited_if import limited_if_suite
+from repro.suites.limited_plus import limited_plus_suite
+from repro.suites.scaling import scaling_suite
+from repro.utils.errors import ReproError
+
+
+def benchmarks_by_suite(include_scaling: bool = False) -> Dict[str, List[Benchmark]]:
+    """The three evaluation suites (and optionally the scaling suite)."""
+    suites = {
+        "LimitedPlus": limited_plus_suite(),
+        "LimitedIf": limited_if_suite(),
+        "LimitedConst": limited_const_suite(),
+    }
+    if include_scaling:
+        suites["Scaling"] = scaling_suite()
+    return suites
+
+
+def all_benchmarks(include_scaling: bool = False) -> List[Benchmark]:
+    """All benchmarks, flattened (132 evaluation benchmarks by default)."""
+    collected: List[Benchmark] = []
+    for suite in benchmarks_by_suite(include_scaling).values():
+        collected.extend(suite)
+    return collected
+
+
+def get_benchmark(name: str, suite: Optional[str] = None) -> Benchmark:
+    """Look a benchmark up by name (optionally disambiguated by suite)."""
+    matches = [
+        benchmark
+        for benchmark in all_benchmarks(include_scaling=True)
+        if benchmark.name == name and (suite is None or benchmark.suite == suite)
+    ]
+    if not matches:
+        raise ReproError(f"unknown benchmark {name!r}")
+    return matches[0]

@@ -1,0 +1,77 @@
+"""Synthetic scaling benchmarks for Figures 2, 3 and 5.
+
+Figure 2 plots the time NaySL spends computing semi-linear sets against the
+number of nonterminals |N| for |E| in {1, 2, 3, 4}; Figures 3 and 5 plot the
+running time of NayHorn and NOPE against |E| for |N| in {1, 2, 3}.  The
+workload is the natural generalisation of the paper's running example: chain
+grammars whose terms all evaluate to multiples of ``length * x``
+(``Start ::= Plus(S1, Start) | 0``, ``S1 ::= Plus(S2, x)``, ...,
+``S_length ::= x``), with the specification ``f(x) = 2x + 2`` that such
+grammars cannot meet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.grammar import alphabet as alph
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.semantics.examples import Example, ExampleSet
+from repro.suites.base import Benchmark, make_benchmark, scaled_variable_spec
+
+SUITE = "Scaling"
+
+
+def chain_grammar(length: int, name: str = "chain") -> RegularTreeGrammar:
+    """The footnote-1 expansion of the running example with ``length`` links.
+
+    Terms of the grammar evaluate to ``k * length * x`` for ``k >= 0``; the
+    grammar has ``length + 2`` nonterminals (Start, S1..S_length, and a shared
+    nonterminal for the variable leaf).
+    """
+    start = Nonterminal("Start")
+    links = [Nonterminal(f"S{i}") for i in range(1, length + 1)]
+    variable_nt = Nonterminal("VX")
+    nonterminals = [start] + links + [variable_nt]
+
+    productions: List[Production] = [
+        Production(start, alph.plus(2), (links[0], start)),
+        Production(start, alph.num(0), ()),
+        Production(variable_nt, alph.var("x"), ()),
+    ]
+    for index, link in enumerate(links):
+        if index + 1 < len(links):
+            productions.append(
+                Production(link, alph.plus(2), (links[index + 1], variable_nt))
+            )
+        else:
+            productions.append(Production(link, alph.var("x"), ()))
+    return RegularTreeGrammar(nonterminals, start, productions, name=name)
+
+
+def example_set(size: int) -> ExampleSet:
+    """The example sets used for the scaling sweeps: x = 1, 2, 3, ..."""
+    return ExampleSet(Example.of({"x": value}) for value in range(1, size + 1))
+
+
+def scaling_benchmark(num_nonterminals: int) -> Benchmark:
+    """One scaling benchmark with approximately ``num_nonterminals`` nonterminals."""
+    length = max(1, num_nonterminals - 2)
+    grammar = chain_grammar(length, name=f"chain_{num_nonterminals}")
+    spec = scaled_variable_spec("x", 2, 2)
+    return make_benchmark(
+        f"chain_{num_nonterminals}",
+        SUITE,
+        grammar,
+        spec,
+        "LIA",
+        {"nonterminals": grammar.num_nonterminals},
+        witness_examples=example_set(1),
+    )
+
+
+def scaling_suite(sizes: Optional[List[int]] = None) -> List[Benchmark]:
+    """The grammars used for Fig. 2 (|N| sweep) and Figs. 3/5 (|E| sweep)."""
+    if sizes is None:
+        sizes = [3, 5, 8, 11, 14, 17, 20, 23, 26]
+    return [scaling_benchmark(size) for size in sizes]

@@ -1,0 +1,14 @@
+"""SyGuS problems (Def. 3.2), specifications, and SyGuS-IF input/output."""
+
+from repro.sygus.spec import Specification
+from repro.sygus.problem import SyGuSProblem
+from repro.sygus.parser import parse_sygus, parse_sygus_file
+from repro.sygus.printer import print_sygus
+
+__all__ = [
+    "Specification",
+    "SyGuSProblem",
+    "parse_sygus",
+    "parse_sygus_file",
+    "print_sygus",
+]

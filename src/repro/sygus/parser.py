@@ -1,0 +1,342 @@
+"""Parser for the SyGuS-IF concrete syntax (the subset used by the paper).
+
+The supported commands are ``set-logic``, ``synth-fun`` (with an explicit
+grammar), ``declare-var``, ``constraint`` and ``check-synth``, which covers
+the CLIA track benchmarks the evaluation uses.  The parser produces a
+:class:`~repro.sygus.problem.SyGuSProblem`:
+
+* the ``synth-fun`` grammar becomes a :class:`RegularTreeGrammar`; grammar
+  alternatives that are bare nonterminal references (e.g. ``Start ::= Exp``)
+  become productions over the identity symbol ``Pass``;
+* the conjunction of all ``constraint`` commands becomes the specification
+  formula, with every application ``(f x ...)`` replaced by the distinguished
+  output variable (single-invocation check included).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.grammar import alphabet as alph
+from repro.grammar.alphabet import Sort, Symbol
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.logic.formulas import (
+    Formula,
+    TRUE,
+    atom_eq,
+    atom_ge,
+    atom_gt,
+    atom_le,
+    atom_lt,
+    conjunction,
+    disjunction,
+    negation,
+)
+from repro.logic.terms import LinearExpression
+from repro.sygus.problem import SyGuSProblem
+from repro.sygus.sexpr import SExpr, parse_sexprs
+from repro.sygus.spec import OUTPUT_VARIABLE, Specification
+from repro.utils.errors import SyGuSParseError, UnsupportedFeatureError
+
+
+def parse_sygus_file(path: str, name: str | None = None) -> SyGuSProblem:
+    """Parse a ``.sl`` file into a SyGuS problem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_sygus(text, name=name or path)
+
+
+def parse_sygus(text: str, name: str = "problem") -> SyGuSProblem:
+    """Parse SyGuS-IF source text into a SyGuS problem."""
+    commands = parse_sexprs(text)
+    logic = "LIA"
+    function_name: str | None = None
+    argument_names: List[str] = []
+    grammar: RegularTreeGrammar | None = None
+    declared_vars: List[str] = []
+    constraints: List[Formula] = []
+
+    for command in commands:
+        if not isinstance(command, list) or not command:
+            raise SyGuSParseError(f"malformed command: {command!r}")
+        head = command[0]
+        if head == "set-logic":
+            logic = str(command[1])
+        elif head == "synth-fun":
+            function_name, argument_names, grammar = _parse_synth_fun(command)
+        elif head == "declare-var":
+            declared_vars.append(str(command[1]))
+        elif head == "constraint":
+            if function_name is None:
+                raise SyGuSParseError("constraint before synth-fun")
+            constraints.append(
+                _parse_constraint(command[1], function_name, argument_names)
+            )
+        elif head in ("check-synth", "set-options", "set-option"):
+            continue
+        else:
+            raise SyGuSParseError(f"unsupported SyGuS command {head!r}")
+
+    if grammar is None or function_name is None:
+        raise SyGuSParseError("input contains no synth-fun command")
+
+    variables = tuple(argument_names)
+    spec = Specification(
+        formula=conjunction(constraints) if constraints else TRUE,
+        variables=variables,
+        description=f"parsed from SyGuS-IF ({function_name})",
+    )
+    return SyGuSProblem(name=name, grammar=grammar, spec=spec, logic=logic)
+
+
+# ---------------------------------------------------------------------------
+# synth-fun / grammar parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_synth_fun(
+    command: Sequence[SExpr],
+) -> Tuple[str, List[str], RegularTreeGrammar]:
+    if len(command) < 5:
+        raise SyGuSParseError("synth-fun requires a grammar")
+    function_name = str(command[1])
+    arguments = command[2]
+    if not isinstance(arguments, list):
+        raise SyGuSParseError("malformed synth-fun argument list")
+    argument_names = []
+    for argument in arguments:
+        if not isinstance(argument, list) or len(argument) != 2:
+            raise SyGuSParseError(f"malformed synth-fun argument {argument!r}")
+        if str(argument[1]) != "Int":
+            raise UnsupportedFeatureError("only Int arguments are supported")
+        argument_names.append(str(argument[0]))
+
+    grammar_sexpr = command[4]
+    if not isinstance(grammar_sexpr, list):
+        raise SyGuSParseError("malformed grammar block")
+
+    # Newer SyGuS-IF versions wrap the grammar in a declaration list followed
+    # by the grouped rule list; older ones list the nonterminal groups
+    # directly.  Detect the newer form by the shape of the first entry.
+    groups = grammar_sexpr
+    if (
+        grammar_sexpr
+        and isinstance(grammar_sexpr[0], list)
+        and grammar_sexpr[0]
+        and isinstance(grammar_sexpr[0][0], list)
+    ):
+        groups = grammar_sexpr[0]
+
+    nonterminals: Dict[str, Nonterminal] = {}
+    for group in groups:
+        if not isinstance(group, list) or len(group) < 3:
+            raise SyGuSParseError(f"malformed grammar group {group!r}")
+        nt_name = str(group[0])
+        sort = Sort.INT if str(group[1]) == "Int" else Sort.BOOL
+        nonterminals[nt_name] = Nonterminal(nt_name, sort)
+
+    productions: List[Production] = []
+    auxiliary_productions: List[Production] = []
+    for group in groups:
+        nt_name = str(group[0])
+        lhs = nonterminals[nt_name]
+        alternatives = group[2]
+        if not isinstance(alternatives, list):
+            raise SyGuSParseError(f"malformed alternatives for {nt_name}")
+        for alternative in alternatives:
+            productions.extend(
+                _parse_alternative(
+                    lhs, alternative, argument_names, nonterminals, auxiliary_productions
+                )
+            )
+    productions.extend(auxiliary_productions)
+
+    start_name = str(groups[0][0])
+    grammar = RegularTreeGrammar(
+        list(nonterminals.values()),
+        nonterminals[start_name],
+        productions,
+        name=function_name,
+    )
+    return function_name, argument_names, grammar
+
+
+_COMPARISONS = {"<": "LessThan", "<=": "LessEq", ">": "GreaterThan", ">=": "GreaterEq", "=": "Equal"}
+
+
+def _parse_alternative(
+    lhs: Nonterminal,
+    alternative: SExpr,
+    argument_names: Sequence[str],
+    nonterminals: Dict[str, Nonterminal],
+    extra_productions: List[Production] | None = None,
+) -> List[Production]:
+    """Parse one grammar alternative into productions.
+
+    Operator arguments are usually nonterminals, but SyGuS-IF (and the
+    paper's own readable grammars, footnote 1) also allow variables and
+    literals in argument position, e.g. ``(+ x x x Start)``.  Such leaves are
+    desugared through auxiliary single-production nonterminals, collected in
+    ``extra_productions``.
+    """
+    if extra_productions is None:
+        extra_productions = []
+    if isinstance(alternative, int):
+        return [Production(lhs, alph.num(alternative), ())]
+    if isinstance(alternative, str):
+        if alternative in nonterminals:
+            target = nonterminals[alternative]
+            return [Production(lhs, alph.pass_through(target.sort), (target,))]
+        if alternative in argument_names:
+            return [Production(lhs, alph.var(alternative), ())]
+        if alternative == "true":
+            return [Production(lhs, alph.bool_const(True), ())]
+        if alternative == "false":
+            return [Production(lhs, alph.bool_const(False), ())]
+        raise SyGuSParseError(f"unknown grammar leaf {alternative!r}")
+    if not isinstance(alternative, list) or not alternative:
+        raise SyGuSParseError(f"malformed grammar alternative {alternative!r}")
+
+    head = str(alternative[0])
+    args = alternative[1:]
+
+    def leaf_nonterminal(arg: SExpr) -> Nonterminal:
+        """An auxiliary nonterminal deriving exactly the given leaf."""
+        if isinstance(arg, int):
+            name, symbol = f"__num_{arg}".replace("-", "m"), alph.num(arg)
+        elif arg in argument_names:
+            name, symbol = f"__var_{arg}", alph.var(str(arg))
+        elif arg in ("true", "false"):
+            value = arg == "true"
+            name, symbol = f"__bool_{arg}", alph.bool_const(value)
+        else:
+            raise SyGuSParseError(
+                f"grammar operator arguments must be nonterminals or leaves, got {arg!r}"
+            )
+        if name not in nonterminals:
+            nonterminals[name] = Nonterminal(name, symbol.result_sort)
+            extra_productions.append(Production(nonterminals[name], symbol, ()))
+        return nonterminals[name]
+
+    def nt_args() -> Tuple[Nonterminal, ...]:
+        resolved = []
+        for arg in args:
+            if isinstance(arg, str) and arg in nonterminals:
+                resolved.append(nonterminals[arg])
+            else:
+                resolved.append(leaf_nonterminal(arg))
+        return tuple(resolved)
+
+    if head == "+":
+        return [Production(lhs, alph.plus(len(args)), nt_args())]
+    if head == "-":
+        if len(args) == 1:
+            raise UnsupportedFeatureError("unary minus in grammars is not supported")
+        return [Production(lhs, alph.minus(), nt_args())]
+    if head == "ite":
+        return [Production(lhs, alph.if_then_else(), nt_args())]
+    if head == "and":
+        return [Production(lhs, alph.and_(), nt_args())]
+    if head == "or":
+        return [Production(lhs, alph.or_(), nt_args())]
+    if head == "not":
+        return [Production(lhs, alph.not_(), nt_args())]
+    if head in _COMPARISONS:
+        symbol_name = _COMPARISONS[head]
+        symbol = {
+            "LessThan": alph.less_than,
+            "LessEq": alph.less_eq,
+            "GreaterThan": alph.greater_than,
+            "GreaterEq": alph.greater_eq,
+            "Equal": alph.equal,
+        }[symbol_name]()
+        return [Production(lhs, symbol, nt_args())]
+    raise UnsupportedFeatureError(f"unsupported grammar operator {head!r}")
+
+
+# ---------------------------------------------------------------------------
+# Constraint parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_constraint(
+    sexpr: SExpr, function_name: str, argument_names: Sequence[str]
+) -> Formula:
+    return _parse_formula(sexpr, function_name, argument_names)
+
+
+def _parse_formula(
+    sexpr: SExpr, function_name: str, argument_names: Sequence[str]
+) -> Formula:
+    if isinstance(sexpr, str):
+        if sexpr == "true":
+            return TRUE
+        if sexpr == "false":
+            return negation(TRUE)
+        raise SyGuSParseError(f"expected a Boolean expression, got {sexpr!r}")
+    if not isinstance(sexpr, list) or not sexpr:
+        raise SyGuSParseError(f"malformed constraint {sexpr!r}")
+    head = str(sexpr[0])
+    if head == "and":
+        return conjunction(
+            [_parse_formula(arg, function_name, argument_names) for arg in sexpr[1:]]
+        )
+    if head == "or":
+        return disjunction(
+            [_parse_formula(arg, function_name, argument_names) for arg in sexpr[1:]]
+        )
+    if head == "not":
+        return negation(_parse_formula(sexpr[1], function_name, argument_names))
+    if head == "=>":
+        antecedent = _parse_formula(sexpr[1], function_name, argument_names)
+        consequent = _parse_formula(sexpr[2], function_name, argument_names)
+        return disjunction([negation(antecedent), consequent])
+    if head in ("<", "<=", ">", ">=", "="):
+        left = _parse_term(sexpr[1], function_name, argument_names)
+        right = _parse_term(sexpr[2], function_name, argument_names)
+        builders = {"<": atom_lt, "<=": atom_le, ">": atom_gt, ">=": atom_ge, "=": atom_eq}
+        return builders[head](left, right)
+    raise SyGuSParseError(f"unsupported constraint operator {head!r}")
+
+
+def _parse_term(
+    sexpr: SExpr, function_name: str, argument_names: Sequence[str]
+) -> LinearExpression:
+    if isinstance(sexpr, int):
+        return LinearExpression.constant_expr(sexpr)
+    if isinstance(sexpr, str):
+        if sexpr in argument_names:
+            return LinearExpression.variable(sexpr)
+        raise SyGuSParseError(f"unknown variable {sexpr!r} in constraint")
+    if not isinstance(sexpr, list) or not sexpr:
+        raise SyGuSParseError(f"malformed term {sexpr!r}")
+    head = str(sexpr[0])
+    if head == function_name:
+        supplied = [str(arg) for arg in sexpr[1:]]
+        if supplied != list(argument_names):
+            raise UnsupportedFeatureError(
+                "only single-invocation problems are supported: the synthesized "
+                "function must be applied exactly to its declared arguments"
+            )
+        return LinearExpression.variable(OUTPUT_VARIABLE)
+    if head == "+":
+        result = _parse_term(sexpr[1], function_name, argument_names)
+        for arg in sexpr[2:]:
+            result = result + _parse_term(arg, function_name, argument_names)
+        return result
+    if head == "-":
+        if len(sexpr) == 2:
+            return -_parse_term(sexpr[1], function_name, argument_names)
+        result = _parse_term(sexpr[1], function_name, argument_names)
+        for arg in sexpr[2:]:
+            result = result - _parse_term(arg, function_name, argument_names)
+        return result
+    if head == "*":
+        left = _parse_term(sexpr[1], function_name, argument_names)
+        right = _parse_term(sexpr[2], function_name, argument_names)
+        if left.is_constant():
+            return right.scale(left.constant)
+        if right.is_constant():
+            return left.scale(right.constant)
+        raise UnsupportedFeatureError("nonlinear constraints are outside LIA")
+    raise SyGuSParseError(f"unsupported term operator {head!r}")

@@ -1,0 +1,86 @@
+"""A small s-expression reader/writer for the SyGuS-IF concrete syntax.
+
+The SyGuS interchange format is a Lisp-like syntax layered over SMT-LIB.  The
+reader produces nested Python lists of strings/ints; the writer does the
+reverse.  Comments start with ``;`` and run to the end of the line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+from repro.utils.errors import SyGuSParseError
+
+SExpr = Union[str, int, List["SExpr"]]
+
+
+def tokenize(text: str) -> Iterator[str]:
+    """Yield parentheses and atoms from SyGuS-IF source text."""
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            yield ch
+            i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            while j < length and text[j] != '"':
+                j += 1
+            if j >= length:
+                raise SyGuSParseError("unterminated string literal")
+            yield text[i : j + 1]
+            i = j + 1
+        else:
+            j = i
+            while j < length and not text[j].isspace() and text[j] not in "();":
+                j += 1
+            yield text[i:j]
+            i = j
+
+
+def parse_sexprs(text: str) -> List[SExpr]:
+    """Parse source text into a list of top-level s-expressions."""
+    tokens = list(tokenize(text))
+    position = 0
+    expressions: List[SExpr] = []
+
+    def parse_one() -> SExpr:
+        nonlocal position
+        if position >= len(tokens):
+            raise SyGuSParseError("unexpected end of input")
+        token = tokens[position]
+        position += 1
+        if token == "(":
+            items: List[SExpr] = []
+            while position < len(tokens) and tokens[position] != ")":
+                items.append(parse_one())
+            if position >= len(tokens):
+                raise SyGuSParseError("missing closing parenthesis")
+            position += 1
+            return items
+        if token == ")":
+            raise SyGuSParseError("unexpected closing parenthesis")
+        return _atom(token)
+
+    while position < len(tokens):
+        expressions.append(parse_one())
+    return expressions
+
+
+def _atom(token: str) -> SExpr:
+    if token.lstrip("-").isdigit() and token not in ("-",):
+        return int(token)
+    return token
+
+
+def write_sexpr(expression: SExpr) -> str:
+    """Render one s-expression back to concrete syntax."""
+    if isinstance(expression, list):
+        return "(" + " ".join(write_sexpr(item) for item in expression) + ")"
+    return str(expression)

@@ -1,0 +1,73 @@
+"""Behavioural specifications ``psi(f, x)`` of single-invocation SyGuS problems.
+
+A :class:`Specification` is a QF-LIA formula over the problem's input
+variables and one distinguished *output variable* standing for ``f(x)``.
+Because the paper restricts attention to single-invocation problems
+(footnote 5), this representation is fully general for our purposes.
+
+The two operations the rest of the system needs are:
+
+* :meth:`Specification.instantiate` — plug in a concrete input example and a
+  symbolic output expression, yielding ``psi(o_j, i_j)`` as used in
+  Thm. 4.5's property ``P`` and in Alg. 1 line 3;
+* :meth:`Specification.holds_on_example` — evaluate the specification on a
+  concrete input/output pair (used by the CEGIS loop, the brute-force test
+  oracles, and the enumerative synthesizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+from repro.logic.formulas import Formula
+from repro.logic.terms import LinearExpression
+from repro.semantics.examples import Example
+
+
+#: Default name of the distinguished output variable inside spec formulas.
+OUTPUT_VARIABLE = "__out"
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A single-invocation specification ``psi(f(x), x)``.
+
+    ``formula`` mentions the input variables by name and the function's
+    output through ``output_variable``.
+    """
+
+    formula: Formula
+    variables: Tuple[str, ...]
+    output_variable: str = OUTPUT_VARIABLE
+    description: str = ""
+
+    def instantiate(
+        self, example: Example, output: LinearExpression
+    ) -> Formula:
+        """``psi(output, example)``: fix inputs to the example's constants."""
+        substitution = {
+            name: LinearExpression.constant_expr(example.value(name))
+            for name in self.variables
+        }
+        substitution[self.output_variable] = output
+        return self.formula.substitute(substitution)
+
+    def instantiate_symbolic(
+        self,
+        inputs: Mapping[str, LinearExpression],
+        output: LinearExpression,
+    ) -> Formula:
+        """``psi(output, inputs)`` with symbolic inputs (used by the verifier)."""
+        substitution = dict(inputs)
+        substitution[self.output_variable] = output
+        return self.formula.substitute(substitution)
+
+    def holds_on_example(self, example: Example, output_value: int) -> bool:
+        """Evaluate the specification on a concrete input/output pair."""
+        assignment = dict(example.as_dict())
+        assignment[self.output_variable] = int(output_value)
+        return self.formula.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return self.description or str(self.formula)

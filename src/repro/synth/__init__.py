@@ -1,0 +1,18 @@
+"""Synthesis-side components of the CEGIS loop (Alg. 2).
+
+* :mod:`repro.synth.enumerator` — a bottom-up enumerative synthesizer with
+  observational-equivalence pruning, standing in for ESolver;
+* :mod:`repro.synth.verifier` — an SMT-backed verifier that checks a
+  candidate term against the full specification and produces counterexample
+  inputs, standing in for CVC4.
+"""
+
+from repro.synth.enumerator import EnumerativeSynthesizer, SynthesisOutcome
+from repro.synth.verifier import Verifier, VerificationResult
+
+__all__ = [
+    "EnumerativeSynthesizer",
+    "SynthesisOutcome",
+    "Verifier",
+    "VerificationResult",
+]

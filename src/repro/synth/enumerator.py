@@ -1,0 +1,163 @@
+"""A bottom-up enumerative SyGuS synthesizer (the ESolver substitute).
+
+The synthesizer enumerates terms derivable from each nonterminal in order of
+increasing size and keeps, per nonterminal, only one representative for every
+observed output vector on the current example set (observational-equivalence
+pruning).  It returns the smallest term (if any, within the size budget) that
+satisfies the specification on every example — exactly the role ESolver plays
+inside NAY's CEGIS loop (Alg. 2, thread 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.grammar.alphabet import Sort
+from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
+from repro.grammar.terms import Term
+from repro.semantics.evaluator import evaluate
+from repro.semantics.examples import ExampleSet
+from repro.sygus.problem import SyGuSProblem
+from repro.utils.errors import SemanticsError
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class SynthesisOutcome:
+    """Result of one enumerative synthesis call."""
+
+    solution: Optional[Term]
+    explored_terms: int
+    elapsed_seconds: float
+    exhausted: bool = False
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.solution is not None
+
+
+class EnumerativeSynthesizer:
+    """Bottom-up enumeration with observational-equivalence pruning."""
+
+    def __init__(
+        self,
+        max_size: int = 12,
+        max_terms: int = 200_000,
+        timeout_seconds: Optional[float] = None,
+    ):
+        self.max_size = max_size
+        self.max_terms = max_terms
+        self.timeout_seconds = timeout_seconds
+
+    def synthesize(
+        self, problem: SyGuSProblem, examples: ExampleSet
+    ) -> SynthesisOutcome:
+        """Find a term of the grammar consistent with the examples, if any."""
+        stopwatch = Stopwatch(self.timeout_seconds)
+        grammar = problem.grammar
+        if len(examples) == 0:
+            # Any productive term works; enumerate the first one.
+            for term in grammar.generate(max_size=self.max_size, limit=1):
+                return SynthesisOutcome(term, 1, stopwatch.elapsed())
+            return SynthesisOutcome(None, 0, stopwatch.elapsed(), exhausted=True)
+
+        # terms_by[nonterminal][size] = list of (term, signature)
+        terms_by: Dict[Nonterminal, Dict[int, List[Tuple[Term, tuple]]]] = {
+            nt: {} for nt in grammar.nonterminals
+        }
+        seen_signatures: Dict[Nonterminal, set] = {nt: set() for nt in grammar.nonterminals}
+        explored = 0
+
+        for size in range(1, self.max_size + 1):
+            for nonterminal in grammar.nonterminals:
+                new_terms: List[Tuple[Term, tuple]] = []
+                for production in grammar.productions_of(nonterminal):
+                    arity = production.symbol.arity
+                    if arity == 0:
+                        if size != 1:
+                            continue
+                        candidates: List[Tuple[Term, ...]] = [()]
+                        child_lists: List[List[Tuple[Term, tuple]]] = []
+                        self._emit(
+                            production.symbol,
+                            [()],
+                            new_terms,
+                            examples,
+                        )
+                        continue
+                    remaining = size - 1
+                    if remaining < arity:
+                        continue
+                    for split in _compositions(remaining, arity):
+                        child_choices = []
+                        feasible = True
+                        for child_nt, child_size in zip(production.args, split):
+                            available = terms_by[child_nt].get(child_size, [])
+                            if not available:
+                                feasible = False
+                                break
+                            child_choices.append(available)
+                        if not feasible:
+                            continue
+                        combos = [()]
+                        for choices in child_choices:
+                            combos = [
+                                existing + (choice[0],)
+                                for existing in combos
+                                for choice in choices
+                            ]
+                        self._emit(production.symbol, combos, new_terms, examples)
+                # Observational-equivalence pruning per nonterminal.
+                kept: List[Tuple[Term, tuple]] = []
+                for term, signature in new_terms:
+                    if signature in seen_signatures[nonterminal]:
+                        continue
+                    seen_signatures[nonterminal].add(signature)
+                    kept.append((term, signature))
+                    explored += 1
+                terms_by[nonterminal][size] = kept
+
+                if nonterminal == grammar.start:
+                    for term, _signature in kept:
+                        if term.sort != Sort.INT:
+                            continue
+                        if problem.satisfies_examples(term, examples):
+                            return SynthesisOutcome(term, explored, stopwatch.elapsed())
+
+                if explored > self.max_terms or stopwatch.expired():
+                    return SynthesisOutcome(
+                        None,
+                        explored,
+                        stopwatch.elapsed(),
+                        exhausted=False,
+                        details={"reason": "budget"},
+                    )
+        return SynthesisOutcome(None, explored, stopwatch.elapsed(), exhausted=True)
+
+    def _emit(
+        self,
+        symbol,
+        child_tuples: List[Tuple[Term, ...]],
+        sink: List[Tuple[Term, tuple]],
+        examples: ExampleSet,
+    ) -> None:
+        for children in child_tuples:
+            term = Term(symbol, tuple(children))
+            try:
+                signature = tuple(evaluate(term, examples))
+            except SemanticsError:
+                continue
+            sink.append((term, signature))
+
+
+def _compositions(total: int, parts: int):
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest

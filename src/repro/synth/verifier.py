@@ -1,0 +1,56 @@
+"""The CEGIS verifier (the CVC4 substitute).
+
+Given a candidate term ``e`` and the full specification ``psi``, the verifier
+asks the QF-LIA solver whether some input makes ``psi([[e]](x), x)`` false.
+If so, that input is returned as the next counterexample of the CEGIS loop
+(Alg. 2, line 6); otherwise the candidate is a genuine solution of the SyGuS
+problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.grammar.terms import Term
+from repro.logic.encoding import compile_integer_term
+from repro.logic.formulas import conjunction, negation
+from repro.logic.solver import check_sat
+from repro.logic.terms import LinearExpression
+from repro.semantics.examples import Example
+from repro.sygus.problem import SyGuSProblem
+
+
+@dataclass
+class VerificationResult:
+    """Either "the candidate is correct" or a counterexample input."""
+
+    is_valid: bool
+    counterexample: Optional[Example] = None
+
+
+class Verifier:
+    """SMT-backed verification of candidate terms against the specification."""
+
+    def verify(self, problem: SyGuSProblem, candidate: Term) -> VerificationResult:
+        """Check ``forall x. psi([[candidate]](x), x)``."""
+        inputs = {
+            name: LinearExpression.variable(name) for name in problem.variables
+        }
+        cases = compile_integer_term(candidate, inputs)
+        # The candidate violates the spec iff some case guard holds and the
+        # case's value fails the spec.
+        violations = []
+        for guard, expression in cases:
+            spec_holds = problem.spec.instantiate_symbolic(inputs, expression)
+            violations.append(conjunction([guard, negation(spec_holds)]))
+        from repro.logic.formulas import disjunction
+
+        result = check_sat(disjunction(violations))
+        if result.is_unsat:
+            return VerificationResult(True, None)
+        model = result.model or {}
+        counterexample = Example.of(
+            {name: model.get(name, 0) for name in problem.variables}
+        )
+        return VerificationResult(False, counterexample)

@@ -1,0 +1,32 @@
+"""Unrealizability checking: the paper's core contribution.
+
+* :mod:`repro.unreal.result` — verdict types;
+* :mod:`repro.unreal.check` — Alg. 1 (CheckUnrealizable) over any abstraction;
+* :mod:`repro.unreal.lia` — the exact decision procedure for LIA grammars (§5);
+* :mod:`repro.unreal.clia` — the exact decision procedure for CLIA grammars
+  (§6: SolveBool, SolveMutual, RemIf);
+* :mod:`repro.unreal.approximate` — the sound, incomplete abstract-domain
+  instantiation (§4.3) used by the NayHorn/NOPE substitutes;
+* :mod:`repro.unreal.cegis` — Alg. 2, the CEGIS loop with random examples.
+"""
+
+from repro.unreal.result import Verdict, CheckResult, CegisResult
+from repro.unreal.check import check_unrealizable
+from repro.unreal.lia import solve_lia_gfa, check_lia_examples
+from repro.unreal.clia import solve_clia_gfa, check_clia_examples
+from repro.unreal.approximate import check_examples_abstract
+from repro.unreal.cegis import NaySolver, NayConfig
+
+__all__ = [
+    "Verdict",
+    "CheckResult",
+    "CegisResult",
+    "check_unrealizable",
+    "solve_lia_gfa",
+    "check_lia_examples",
+    "solve_clia_gfa",
+    "check_clia_examples",
+    "check_examples_abstract",
+    "NaySolver",
+    "NayConfig",
+]

@@ -1,0 +1,232 @@
+"""The approximate instantiation of the framework (§4.3).
+
+The paper's generic recipe for arbitrary SyGuS problems is: pick any abstract
+domain, solve the GFA equations with Kleene iteration (adding a widening
+operator when the domain has infinite ascending chains), and run Alg. 1's
+final check.  The result is sound but incomplete — ``UNREALIZABLE`` answers
+are trustworthy, everything else is ``UNKNOWN``.
+
+This module instantiates that recipe with the reduced product of intervals
+and congruences per example component (:mod:`repro.domains.numeric`) for
+integer nonterminals and exact Boolean-vector sets for Boolean nonterminals.
+It is the engine behind the NayHorn and NOPE substitutes
+(:mod:`repro.baselines`): Spacer-style constrained-Horn-clause solving is not
+available offline, and DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.numeric import Interval, Congruence, ProductValue
+from repro.grammar.alphabet import Sort
+from repro.grammar.analysis import productive_nonterminals
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.transforms import normalize_for_gfa
+from repro.semantics.examples import ExampleSet
+from repro.sygus.problem import SyGuSProblem
+from repro.unreal.check import check_unrealizable
+from repro.unreal.result import CheckResult, Verdict
+from repro.utils.errors import SemanticsError, SolverLimitError
+from repro.utils.vectors import BoolVector, IntVector
+
+AbstractValue = Union[ProductValue, BoolVectorSet]
+
+
+@dataclass
+class AbstractSolution:
+    """Fixpoint of the approximate GFA problem."""
+
+    start_value: ProductValue
+    values: Dict[Nonterminal, AbstractValue]
+    iterations: int
+    solve_seconds: float
+
+
+def solve_abstract_gfa(
+    grammar: RegularTreeGrammar,
+    examples: ExampleSet,
+    widening_delay: int = 6,
+    max_iterations: int = 500,
+) -> AbstractSolution:
+    """Kleene iteration with widening over the product domain."""
+    normalized = normalize_for_gfa(grammar)
+    dimension = len(examples)
+    values: Dict[Nonterminal, AbstractValue] = {}
+    for nonterminal in normalized.nonterminals:
+        if nonterminal.sort == Sort.BOOL:
+            values[nonterminal] = BoolVectorSet.empty(dimension)
+        else:
+            values[nonterminal] = ProductValue.bottom(dimension)
+
+    start_time = time.monotonic()
+    for iteration in range(1, max_iterations + 1):
+        updated: Dict[Nonterminal, AbstractValue] = {}
+        for nonterminal in normalized.nonterminals:
+            accumulated = values[nonterminal]
+            for production in normalized.productions_of(nonterminal):
+                result = _apply_production(production, values, examples)
+                accumulated = _join(accumulated, result)
+            if iteration > widening_delay and isinstance(accumulated, ProductValue):
+                accumulated = values[nonterminal].widen(accumulated)  # type: ignore[union-attr]
+            updated[nonterminal] = accumulated
+        if all(_equal(updated[nt], values[nt]) for nt in normalized.nonterminals):
+            elapsed = time.monotonic() - start_time
+            start_value = updated[normalized.start]
+            if not isinstance(start_value, ProductValue):
+                raise SemanticsError("the start nonterminal must be integer-sorted")
+            return AbstractSolution(start_value, updated, iteration, elapsed)
+        values = updated
+    raise SolverLimitError("abstract Kleene iteration did not converge")
+
+
+def check_examples_abstract(
+    problem: SyGuSProblem,
+    examples: ExampleSet,
+) -> CheckResult:
+    """Alg. 1 with the approximate domain: sound, never claims REALIZABLE."""
+    if len(examples) == 0:
+        productive = productive_nonterminals(problem.grammar)
+        verdict = (
+            Verdict.UNKNOWN
+            if problem.grammar.start in productive
+            else Verdict.UNREALIZABLE
+        )
+        return CheckResult(verdict=verdict, examples=examples)
+    solution = solve_abstract_gfa(problem.grammar, examples)
+    result = check_unrealizable(
+        solution.start_value,
+        problem.spec,
+        examples,
+        exact=False,
+    )
+    result.details["iterations"] = solution.iterations
+    result.details["gfa_seconds"] = solution.solve_seconds
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Abstract transformers over the product domain
+# ---------------------------------------------------------------------------
+
+
+def _apply_production(
+    production: Production,
+    values: Dict[Nonterminal, AbstractValue],
+    examples: ExampleSet,
+) -> AbstractValue:
+    name = production.symbol.name
+    payload = production.symbol.payload
+    dimension = len(examples)
+    args = [values[arg] for arg in production.args]
+
+    if name == "Num":
+        return ProductValue.constant(IntVector.constant(int(payload), dimension))
+    if name == "Var":
+        return ProductValue.constant(examples.projection(str(payload)))
+    if name == "NegVar":
+        return ProductValue.constant(-examples.projection(str(payload)))
+    if name == "BoolConst":
+        return BoolVectorSet.singleton(BoolVector.constant(bool(payload), dimension))
+    if name == "Pass":
+        return args[0]
+    if name == "Plus":
+        result = args[0]
+        for arg in args[1:]:
+            result = result.add(arg)  # type: ignore[union-attr]
+        return result
+    if name == "IfThenElse":
+        guards, then_value, else_value = args
+        assert isinstance(guards, BoolVectorSet)
+        assert isinstance(then_value, ProductValue) and isinstance(else_value, ProductValue)
+        result = ProductValue.bottom(dimension)
+        for guard in guards:
+            result = result.join(then_value.select(guard, else_value))
+        return result
+    if name == "And":
+        return args[0].conjoin(args[1])  # type: ignore[union-attr]
+    if name == "Or":
+        return args[0].disjoin(args[1])  # type: ignore[union-attr]
+    if name == "Not":
+        return args[0].negate()  # type: ignore[union-attr]
+    if name in ("LessThan", "LessEq", "GreaterThan", "GreaterEq", "Equal"):
+        left, right = args
+        assert isinstance(left, ProductValue) and isinstance(right, ProductValue)
+        return _abstract_comparison(name, left, right, dimension)
+    raise SemanticsError(f"no approximate transformer for operator {name}")
+
+
+def _abstract_comparison(
+    name: str, left: ProductValue, right: ProductValue, dimension: int
+) -> BoolVectorSet:
+    """Which truth-value vectors can the comparison take?  (interval reasoning)"""
+    if left.is_empty() or right.is_empty():
+        return BoolVectorSet.empty(dimension)
+    per_component = []
+    for index in range(dimension):
+        per_component.append(
+            _component_truth_values(
+                name, left.intervals[index], right.intervals[index]
+            )
+        )
+    vectors = [BoolVector(())] if dimension == 0 else None
+    results = [[]]
+    for component in per_component:
+        results = [prefix + [value] for prefix in results for value in component]
+    return BoolVectorSet([BoolVector(bits) for bits in results], dimension)
+
+
+def _component_truth_values(name: str, left: Interval, right: Interval) -> list:
+    """Possible truth values of ``left <cmp> right`` from interval bounds."""
+    def lower(interval: Interval) -> float:
+        return float("-inf") if interval.low is None else interval.low
+
+    def upper(interval: Interval) -> float:
+        return float("inf") if interval.high is None else interval.high
+
+    outcomes = set()
+    if name == "LessThan":
+        if lower(left) < upper(right):
+            outcomes.add(True)
+        if upper(left) >= lower(right):
+            outcomes.add(False)
+    elif name == "LessEq":
+        if lower(left) <= upper(right):
+            outcomes.add(True)
+        if upper(left) > lower(right):
+            outcomes.add(False)
+    elif name == "GreaterThan":
+        if upper(left) > lower(right):
+            outcomes.add(True)
+        if lower(left) <= upper(right):
+            outcomes.add(False)
+    elif name == "GreaterEq":
+        if upper(left) >= lower(right):
+            outcomes.add(True)
+        if lower(left) < upper(right):
+            outcomes.add(False)
+    else:  # Equal
+        if lower(left) <= upper(right) and lower(right) <= upper(left):
+            outcomes.add(True)
+        if not (
+            lower(left) == upper(left) == lower(right) == upper(right)
+        ):
+            outcomes.add(False)
+    return sorted(outcomes)
+
+
+def _join(left: AbstractValue, right: AbstractValue) -> AbstractValue:
+    if isinstance(left, ProductValue) and isinstance(right, ProductValue):
+        return left.join(right)
+    if isinstance(left, BoolVectorSet) and isinstance(right, BoolVectorSet):
+        return left.combine(right)
+    raise SemanticsError("cannot join values of different sorts")
+
+
+def _equal(left: AbstractValue, right: AbstractValue) -> bool:
+    if isinstance(left, ProductValue) and isinstance(right, ProductValue):
+        return left.leq(right) and right.leq(left)
+    return left == right

@@ -1,0 +1,61 @@
+"""Verdict and result types returned by the unrealizability checkers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.grammar.terms import Term
+from repro.semantics.examples import ExampleSet
+
+
+class Verdict(enum.Enum):
+    """The three-valued answer of Alg. 1.
+
+    ``UNREALIZABLE`` and ``REALIZABLE`` are definitive for exact abstractions
+    (Thm. 4.5(2)); approximate abstractions can only ever return
+    ``UNREALIZABLE`` or ``UNKNOWN`` (Thm. 4.5(1)).
+    """
+
+    UNREALIZABLE = "unrealizable"
+    REALIZABLE = "realizable"
+    UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one unrealizability check over a fixed example set."""
+
+    verdict: Verdict
+    examples: ExampleSet
+    elapsed_seconds: float = 0.0
+    abstraction_size: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_unrealizable(self) -> bool:
+        return self.verdict == Verdict.UNREALIZABLE
+
+
+@dataclass
+class CegisResult:
+    """Outcome of the full CEGIS loop (Alg. 2).
+
+    ``solution`` is populated when the problem is realizable and the
+    enumerative synthesizer found a witness term; ``examples`` is the final
+    example set (the one that proves unrealizability, when applicable).
+    """
+
+    verdict: Verdict
+    examples: ExampleSet
+    solution: Optional[Term] = None
+    iterations: int = 0
+    elapsed_seconds: float = 0.0
+    num_examples: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_unrealizable(self) -> bool:
+        return self.verdict == Verdict.UNREALIZABLE

@@ -1,0 +1,26 @@
+"""Small shared utilities: integer vectors, errors, timing helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    GrammarError,
+    SemanticsError,
+    SolverError,
+    SolverLimitError,
+    SyGuSParseError,
+    UnsupportedFeatureError,
+)
+from repro.utils.vectors import IntVector, BoolVector
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "ReproError",
+    "GrammarError",
+    "SemanticsError",
+    "SolverError",
+    "SolverLimitError",
+    "SyGuSParseError",
+    "UnsupportedFeatureError",
+    "IntVector",
+    "BoolVector",
+    "Stopwatch",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch a single exception type at API boundaries while tests can
+assert on the more specific subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GrammarError(ReproError):
+    """Raised for malformed regular tree grammars or invalid productions."""
+
+
+class SemanticsError(ReproError):
+    """Raised when a term cannot be evaluated under the requested semantics."""
+
+
+class SolverError(ReproError):
+    """Raised when the logic substrate is given an ill-formed problem."""
+
+
+class SolverLimitError(SolverError):
+    """Raised when the logic substrate exceeds its configured resource limits.
+
+    The branch-and-bound integer feasibility procedure is complete on the
+    formula shapes produced by this library, but it is guarded by a node
+    budget so that a pathological query fails loudly instead of hanging.
+    """
+
+
+class SyGuSParseError(ReproError):
+    """Raised when a SyGuS-IF input cannot be parsed."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when a SyGuS problem uses a feature outside LIA/CLIA."""

@@ -1,0 +1,77 @@
+"""Timing helpers used by the CEGIS loop and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """A simple monotonic stopwatch with an optional deadline.
+
+    The CEGIS loop (Alg. 2) and the experiment harness give each solver call a
+    per-call timeout; a :class:`Stopwatch` instance is threaded through the
+    solvers so they can abandon work when the deadline passes.
+    """
+
+    def __init__(self, timeout_seconds: Optional[float] = None):
+        self._start = time.monotonic()
+        self._timeout = timeout_seconds
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since the stopwatch was created."""
+        return time.monotonic() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline, or None if no deadline is set."""
+        if self._timeout is None:
+            return None
+        return self._timeout - self.elapsed()
+
+    def expired(self) -> bool:
+        """True when a deadline is configured and has passed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+
+@dataclass
+class TimingBreakdown:
+    """Named accumulators for profiling where a solver spends its time.
+
+    §8.1 reports, e.g., that computing semi-linear sets takes 70.6% of NaySL's
+    running time; the experiment harness reproduces those percentages using
+    this breakdown.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, seconds: float) -> None:
+        self.totals[label] = self.totals.get(label, 0.0) + seconds
+
+    def fraction(self, label: str) -> float:
+        """Return the fraction of total recorded time spent under ``label``."""
+        total = sum(self.totals.values())
+        if total == 0.0:
+            return 0.0
+        return self.totals.get(label, 0.0) / total
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        for label, seconds in other.totals.items():
+            self.add(label, seconds)
+
+
+class timed:
+    """Context manager recording a block's duration into a TimingBreakdown."""
+
+    def __init__(self, breakdown: TimingBreakdown, label: str):
+        self._breakdown = breakdown
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "timed":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._breakdown.add(self._label, time.monotonic() - self._start)

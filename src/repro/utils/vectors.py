@@ -1,0 +1,164 @@
+"""Immutable integer and Boolean vectors used throughout the library.
+
+The paper works with vectors indexed by the current example set ``E``: an LIA
+term evaluates to an integer vector in Z^|E| and a Boolean term evaluates to a
+Boolean vector in B^|E| (Def. 3.4, §6.1).  These classes wrap plain tuples so
+that vectors are hashable (needed as dictionary keys and in sets of Boolean
+vectors) and so that the component-wise operations used by the concrete and
+abstract semantics live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+
+class IntVector:
+    """An immutable vector of Python integers with component-wise arithmetic."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[int]):
+        self._values: Tuple[int, ...] = tuple(int(v) for v in values)
+
+    @staticmethod
+    def constant(value: int, dimension: int) -> "IntVector":
+        """Return the vector ``(value, ..., value)`` of the given dimension."""
+        return IntVector([value] * dimension)
+
+    @staticmethod
+    def zero(dimension: int) -> "IntVector":
+        """Return the all-zero vector of the given dimension."""
+        return IntVector.constant(0, dimension)
+
+    @property
+    def dimension(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> int:
+        return self._values[index]
+
+    def __add__(self, other: "IntVector") -> "IntVector":
+        self._check_dimension(other)
+        return IntVector(a + b for a, b in zip(self._values, other._values))
+
+    def __sub__(self, other: "IntVector") -> "IntVector":
+        self._check_dimension(other)
+        return IntVector(a - b for a, b in zip(self._values, other._values))
+
+    def __neg__(self) -> "IntVector":
+        return IntVector(-a for a in self._values)
+
+    def scale(self, factor: int) -> "IntVector":
+        """Return the vector multiplied component-wise by an integer factor."""
+        return IntVector(factor * a for a in self._values)
+
+    def is_zero(self) -> bool:
+        return all(a == 0 for a in self._values)
+
+    def mask(self, keep: "BoolVector") -> "IntVector":
+        """Zero out the components where ``keep`` is false (proj_Z, §6.1)."""
+        if len(keep) != len(self._values):
+            raise ValueError("mask dimension mismatch")
+        return IntVector(a if b else 0 for a, b in zip(self._values, keep))
+
+    def less_than(self, other: "IntVector") -> "BoolVector":
+        """Component-wise strict comparison, as used by LessThan (§6.1)."""
+        self._check_dimension(other)
+        return BoolVector(a < b for a, b in zip(self._values, other._values))
+
+    def _check_dimension(self, other: "IntVector") -> None:
+        if len(other._values) != len(self._values):
+            raise ValueError(
+                f"dimension mismatch: {len(self._values)} vs {len(other._values)}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntVector) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(("IntVector", self._values))
+
+    def __repr__(self) -> str:
+        return f"IntVector{self._values}"
+
+
+class BoolVector:
+    """An immutable vector of booleans with component-wise connectives."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[bool]):
+        self._values: Tuple[bool, ...] = tuple(bool(v) for v in values)
+
+    @staticmethod
+    def constant(value: bool, dimension: int) -> "BoolVector":
+        return BoolVector([value] * dimension)
+
+    @staticmethod
+    def all_true(dimension: int) -> "BoolVector":
+        return BoolVector.constant(True, dimension)
+
+    @staticmethod
+    def all_false(dimension: int) -> "BoolVector":
+        return BoolVector.constant(False, dimension)
+
+    @staticmethod
+    def enumerate_all(dimension: int) -> Iterator["BoolVector"]:
+        """Yield all 2^dimension Boolean vectors in a deterministic order."""
+        for bits in range(1 << dimension):
+            yield BoolVector(bool((bits >> i) & 1) for i in range(dimension))
+
+    @property
+    def dimension(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Tuple[bool, ...]:
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> bool:
+        return self._values[index]
+
+    def __invert__(self) -> "BoolVector":
+        return BoolVector(not a for a in self._values)
+
+    def __and__(self, other: "BoolVector") -> "BoolVector":
+        self._check_dimension(other)
+        return BoolVector(a and b for a, b in zip(self._values, other._values))
+
+    def __or__(self, other: "BoolVector") -> "BoolVector":
+        self._check_dimension(other)
+        return BoolVector(a or b for a, b in zip(self._values, other._values))
+
+    def _check_dimension(self, other: "BoolVector") -> None:
+        if len(other._values) != len(self._values):
+            raise ValueError(
+                f"dimension mismatch: {len(self._values)} vs {len(other._values)}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolVector) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(("BoolVector", self._values))
+
+    def __repr__(self) -> str:
+        pretty = ", ".join("t" if v else "f" for v in self._values)
+        return f"BoolVector({pretty})"

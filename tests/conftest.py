@@ -1,0 +1,100 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.grammar import alphabet as alph
+from repro.grammar.alphabet import Sort
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.terms import Term
+from repro.semantics.examples import ExampleSet
+from repro.suites.base import scaled_variable_spec
+from repro.sygus.problem import SyGuSProblem
+
+
+def brute_force_witness(
+    problem: SyGuSProblem, examples: ExampleSet, max_size: int = 8
+) -> Optional[Term]:
+    """Exhaustively search for a term consistent with the examples.
+
+    This is the ground-truth oracle used to validate unrealizability verdicts:
+    if a checker claims UNREALIZABLE, no term up to ``max_size`` may satisfy
+    the specification on the examples.
+    """
+    for term in problem.grammar.generate(max_size=max_size):
+        if term.sort != Sort.INT:
+            continue
+        if problem.satisfies_examples(term, examples):
+            return term
+    return None
+
+
+@pytest.fixture
+def running_example_grammar() -> RegularTreeGrammar:
+    """The paper's running-example grammar G1 (every term is 3kx)."""
+    start = Nonterminal("Start")
+    s1 = Nonterminal("S1")
+    s2 = Nonterminal("S2")
+    s3 = Nonterminal("S3")
+    productions = [
+        Production(start, alph.plus(2), (s1, start)),
+        Production(start, alph.num(0), ()),
+        Production(s1, alph.plus(2), (s2, s3)),
+        Production(s2, alph.plus(2), (s3, s3)),
+        Production(s3, alph.var("x"), ()),
+    ]
+    return RegularTreeGrammar([start, s1, s2, s3], start, productions, name="G1")
+
+
+@pytest.fixture
+def running_example_problem(running_example_grammar) -> SyGuSProblem:
+    """The running example sy = (f(x) = 2x + 2, G1)."""
+    return SyGuSProblem(
+        "running-example",
+        running_example_grammar,
+        scaled_variable_spec("x", 2, 2),
+        logic="LIA",
+    )
+
+
+@pytest.fixture
+def clia_example_grammar() -> RegularTreeGrammar:
+    """The paper's CLIA grammar G2 (Eqn. 5)."""
+    start = Nonterminal("Start")
+    guard = Nonterminal("BExp", Sort.BOOL)
+    exp2 = Nonterminal("Exp2")
+    exp3 = Nonterminal("Exp3")
+    var_x = Nonterminal("X")
+    zero = Nonterminal("N0")
+    two = Nonterminal("N2")
+    productions = [
+        Production(start, alph.if_then_else(), (guard, exp3, start)),
+        Production(start, alph.pass_through(Sort.INT), (exp2,)),
+        Production(start, alph.pass_through(Sort.INT), (exp3,)),
+        Production(guard, alph.less_than(), (var_x, two)),
+        Production(guard, alph.less_than(), (zero, start)),
+        Production(guard, alph.and_(), (guard, guard)),
+        Production(exp2, alph.plus(3), (var_x, var_x, exp2)),
+        Production(exp2, alph.num(0), ()),
+        Production(exp3, alph.plus(4), (var_x, var_x, var_x, exp3)),
+        Production(exp3, alph.num(0), ()),
+        Production(var_x, alph.var("x"), ()),
+        Production(zero, alph.num(0), ()),
+        Production(two, alph.num(2), ()),
+    ]
+    return RegularTreeGrammar(
+        [start, guard, exp2, exp3, var_x, zero, two], start, productions, name="G2"
+    )
+
+
+@pytest.fixture
+def clia_example_problem(clia_example_grammar) -> SyGuSProblem:
+    return SyGuSProblem(
+        "clia-example",
+        clia_example_grammar,
+        scaled_variable_spec("x", 2, 2),
+        logic="CLIA",
+    )

@@ -1,0 +1,271 @@
+"""Tests for the abstract domains: semi-linear sets, Boolean-vector sets,
+the CLIA abstract semantics, and the approximate numeric domains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.clia import CliaInterpretation
+from repro.domains.numeric import Congruence, Interval, ProductValue
+from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.semantics.examples import ExampleSet
+from repro.utils.vectors import BoolVector, IntVector
+
+
+def sl(*linear_sets) -> SemiLinearSet:
+    return SemiLinearSet(linear_sets)
+
+
+def ls(offset, *generators) -> LinearSet:
+    return LinearSet(IntVector(offset), tuple(IntVector(g) for g in generators))
+
+
+# Offsets may be negative; generators are kept non-negative so that the
+# membership queries used as oracles stay bounded (and therefore fast).
+small_offsets = st.lists(st.integers(-5, 5), min_size=2, max_size=2).map(IntVector)
+small_generators = st.lists(st.integers(0, 5), min_size=2, max_size=2).map(IntVector)
+small_linear_sets = st.tuples(
+    small_offsets, st.lists(small_generators, min_size=0, max_size=2)
+).map(lambda pair: LinearSet(pair[0], tuple(pair[1])))
+small_semilinear = st.lists(small_linear_sets, min_size=0, max_size=2).map(
+    lambda sets: SemiLinearSet(sets, dimension=2)
+)
+
+
+class TestLinearSet:
+    def test_zero_generators_dropped(self):
+        linear = ls([1, 2], [0, 0], [1, 1])
+        assert len(linear.generators) == 1
+
+    def test_contains_offset(self):
+        assert ls([1, 2], [3, 4]).contains(IntVector([1, 2]))
+
+    def test_contains_combination(self):
+        assert ls([0, 0], [3, 6]).contains(IntVector([9, 18]))
+        assert not ls([0, 0], [3, 6]).contains(IntVector([3, 5]))
+
+    def test_projection_zeroes_components(self):
+        projected = ls([1, 2], [3, 4]).project(BoolVector([True, False]))
+        assert projected.offset == IntVector([1, 0])
+        assert projected.generators == (IntVector([3, 0]),)
+
+
+class TestSemiLinearSet:
+    def test_zero_and_one(self):
+        zero = SemiLinearSet.empty(2)
+        one = SemiLinearSet.unit(2)
+        value = sl(ls([1, 2], [3, 4]))
+        assert zero.combine(value) == value
+        assert one.extend(value) == value
+        assert zero.extend(value).is_empty()
+
+    def test_combine_is_union(self):
+        left = sl(ls([1, 0]))
+        right = sl(ls([0, 1]))
+        combined = left.combine(right)
+        assert combined.contains(IntVector([1, 0]))
+        assert combined.contains(IntVector([0, 1]))
+
+    def test_extend_is_minkowski_sum(self):
+        left = sl(ls([1, 0], [2, 0]))
+        right = sl(ls([0, 3]))
+        extended = left.extend(right)
+        assert extended.contains(IntVector([1, 3]))
+        assert extended.contains(IntVector([3, 3]))
+        assert not extended.contains(IntVector([1, 0]))
+
+    def test_star_contains_all_iterates(self):
+        value = sl(ls([3, 6]))
+        starred = value.star()
+        for k in range(4):
+            assert starred.contains(IntVector([3 * k, 6 * k]))
+
+    def test_star_matches_paper_footnote(self):
+        """Footnote 3: the equation X = {3} (x) X (+) {0} has solution {3}* (x) {0}."""
+        three = SemiLinearSet.singleton(IntVector([3]))
+        zero = SemiLinearSet.singleton(IntVector([0]))
+        solution = three.star().extend(zero)
+        assert solution.contains(IntVector([0]))
+        assert solution.contains(IntVector([9]))
+        assert not solution.contains(IntVector([4]))
+
+    def test_simplify_removes_subsumed_sets(self):
+        value = sl(ls([0, 0], [1, 1]), ls([2, 2], [1, 1]), ls([5, 7]))
+        simplified = value.simplify()
+        assert len(simplified.linear_sets) == 2
+        # Every member of the original is still a member after simplification.
+        for vector in value.sample(max_coefficient=2):
+            assert simplified.contains(vector)
+
+    def test_symbolic_concretization_agrees_with_membership(self):
+        from repro.logic.solver import check_sat
+        from repro.logic.terms import LinearExpression
+
+        value = sl(ls([1, 2], [2, 0]), ls([0, 0], [0, 5]))
+        outputs = [LinearExpression.variable("o0"), LinearExpression.variable("o1")]
+        for vector in [IntVector([5, 2]), IntVector([0, 10]), IntVector([1, 3])]:
+            from repro.logic.formulas import atom_eq, conjunction
+
+            formula = conjunction(
+                [value.symbolic(outputs)]
+                + [atom_eq(outputs[i], int(vector[i])) for i in range(2)]
+            )
+            assert check_sat(formula).is_sat == value.contains(vector)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_semilinear, small_semilinear)
+    def test_combine_commutes(self, left, right):
+        assert left.combine(right) == right.combine(left)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_semilinear, small_semilinear, small_semilinear)
+    def test_extend_distributes_over_combine_on_samples(self, a, b, c):
+        """(a (+) b) (x) c and (a (x) c) (+) (b (x) c) denote the same set."""
+        left = a.combine(b).extend(c)
+        right = a.extend(c).combine(b.extend(c))
+        for vector in left.sample(max_coefficient=1, limit=20):
+            assert right.contains(vector)
+        for vector in right.sample(max_coefficient=1, limit=20):
+            assert left.contains(vector)
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_semilinear)
+    def test_simplify_preserves_samples(self, value):
+        simplified = value.simplify()
+        for vector in value.sample(max_coefficient=1, limit=20):
+            assert simplified.contains(vector)
+
+
+class TestBoolVectorSet:
+    def test_operations(self):
+        tf = BoolVector([True, False])
+        tt = BoolVector([True, True])
+        left = BoolVectorSet([tf])
+        right = BoolVectorSet([tt])
+        assert left.combine(right) == BoolVectorSet([tf, tt])
+        assert left.negate() == BoolVectorSet([~tf])
+        assert left.conjoin(right) == BoolVectorSet([tf])
+        assert left.disjoin(right) == BoolVectorSet([tt])
+
+    def test_top_has_all_vectors(self):
+        assert len(BoolVectorSet.top(3)) == 8
+
+    def test_leq(self):
+        small = BoolVectorSet([BoolVector([True])])
+        assert small.leq(BoolVectorSet.top(1))
+        assert not BoolVectorSet.top(1).leq(small)
+
+
+class TestCliaInterpretation:
+    def test_leaf_abstractions(self):
+        examples = ExampleSet.of({"x": 1}, {"x": 2})
+        interp = CliaInterpretation(examples)
+        assert interp.var("x").contains(IntVector([1, 2]))
+        assert interp.num(5).contains(IntVector([5, 5]))
+        assert interp.neg_var("x").contains(IntVector([-1, -2]))
+
+    def test_plus_is_extend(self):
+        examples = ExampleSet.of({"x": 1}, {"x": 2})
+        interp = CliaInterpretation(examples)
+        result = interp.plus(interp.var("x"), interp.var("x"))
+        assert result.contains(IntVector([2, 4]))
+
+    def test_comparison_example_from_paper(self):
+        """Example 6.1: LessThan# of two concrete semi-linear sets."""
+        examples = ExampleSet.of({"x": 0}, {"x": 1})
+        interp = CliaInterpretation(examples)
+        sl1 = sl(ls([1, 2], [3, 4]))
+        sl2 = sl(ls([5, 6], [7, 8]))
+        result = interp.comparison("LessThan", sl1, sl2)
+        assert BoolVector([True, True]) in result
+        assert BoolVector([True, False]) in result
+        assert BoolVector([False, False]) in result
+        assert BoolVector([False, True]) not in result
+
+    def test_not_example_from_paper(self):
+        examples = ExampleSet.of({"x": 0}, {"x": 1})
+        interp = CliaInterpretation(examples)
+        bset = BoolVectorSet([BoolVector([True, False]), BoolVector([True, True])])
+        assert interp.not_(bset) == BoolVectorSet(
+            [BoolVector([False, True]), BoolVector([False, False])]
+        )
+
+    def test_if_then_else_example_from_paper(self):
+        """Example 6.1's IfThenElse#: components are mixed per guard vector."""
+        examples = ExampleSet.of({"x": 0}, {"x": 1})
+        interp = CliaInterpretation(examples)
+        guards = BoolVectorSet([BoolVector([True, False]), BoolVector([True, True])])
+        sl1 = sl(ls([1, 2], [3, 4]))
+        sl2 = sl(ls([5, 6], [7, 8]))
+        result = interp.if_then_else(guards, sl1, sl2)
+        assert result.contains(IntVector([1, 6]))   # guard (t, f)
+        assert result.contains(IntVector([1, 2]))   # guard (t, t)
+        assert result.contains(IntVector([4, 14]))  # (1+3, 6+8)
+
+    def test_exactness_on_singletons(self):
+        """Lemma 6.2 in miniature: on singletons the transformers are exact."""
+        examples = ExampleSet.of({"x": 2}, {"x": 5})
+        interp = CliaInterpretation(examples)
+        x = interp.var("x")
+        two = interp.num(2)
+        compared = interp.comparison("LessThan", x, two)
+        assert compared == BoolVectorSet([BoolVector([False, False])])
+        chosen = interp.if_then_else(compared, x, two)
+        assert chosen.contains(IntVector([2, 2]))
+
+
+class TestNumericDomains:
+    def test_interval_join_and_widen(self):
+        a = Interval(0, 5)
+        b = Interval(3, 10)
+        assert a.join(b) == Interval(0, 10)
+        assert a.widen(b) == Interval(0, None)
+        assert a.widen(Interval(-1, 4)) == Interval(None, 5)
+
+    def test_interval_add_with_infinities(self):
+        assert Interval(0, None).add(Interval(1, 1)) == Interval(1, None)
+        assert Interval.empty().add(Interval(1, 1)).is_empty()
+
+    def test_congruence_join(self):
+        four = Congruence.constant(4)
+        seven = Congruence.constant(7)
+        joined = four.join(seven)
+        assert joined.contains(10) and joined.contains(1)
+        assert not joined.contains(2)
+
+    def test_congruence_add(self):
+        evens = Congruence(0, 2)
+        odds = Congruence(1, 2)
+        assert evens.add(odds).contains(3)
+        assert not evens.add(evens).contains(3)
+
+    def test_congruence_leq(self):
+        assert Congruence(1, 6).leq(Congruence(1, 3))
+        assert not Congruence(1, 3).leq(Congruence(1, 6))
+        assert Congruence.constant(4).leq(Congruence(0, 2))
+
+    def test_product_value_roundtrip(self):
+        value = ProductValue.constant(IntVector([3, 6]))
+        assert value.contains(IntVector([3, 6]))
+        assert not value.contains(IntVector([3, 7]))
+        joined = value.join(ProductValue.constant(IntVector([6, 12])))
+        assert joined.contains(IntVector([6, 12]))
+        assert not joined.contains(IntVector([4, 8]))  # congruence mod 3/6 rules it out
+
+    def test_product_symbolic(self):
+        from repro.logic.solver import check_sat
+        from repro.logic.formulas import atom_eq, conjunction
+        from repro.logic.terms import LinearExpression
+
+        value = ProductValue.constant(IntVector([3])).join(
+            ProductValue.constant(IntVector([9]))
+        )
+        # value abstracts {3, 9}: interval [3, 9] and congruence 3 mod 6.
+        output = LinearExpression.variable("o")
+        inside = conjunction([value.symbolic([output]), atom_eq(output, 9)])
+        outside = conjunction([value.symbolic([output]), atom_eq(output, 6)])
+        assert check_sat(inside).is_sat
+        assert check_sat(outside).is_unsat

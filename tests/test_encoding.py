@@ -1,0 +1,147 @@
+"""Property tests relating the term encodings to the concrete semantics.
+
+The verifier compiles candidate terms into guarded linear expressions
+(:mod:`repro.logic.encoding`); these tests check that the compilation agrees
+with the interpreter (:mod:`repro.semantics.evaluator`) on randomly generated
+CLIA terms, which is the key invariant the CEGIS verifier relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import alphabet as alph
+from repro.grammar.terms import Term
+from repro.logic.encoding import (
+    bool_term_to_formula,
+    compile_integer_term,
+    term_to_formula,
+    term_to_linear,
+)
+from repro.logic.formulas import atom_eq, conjunction
+from repro.logic.solver import check_sat
+from repro.logic.terms import LinearExpression
+from repro.semantics.evaluator import evaluate_on_example
+from repro.utils.errors import UnsupportedFeatureError
+
+VARIABLES = ("x", "y")
+
+
+def _leaf_terms():
+    leaves = [Term.leaf(alph.var(name)) for name in VARIABLES]
+    leaves += [Term.leaf(alph.num(value)) for value in (-2, 0, 1, 3)]
+    return st.sampled_from(leaves)
+
+
+def _int_terms(depth: int):
+    if depth == 0:
+        return _leaf_terms()
+    smaller = _int_terms(depth - 1)
+    plus = st.tuples(smaller, smaller).map(
+        lambda pair: Term.apply(alph.plus(2), pair[0], pair[1])
+    )
+    minus = st.tuples(smaller, smaller).map(
+        lambda pair: Term.apply(alph.minus(), pair[0], pair[1])
+    )
+    ite = st.tuples(_bool_terms(depth - 1), smaller, smaller).map(
+        lambda triple: Term.apply(alph.if_then_else(), *triple)
+    )
+    return st.one_of(_leaf_terms(), plus, minus, ite)
+
+
+def _bool_terms(depth: int):
+    base_depth = max(depth, 0)
+    comparisons = st.tuples(
+        st.sampled_from(["LessThan", "LessEq", "GreaterThan", "GreaterEq", "Equal"]),
+        _int_terms(base_depth),
+        _int_terms(base_depth),
+    ).map(lambda triple: Term.apply(_comparison_symbol(triple[0]), triple[1], triple[2]))
+    if depth <= 0:
+        return comparisons
+    smaller = _bool_terms(depth - 1)
+    conjunctions = st.tuples(smaller, smaller).map(
+        lambda pair: Term.apply(alph.and_(), pair[0], pair[1])
+    )
+    negations = smaller.map(lambda term: Term.apply(alph.not_(), term))
+    return st.one_of(comparisons, conjunctions, negations)
+
+
+def _comparison_symbol(name: str):
+    return {
+        "LessThan": alph.less_than(),
+        "LessEq": alph.less_eq(),
+        "GreaterThan": alph.greater_than(),
+        "GreaterEq": alph.greater_eq(),
+        "Equal": alph.equal(),
+    }[name]
+
+
+assignments = st.fixed_dictionaries(
+    {name: st.integers(-6, 6) for name in VARIABLES}
+)
+
+
+class TestIntegerCompilation:
+    @settings(max_examples=60, deadline=None)
+    @given(_int_terms(2), assignments)
+    def test_guarded_cases_agree_with_interpreter(self, term, assignment):
+        inputs = {name: LinearExpression.variable(name) for name in VARIABLES}
+        cases = compile_integer_term(term, inputs)
+        expected = evaluate_on_example(term, assignment)
+        matching = [
+            expression.evaluate(assignment)
+            for guard, expression in cases
+            if guard.evaluate(assignment)
+        ]
+        assert matching == [expected], "exactly one guard must hold and agree"
+
+    @settings(max_examples=40, deadline=None)
+    @given(_bool_terms(1), assignments)
+    def test_boolean_compilation_agrees_with_interpreter(self, term, assignment):
+        inputs = {name: LinearExpression.variable(name) for name in VARIABLES}
+        formula = bool_term_to_formula(term, inputs)
+        assert formula.evaluate(assignment) == evaluate_on_example(term, assignment)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_int_terms(1), assignments)
+    def test_term_to_formula_is_functional(self, term, assignment):
+        inputs = {name: LinearExpression.variable(name) for name in VARIABLES}
+        output = LinearExpression.variable("__candidate_out")
+        formula = term_to_formula(term, inputs, output)
+        expected = evaluate_on_example(term, assignment)
+        model = dict(assignment)
+        model["__candidate_out"] = int(expected)
+        assert formula.evaluate(model)
+        model["__candidate_out"] = int(expected) + 1
+        assert not formula.evaluate(model)
+
+    def test_term_to_linear_rejects_conditionals(self):
+        term = Term.apply(
+            alph.if_then_else(),
+            Term.apply(alph.less_than(), Term.leaf(alph.var("x")), Term.leaf(alph.num(0))),
+            Term.leaf(alph.num(0)),
+            Term.leaf(alph.num(1)),
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            term_to_linear(term, {"x": LinearExpression.variable("x")})
+
+    def test_encoding_usable_inside_sat_query(self):
+        """The shape the verifier builds: candidate output constrained by spec."""
+        term = Term.apply(
+            alph.if_then_else(),
+            Term.apply(alph.less_than(), Term.leaf(alph.var("x")), Term.leaf(alph.var("y"))),
+            Term.leaf(alph.var("y")),
+            Term.leaf(alph.var("x")),
+        )
+        inputs = {name: LinearExpression.variable(name) for name in VARIABLES}
+        output = LinearExpression.variable("o")
+        defines = term_to_formula(term, inputs, output)
+        # Ask for an input where the term's output is NOT the maximum: unsat.
+        from repro.logic.formulas import atom_lt, disjunction
+
+        not_max = disjunction(
+            [atom_lt(output, inputs["x"]), atom_lt(output, inputs["y"])]
+        )
+        assert check_sat(conjunction([defines, not_max])).is_unsat

@@ -1,0 +1,157 @@
+"""Tests for the GFA equation framework and its solvers (Newton, Kleene)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains.clia import CliaInterpretation
+from repro.domains.semilinear import SemiLinearSet
+from repro.gfa.builder import build_lia_equations
+from repro.gfa.equations import EquationSystem, Monomial, Polynomial
+from repro.gfa.kleene import solve_kleene
+from repro.gfa.newton import solve_linear_system, solve_newton, solve_stratified
+from repro.gfa.semiring import BooleanSemiring, SemiLinearSemiring
+from repro.gfa.stratify import equation_strata, single_stratum
+from repro.grammar.transforms import normalize_for_gfa
+from repro.semantics.examples import ExampleSet
+from repro.utils.vectors import IntVector
+
+
+class TestBooleanSemiringSolvers:
+    """The Boolean semiring makes fixpoints easy to compute by hand."""
+
+    def test_newton_on_reachability(self):
+        semiring = BooleanSemiring()
+        # X = X and Y (+) true ; Y = X and Y  -> least solution X = true, Y = false...
+        # actually Y = X (x) Y has least solution false, X = (X and Y) or true = true.
+        system = EquationSystem(
+            {
+                "X": Polynomial((Monomial(True, ("X", "Y")), Monomial(True, ()))),
+                "Y": Polynomial((Monomial(True, ("X", "Y")),)),
+            }
+        )
+        solution = solve_newton(system, semiring)
+        assert solution["X"] is True
+        assert solution["Y"] is False
+
+    def test_newton_and_kleene_agree(self):
+        semiring = BooleanSemiring()
+        system = EquationSystem(
+            {
+                "A": Polynomial((Monomial(True, ("B",)),)),
+                "B": Polynomial((Monomial(True, ("A",)), Monomial(True, ()))),
+            }
+        )
+        newton = solve_newton(system, semiring)
+        kleene = solve_kleene(system, semiring)
+        assert newton == kleene == {"A": True, "B": True}
+
+    def test_linear_system_solution(self):
+        semiring = BooleanSemiring()
+        matrix = {"X": {"X": True, "Y": False}, "Y": {"X": False, "Y": False}}
+        constants = {"X": False, "Y": True}
+        solution = solve_linear_system(matrix, constants, semiring)
+        assert solution == {"X": False, "Y": True}
+
+
+class TestSemiLinearNewton:
+    def test_running_example_single_example(self, running_example_grammar):
+        """Ex. 4.6/5.7: the start symbol's set is {0 + 3 lambda} on E = {1}."""
+        examples = ExampleSet.of({"x": 1})
+        interpretation = CliaInterpretation(examples)
+        grammar = normalize_for_gfa(running_example_grammar)
+        system = build_lia_equations(grammar, interpretation)
+        semiring = SemiLinearSemiring(1)
+        solution = solve_stratified(system, semiring, equation_strata(system))
+        start = next(value for key, value in solution.items() if key.name == "Start")
+        for k in range(5):
+            assert start.contains(IntVector([3 * k]))
+        assert not start.contains(IntVector([4]))
+
+    def test_example_5_7_two_examples(self, running_example_grammar):
+        """Example 5.7: with E = {1, 2} the solution is {(0,0) + lambda (3,6)}."""
+        examples = ExampleSet.of({"x": 1}, {"x": 2})
+        interpretation = CliaInterpretation(examples)
+        grammar = normalize_for_gfa(running_example_grammar)
+        system = build_lia_equations(grammar, interpretation)
+        semiring = SemiLinearSemiring(2)
+        solution = solve_stratified(system, semiring, equation_strata(system))
+        values = {key.name: value for key, value in solution.items()}
+        assert values["S1"].contains(IntVector([3, 6]))
+        assert values["S2"].contains(IntVector([2, 4]))
+        assert values["S3"].contains(IntVector([1, 2]))
+        assert values["Start"].contains(IntVector([6, 12]))
+        assert not values["Start"].contains(IntVector([4, 6]))
+
+    def test_stratified_and_unstratified_agree(self, running_example_grammar):
+        examples = ExampleSet.of({"x": 1}, {"x": 2})
+        interpretation = CliaInterpretation(examples)
+        grammar = normalize_for_gfa(running_example_grammar)
+        system = build_lia_equations(grammar, interpretation)
+        semiring = SemiLinearSemiring(2)
+        stratified = solve_stratified(system, semiring, equation_strata(system))
+        unstratified = solve_stratified(system, semiring, single_stratum(system))
+        for key in stratified:
+            assert semiring.equal(stratified[key], unstratified[key])
+
+    def test_newton_matches_bounded_enumeration(self, running_example_grammar):
+        """Exactness (Lem. 5.6): every enumerated term's vector is in the set,
+        and small vectors in the set are witnessed by enumeration."""
+        from repro.semantics.evaluator import evaluate
+
+        examples = ExampleSet.of({"x": 2})
+        interpretation = CliaInterpretation(examples)
+        grammar = normalize_for_gfa(running_example_grammar)
+        system = build_lia_equations(grammar, interpretation)
+        solution = solve_stratified(
+            system, SemiLinearSemiring(1), equation_strata(system)
+        )
+        start = next(value for key, value in solution.items() if key.name == "Start")
+        observed = set()
+        for term in running_example_grammar.generate(max_size=12):
+            vector = evaluate(term, examples)
+            observed.add(tuple(vector))
+            assert start.contains(IntVector(list(vector)))
+        # 0 and 6 (= 3x with x = 2) must both be observed and abstracted.
+        assert (0,) in observed and (6,) in observed
+
+
+class TestEquationSystem:
+    def test_substitute_constants(self):
+        semiring = BooleanSemiring()
+        system = EquationSystem(
+            {
+                "X": Polynomial((Monomial(True, ("Y", "X")),)),
+                "Y": Polynomial((Monomial(True, ()),)),
+            }
+        )
+        reduced = system.substitute_constants(semiring, {"Y": True})
+        assert "Y" not in reduced.equations
+        assert reduced.equations["X"].monomials[0].variables == ("X",)
+
+    def test_strata_respect_dependencies(self, running_example_grammar):
+        examples = ExampleSet.of({"x": 1})
+        grammar = normalize_for_gfa(running_example_grammar)
+        system = build_lia_equations(grammar, CliaInterpretation(examples))
+        strata = equation_strata(system)
+        position = {key: index for index, stratum in enumerate(strata) for key in stratum}
+        for key, polynomial in system.equations.items():
+            for used in polynomial.variables():
+                assert position[used] <= position[key]
+
+    def test_kleene_raises_on_divergent_system(self):
+        semiring = SemiLinearSemiring(1)
+        system = EquationSystem(
+            {
+                "X": Polynomial(
+                    (
+                        Monomial(SemiLinearSet.singleton(IntVector([1])), ("X",)),
+                        Monomial(SemiLinearSet.singleton(IntVector([0])), ()),
+                    )
+                )
+            }
+        )
+        from repro.utils.errors import SolverLimitError
+
+        with pytest.raises(SolverLimitError):
+            solve_kleene(system, semiring, max_iterations=10)

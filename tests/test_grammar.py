@@ -1,0 +1,235 @@
+"""Tests for ranked alphabets, terms, regular tree grammars, and transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import alphabet as alph
+from repro.grammar.alphabet import RankedAlphabet, Sort
+from repro.grammar.analysis import (
+    grammar_statistics,
+    mutually_recursive_components,
+    productive_nonterminals,
+    reachable_nonterminals,
+    stratify,
+    trim,
+)
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.terms import Term
+from repro.grammar.transforms import lower_nary_plus, normalize_for_gfa, remove_minus
+from repro.semantics.examples import ExampleSet
+from repro.semantics.evaluator import evaluate, evaluate_on_example
+from repro.utils.errors import GrammarError
+
+
+class TestAlphabet:
+    def test_symbol_arity_mismatch_rejected(self):
+        with pytest.raises(GrammarError):
+            alph.Symbol("Broken", 2, Sort.INT, (Sort.INT,))
+
+    def test_alphabet_classification(self):
+        lia = RankedAlphabet([alph.plus(2), alph.num(1), alph.var("x"), alph.minus()])
+        assert lia.is_lia() and lia.is_clia() and not lia.is_lia_plus()
+        clia = RankedAlphabet([alph.if_then_else(), alph.less_than(), alph.var("x")])
+        assert clia.is_clia() and not clia.is_lia()
+
+    def test_conflicting_symbol_declarations_rejected(self):
+        alphabet = RankedAlphabet([alph.num(1)])
+        with pytest.raises(GrammarError):
+            alphabet.add(alph.Symbol("Num", 0, Sort.BOOL, (), 1))
+
+    def test_mixed_arity_plus_allowed(self):
+        """Footnote 1: n-ary Plus of different arities may coexist."""
+        alphabet = RankedAlphabet([alph.plus(2), alph.plus(3), alph.plus(4)])
+        assert len(alphabet) == 3
+        assert alphabet.is_lia()
+
+
+class TestTerm:
+    def test_arity_checked(self):
+        with pytest.raises(GrammarError):
+            Term(alph.plus(2), (Term.leaf(alph.num(1)),))
+
+    def test_size_depth_and_counting(self):
+        term = Term.apply(
+            alph.plus(2),
+            Term.leaf(alph.var("x")),
+            Term.apply(alph.plus(2), Term.leaf(alph.num(1)), Term.leaf(alph.var("x"))),
+        )
+        assert term.size() == 5
+        assert term.depth() == 3
+        assert term.count_symbol("Plus") == 2
+        assert sorted(term.variables()) == ["x", "x"]
+
+    def test_to_sexpr(self):
+        term = Term.apply(
+            alph.if_then_else(),
+            Term.apply(alph.less_than(), Term.leaf(alph.var("x")), Term.leaf(alph.num(0))),
+            Term.leaf(alph.num(-1)),
+            Term.leaf(alph.var("x")),
+        )
+        assert term.to_sexpr() == "(ite (< x 0) (- 1) x)"
+
+
+def _simple_grammar() -> RegularTreeGrammar:
+    start = Nonterminal("S")
+    atom = Nonterminal("A")
+    return RegularTreeGrammar(
+        [start, atom],
+        start,
+        [
+            Production(start, alph.plus(2), (atom, start)),
+            Production(start, alph.pass_through(Sort.INT), (atom,)),
+            Production(atom, alph.var("x"), ()),
+            Production(atom, alph.num(1), ()),
+        ],
+        name="simple",
+    )
+
+
+class TestRegularTreeGrammar:
+    def test_validation_rejects_undeclared_nonterminals(self):
+        start = Nonterminal("S")
+        other = Nonterminal("T")
+        with pytest.raises(GrammarError):
+            RegularTreeGrammar([start], start, [Production(start, alph.pass_through(Sort.INT), (other,))])
+
+    def test_validation_rejects_sort_mismatch(self):
+        start = Nonterminal("S")
+        guard = Nonterminal("B", Sort.BOOL)
+        with pytest.raises(GrammarError):
+            RegularTreeGrammar(
+                [start, guard], start, [Production(start, alph.pass_through(Sort.INT), (guard,))]
+            )
+
+    def test_generate_enumerates_by_size(self):
+        grammar = _simple_grammar()
+        terms = list(grammar.generate(max_size=4))
+        assert terms, "expected some terms"
+        sizes = [term.size() for term in terms]
+        assert sizes == sorted(sizes)
+
+    def test_generated_terms_are_members(self):
+        grammar = _simple_grammar()
+        for term in grammar.generate(max_size=5, limit=20):
+            assert grammar.contains(term)
+
+    def test_membership_rejects_foreign_terms(self):
+        grammar = _simple_grammar()
+        foreign = Term.leaf(alph.num(7))
+        assert not grammar.contains(foreign)
+
+    def test_statistics(self):
+        stats = grammar_statistics(_simple_grammar())
+        assert stats == {"nonterminals": 2, "productions": 4, "variables": 1}
+
+
+class TestAnalyses:
+    def test_reachable_and_productive(self, running_example_grammar):
+        reachable = reachable_nonterminals(running_example_grammar)
+        productive = productive_nonterminals(running_example_grammar)
+        assert len(reachable) == 4
+        assert len(productive) == 4
+
+    def test_trim_removes_useless_nonterminals(self):
+        start = Nonterminal("S")
+        useless = Nonterminal("U")
+        grammar = RegularTreeGrammar(
+            [start, useless],
+            start,
+            [
+                Production(start, alph.num(1), ()),
+                Production(useless, alph.plus(2), (useless, useless)),
+            ],
+        )
+        trimmed = trim(grammar)
+        assert useless not in trimmed.nonterminals
+
+    def test_stratify_orders_dependencies_first(self, running_example_grammar):
+        strata = stratify(running_example_grammar)
+        order = {nt: index for index, stratum in enumerate(strata) for nt in stratum}
+        start = Nonterminal("Start")
+        s3 = Nonterminal("S3")
+        assert order[s3] < order[start]
+
+    def test_mutually_recursive_components(self, clia_example_grammar):
+        recursive = mutually_recursive_components(clia_example_grammar)
+        names = {tuple(sorted(nt.name for nt in component)) for component in recursive}
+        assert ("BExp", "Start") in names
+
+
+class TestTransforms:
+    def test_lower_nary_plus(self, clia_example_grammar):
+        lowered = lower_nary_plus(clia_example_grammar)
+        for production in lowered.productions:
+            assert production.symbol.arity <= 3
+
+    def test_remove_minus_produces_lia_plus(self):
+        start = Nonterminal("S")
+        grammar = RegularTreeGrammar(
+            [start],
+            start,
+            [
+                Production(start, alph.minus(), (start, start)),
+                Production(start, alph.num(1), ()),
+                Production(start, alph.var("x"), ()),
+            ],
+            name="minus",
+        )
+        rewritten = remove_minus(grammar)
+        assert rewritten.is_lia_plus()
+        assert all(p.symbol.name != "Minus" for p in rewritten.productions)
+
+    def test_remove_minus_preserves_semantics_on_examples(self):
+        """Lemma 5.4: the rewritten grammar produces the same output vectors."""
+        start = Nonterminal("S")
+        grammar = RegularTreeGrammar(
+            [start],
+            start,
+            [
+                Production(start, alph.minus(), (start, start)),
+                Production(start, alph.num(1), ()),
+                Production(start, alph.var("x"), ()),
+            ],
+            name="minus",
+        )
+        rewritten = remove_minus(grammar)
+        examples = ExampleSet.of({"x": 3}, {"x": -2})
+        original_outputs = {
+            tuple(evaluate(term, examples)) for term in grammar.generate(max_size=5)
+        }
+        rewritten_outputs = {
+            tuple(evaluate(term, examples)) for term in rewritten.generate(max_size=5)
+        }
+        assert original_outputs <= rewritten_outputs
+
+    def test_normalize_for_gfa_is_lia_plus_or_clia(self, clia_example_grammar):
+        normalized = normalize_for_gfa(clia_example_grammar)
+        assert normalized.is_clia()
+        for production in normalized.productions:
+            assert production.symbol.name != "Minus"
+            if production.symbol.name == "Plus":
+                assert production.symbol.arity == 2
+
+
+class TestEvaluator:
+    def test_scalar_and_vector_agree(self, clia_example_grammar):
+        examples = ExampleSet.of({"x": 1}, {"x": 2}, {"x": -3})
+        for term in clia_example_grammar.generate(max_size=6, limit=60):
+            vector = evaluate(term, examples)
+            scalar = [evaluate_on_example(term, example.as_dict()) for example in examples]
+            assert list(vector) == scalar
+
+    def test_ifthenelse_semantics(self):
+        term = Term.apply(
+            alph.if_then_else(),
+            Term.apply(alph.less_than(), Term.leaf(alph.var("x")), Term.leaf(alph.num(0))),
+            Term.leaf(alph.num(-1)),
+            Term.leaf(alph.num(1)),
+        )
+        assert evaluate_on_example(term, {"x": -5}) == -1
+        assert evaluate_on_example(term, {"x": 5}) == 1
+
+    def test_pass_is_identity(self):
+        term = Term.apply(alph.pass_through(Sort.INT), Term.leaf(alph.num(42)))
+        assert evaluate_on_example(term, {}) == 42

@@ -1,0 +1,256 @@
+"""Tests for the QF-LIA logic substrate: terms, formulas, and the solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.diophantine import eliminate_equalities, lift_model
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    atom_eq,
+    atom_ge,
+    atom_gt,
+    atom_le,
+    atom_lt,
+    atom_ne,
+    conjunction,
+    disjunction,
+    implies,
+    negation,
+)
+from repro.logic.ilp import integer_feasible
+from repro.logic.rewrites import simplify, to_nnf
+from repro.logic.simplex import feasible_point, satisfies
+from repro.logic.solver import check_sat, is_satisfiable, is_valid
+from repro.logic.terms import LinearExpression
+
+x = LinearExpression.variable("x")
+y = LinearExpression.variable("y")
+z = LinearExpression.variable("z")
+
+
+class TestLinearExpression:
+    def test_arithmetic(self):
+        expression = x.scale(2) + y - 3
+        assert expression.coefficient("x") == 2
+        assert expression.coefficient("y") == 1
+        assert expression.constant == -3
+
+    def test_zero_coefficients_are_dropped(self):
+        assert (x - x).is_constant()
+
+    def test_substitution(self):
+        expression = x + y.scale(2)
+        substituted = expression.substitute({"x": y + 1})
+        assert substituted.coefficient("y") == 3
+        assert substituted.constant == 1
+
+    def test_evaluate(self):
+        assert (x.scale(3) + 2).evaluate({"x": 4}) == 14
+
+    def test_nonlinear_multiplication_rejected(self):
+        from repro.utils.errors import SolverError
+
+        with pytest.raises(SolverError):
+            _ = x * y
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20))
+    def test_evaluation_is_linear(self, a, b, value):
+        expression = x.scale(a) + b
+        assert expression.evaluate({"x": value}) == a * value + b
+
+
+class TestSmartConstructors:
+    def test_ground_atoms_fold(self):
+        assert atom_le(1, 2) == TRUE
+        assert atom_lt(2, 2) == FALSE
+        assert atom_eq(3, 3) == TRUE
+        assert atom_ne(3, 3) == FALSE
+
+    def test_conjunction_flattens_and_short_circuits(self):
+        assert conjunction([TRUE, TRUE]) == TRUE
+        assert conjunction([TRUE, FALSE]) == FALSE
+        nested = conjunction([atom_le(x, 1), conjunction([atom_le(y, 2), atom_le(z, 3)])])
+        assert len(nested.operands) == 3
+
+    def test_disjunction_flattens_and_short_circuits(self):
+        assert disjunction([FALSE, FALSE]) == FALSE
+        assert disjunction([FALSE, TRUE]) == TRUE
+
+    def test_negation_of_atom_stays_atomic(self):
+        negated = negation(atom_le(x, 0))
+        assert negated.evaluate({"x": 1}) is True
+        assert negated.evaluate({"x": 0}) is False
+
+    def test_implies_and_evaluate(self):
+        formula = implies(atom_gt(x, 0), atom_ge(x, 1))
+        assert formula.evaluate({"x": 5}) is True
+        assert formula.evaluate({"x": 0}) is True
+
+    def test_nnf_removes_not_nodes(self):
+        from repro.logic.formulas import Not
+
+        formula = negation(conjunction([atom_le(x, 0), disjunction([atom_eq(y, 1), atom_lt(z, 2)])]))
+        nnf = to_nnf(formula)
+        assert not any(isinstance(node, Not) for node in _walk(nnf))
+
+    def test_simplify_is_idempotent(self):
+        formula = disjunction([atom_le(x, 0), conjunction([TRUE, atom_eq(y, 2)])])
+        assert simplify(simplify(formula)) == simplify(formula)
+
+
+def _walk(formula):
+    yield formula
+    for attribute in ("operands",):
+        operands = getattr(formula, attribute, ())
+        for operand in operands:
+            yield from _walk(operand)
+    operand = getattr(formula, "operand", None)
+    if operand is not None:
+        yield from _walk(operand)
+
+
+class TestSimplex:
+    def test_feasible_system(self):
+        point = feasible_point([x - 10, -x + 2])  # 2 <= x <= 10
+        assert point is not None
+        assert satisfies([x - 10, -x + 2], point)
+
+    def test_infeasible_system(self):
+        assert feasible_point([x - 1, -x + 2]) is None  # x <= 1 and x >= 2
+
+    def test_trivial_constant_constraints(self):
+        assert feasible_point([LinearExpression.constant_expr(-1)]) == {}
+        assert feasible_point([LinearExpression.constant_expr(1)]) is None
+
+    def test_multi_variable_system(self):
+        constraints = [x + y - 10, -x, -y, x - y]  # 0 <= x <= y, x + y <= 10
+        point = feasible_point(constraints)
+        assert point is not None and satisfies(constraints, point)
+
+
+class TestDiophantine:
+    def test_gcd_infeasible_equality(self):
+        result = eliminate_equalities([x.scale(2) - y.scale(2) - 1], [])
+        assert not result.satisfiable
+
+    def test_unit_coefficient_substitution(self):
+        result = eliminate_equalities([x - y.scale(3) - 1], [x - 10])
+        assert result.satisfiable
+        # x was replaced: the inequality now mentions only y.
+        assert all("x" not in expr.variables for expr in result.inequalities)
+        model = lift_model({"y": 2}, result.substitutions)
+        assert model["x"] == 7
+
+    def test_coefficient_reduction_terminates(self):
+        # 6x + 10y = 8 has integer solutions (e.g. x = 3, y = -1).
+        result = eliminate_equalities([x.scale(6) + y.scale(10) - 8], [])
+        assert result.satisfiable
+        model = lift_model({}, result.substitutions)
+        assert 6 * model.get("x", 0) + 10 * model.get("y", 0) == 8
+
+
+class TestIlp:
+    def test_empty_conjunction_is_feasible(self):
+        assert integer_feasible([]) == {}
+
+    def test_bounded_feasible_with_model(self):
+        atoms = [atom_ge(x, 3), atom_le(x, 5)]
+        model = integer_feasible([a for a in atoms])
+        assert model is not None and 3 <= model["x"] <= 5
+
+    def test_rational_but_not_integer_feasible(self):
+        # 2x = 1 via two inequalities (recovered as an equality internally).
+        atoms = [atom_le(x.scale(2), 1), atom_ge(x.scale(2), 1)]
+        assert integer_feasible(list(atoms)) is None
+
+    def test_equality_chain(self):
+        atoms = [atom_eq(x, y + 1), atom_eq(y, z + 1), atom_eq(z, 5)]
+        model = integer_feasible(list(atoms))
+        assert model == {"x": 7, "y": 6, "z": 5}
+
+
+class TestSolver:
+    def test_unsat_congruence(self):
+        lam = LinearExpression.variable("lam")
+        formula = conjunction(
+            [atom_eq(lam.scale(3), 4), atom_ge(lam, 0)]
+        )
+        assert check_sat(formula).is_unsat
+
+    def test_sat_with_model_satisfying_formula(self):
+        formula = conjunction(
+            [atom_ge(x, 3), atom_le(x, 9), atom_ne(x, 5), disjunction([atom_eq(y, x), atom_eq(y, 0)])]
+        )
+        result = check_sat(formula)
+        assert result.is_sat
+        assert formula.evaluate(result.model)
+
+    def test_disequality_split(self):
+        formula = conjunction([atom_ge(x, 0), atom_le(x, 1), atom_ne(x, 0), atom_ne(x, 1)])
+        assert check_sat(formula).is_unsat
+
+    def test_validity(self):
+        assert is_valid(atom_ge(x + 1, x + 1))
+        assert is_valid(disjunction([atom_le(x, 5), atom_gt(x, 4)]))
+        assert not is_valid(atom_gt(x, 0))
+
+    def test_boolean_constants(self):
+        assert is_satisfiable(TRUE)
+        assert not is_satisfiable(FALSE)
+
+    def test_max_spec_shape(self):
+        out = LinearExpression.variable("o")
+        spec = conjunction(
+            [
+                atom_ge(out, x),
+                atom_ge(out, y),
+                disjunction([atom_eq(out, x), atom_eq(out, y)]),
+                atom_eq(x, 3),
+                atom_eq(y, 7),
+            ]
+        )
+        result = check_sat(spec)
+        assert result.is_sat and result.model["o"] == 7
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6), st.sampled_from(["<=", "=", "<"])
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_solver_agrees_with_small_domain_enumeration(self, rows):
+        """Cross-check the solver against brute force over a small box.
+
+        Every constraint uses two variables with small coefficients, so if a
+        solution exists within [-8, 8]^2 brute force finds it; the solver must
+        then report SAT (it may also find solutions outside the box, which is
+        why only this direction is asserted).
+        """
+        atoms = []
+        for a, b, c, op in rows:
+            expression = x.scale(a) + y.scale(b) + c
+            if op == "<=":
+                atoms.append(atom_le(expression, 0))
+            elif op == "<":
+                atoms.append(atom_lt(expression, 0))
+            else:
+                atoms.append(atom_eq(expression, 0))
+        formula = conjunction(atoms)
+        brute_force_sat = any(
+            formula.evaluate({"x": vx, "y": vy})
+            for vx in range(-8, 9)
+            for vy in range(-8, 9)
+        )
+        result = check_sat(formula)
+        if brute_force_sat:
+            assert result.is_sat
+        if result.is_sat:
+            assert formula.evaluate(result.model)

@@ -1,0 +1,119 @@
+"""Property tests for Newton's method on randomly generated equation systems.
+
+Two oracles are used:
+
+* on the Boolean semiring, the least fixpoint can be computed independently
+  by Kleene iteration (which terminates because the domain is finite), so
+  Newton must agree with it on random polynomial systems;
+* on the semi-linear-set semiring, the computed solution must actually be a
+  fixpoint (applying the right-hand sides once does not grow any component),
+  and it must over-approximate the vectors produced by bounded enumeration of
+  the corresponding random LIA grammar (soundness of Thm. 4.5's premise).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.clia import CliaInterpretation
+from repro.gfa.builder import build_lia_equations
+from repro.gfa.equations import EquationSystem, Monomial, Polynomial
+from repro.gfa.kleene import solve_kleene
+from repro.gfa.newton import solve_newton, solve_stratified
+from repro.gfa.semiring import BooleanSemiring, SemiLinearSemiring
+from repro.gfa.stratify import equation_strata
+from repro.grammar import alphabet as alph
+from repro.grammar.analysis import trim
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.semantics.evaluator import evaluate
+from repro.semantics.examples import ExampleSet
+from repro.utils.vectors import IntVector
+
+# ---------------------------------------------------------------------------
+# Boolean-semiring systems
+# ---------------------------------------------------------------------------
+
+variable_names = st.sampled_from(["A", "B", "C"])
+boolean_monomials = st.tuples(
+    st.booleans(), st.lists(variable_names, min_size=0, max_size=2)
+).map(lambda pair: Monomial(pair[0], tuple(pair[1])))
+boolean_polynomials = st.lists(boolean_monomials, min_size=0, max_size=3).map(
+    lambda monomials: Polynomial(tuple(monomials))
+)
+boolean_systems = st.fixed_dictionaries(
+    {"A": boolean_polynomials, "B": boolean_polynomials, "C": boolean_polynomials}
+).map(EquationSystem)
+
+
+class TestNewtonOnBooleanSemiring:
+    @settings(max_examples=80, deadline=None)
+    @given(boolean_systems)
+    def test_newton_agrees_with_kleene(self, system):
+        semiring = BooleanSemiring()
+        newton = solve_newton(system, semiring)
+        kleene = solve_kleene(system, semiring)
+        assert newton == kleene
+
+    @settings(max_examples=40, deadline=None)
+    @given(boolean_systems)
+    def test_newton_solution_is_a_fixpoint(self, system):
+        semiring = BooleanSemiring()
+        solution = solve_newton(system, semiring)
+        assert system.evaluate(semiring, solution) == solution
+
+
+# ---------------------------------------------------------------------------
+# Random LIA grammars over the semi-linear-set semiring
+# ---------------------------------------------------------------------------
+
+
+def random_lia_grammar(seed: int, num_nonterminals: int = 3) -> RegularTreeGrammar:
+    """A random productive LIA+ grammar over one variable."""
+    rng = random.Random(seed)
+    nonterminals = [Nonterminal(f"N{i}") for i in range(num_nonterminals)]
+    productions = []
+    for index, nonterminal in enumerate(nonterminals):
+        # Guarantee productivity with a leaf production.
+        leaf = rng.choice(
+            [alph.num(rng.randint(-3, 3)), alph.var("x"), alph.num(0)]
+        )
+        productions.append(Production(nonterminal, leaf, ()))
+        for _ in range(rng.randint(0, 2)):
+            left = rng.choice(nonterminals)
+            right = rng.choice(nonterminals)
+            productions.append(Production(nonterminal, alph.plus(2), (left, right)))
+    grammar = RegularTreeGrammar(nonterminals, nonterminals[0], productions, name=f"rand{seed}")
+    return trim(grammar)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_newton_overapproximates_enumeration(seed):
+    grammar = random_lia_grammar(seed)
+    examples = ExampleSet.of({"x": 2})
+    interpretation = CliaInterpretation(examples)
+    system = build_lia_equations(grammar, interpretation)
+    semiring = SemiLinearSemiring(1)
+    solution = solve_stratified(system, semiring, equation_strata(system))
+    start_value = solution[grammar.start]
+    for term in grammar.generate(max_size=7, limit=60):
+        vector = evaluate(term, examples)
+        assert start_value.contains(IntVector(list(vector))), (
+            f"seed {seed}: {term} evaluates to {vector} outside the abstraction"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_newton_solution_is_fixpoint_on_random_grammars(seed):
+    grammar = random_lia_grammar(seed)
+    examples = ExampleSet.of({"x": 1})
+    interpretation = CliaInterpretation(examples)
+    system = build_lia_equations(grammar, interpretation)
+    semiring = SemiLinearSemiring(1)
+    solution = solve_newton(system, semiring)
+    reapplied = system.evaluate(semiring, solution)
+    for key in solution:
+        assert reapplied[key].leq(solution[key]), f"component {key} grew after re-application"

@@ -1,0 +1,143 @@
+"""Tests for SyGuS problems, specifications, parsing, and printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.terms import LinearExpression
+from repro.semantics.examples import Example, ExampleSet
+from repro.suites.base import max_spec, scaled_variable_spec
+from repro.sygus import parse_sygus, print_sygus
+from repro.sygus.sexpr import parse_sexprs, write_sexpr
+from repro.utils.errors import SyGuSParseError, UnsupportedFeatureError
+
+RUNNING_EXAMPLE = """
+; the paper's running example
+(set-logic LIA)
+(synth-fun f ((x Int)) Int
+  ((Start Int (0 (+ x x x Start)))))
+(declare-var x Int)
+(constraint (= (f x) (+ (* 2 x) 2)))
+(check-synth)
+"""
+
+CLIA_EXAMPLE = """
+(set-logic CLIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (+ Start Start) (ite B Start Start)))
+   (B Bool ((< Start Start) (<= Start Start) (and B B) (not B)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (f x y) x))
+(constraint (>= (f x y) y))
+(constraint (or (= (f x y) x) (= (f x y) y)))
+(check-synth)
+"""
+
+
+class TestSexpr:
+    def test_roundtrip(self):
+        expressions = parse_sexprs("(a (b 1 -2) c)")
+        assert write_sexpr(expressions[0]) == "(a (b 1 -2) c)"
+
+    def test_comments_and_strings(self):
+        expressions = parse_sexprs('; comment\n(a "hello world" 3)')
+        assert expressions == [["a", '"hello world"', 3]]
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(SyGuSParseError):
+            parse_sexprs("(a (b)")
+
+
+class TestParser:
+    def test_running_example(self):
+        problem = parse_sygus(RUNNING_EXAMPLE, name="running")
+        assert problem.logic == "LIA"
+        assert problem.variables == ("x",)
+        # ``(+ x x x Start)`` is desugared through one auxiliary nonterminal
+        # deriving ``x`` (footnote 1 of the paper), giving two nonterminals.
+        assert problem.grammar.num_nonterminals == 2
+        assert problem.grammar.num_productions == 3
+        # The language is unchanged: every term still denotes a multiple of 3x.
+        from repro.semantics.evaluator import evaluate_on_example
+
+        for term in problem.grammar.generate(max_size=8, limit=30):
+            assert evaluate_on_example(term, {"x": 1}) % 3 == 0
+
+    def test_clia_example(self):
+        problem = parse_sygus(CLIA_EXAMPLE, name="max")
+        assert problem.logic == "CLIA"
+        assert problem.variables == ("x", "y")
+        assert problem.grammar.is_clia()
+        names = {production.symbol.name for production in problem.grammar.productions}
+        assert "IfThenElse" in names and "LessThan" in names
+
+    def test_spec_semantics(self):
+        problem = parse_sygus(CLIA_EXAMPLE)
+        example = Example.of({"x": 3, "y": 7})
+        assert problem.spec.holds_on_example(example, 7)
+        assert not problem.spec.holds_on_example(example, 5)
+
+    def test_non_single_invocation_rejected(self):
+        text = RUNNING_EXAMPLE.replace("(f x)", "(f 0)")
+        with pytest.raises(UnsupportedFeatureError):
+            parse_sygus(text)
+
+    def test_roundtrip_through_printer(self):
+        problem = parse_sygus(CLIA_EXAMPLE, name="max")
+        printed = print_sygus(problem)
+        reparsed = parse_sygus(printed, name="max-roundtrip")
+        assert reparsed.grammar.num_nonterminals == problem.grammar.num_nonterminals
+        assert reparsed.grammar.num_productions == problem.grammar.num_productions
+        example = Example.of({"x": -4, "y": 2})
+        for output in (-4, 2, 0):
+            assert problem.spec.holds_on_example(example, output) == reparsed.spec.holds_on_example(example, output)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SyGuSParseError):
+            parse_sygus("(surprise)")
+
+
+class TestSpecification:
+    def test_instantiate_on_example(self):
+        spec = scaled_variable_spec("x", 2, 2)
+        formula = spec.instantiate(Example.of({"x": 3}), LinearExpression.variable("o"))
+        assert formula.evaluate({"o": 8})
+        assert not formula.evaluate({"o": 7})
+
+    def test_max_spec_holds(self):
+        spec = max_spec(["x", "y"])
+        assert spec.holds_on_example(Example.of({"x": 4, "y": 9}), 9)
+        assert not spec.holds_on_example(Example.of({"x": 4, "y": 9}), 4)
+        assert not spec.holds_on_example(Example.of({"x": 4, "y": 9}), 11)
+
+
+class TestExamples:
+    def test_example_set_deduplicates(self):
+        examples = ExampleSet.of({"x": 1}, {"x": 1}, {"x": 2})
+        assert len(examples) == 2
+
+    def test_projection(self):
+        examples = ExampleSet.of({"x": 1, "y": 5}, {"x": 2, "y": 6})
+        assert list(examples.projection("y")) == [5, 6]
+
+    def test_mismatched_variables_rejected(self):
+        from repro.utils.errors import SemanticsError
+
+        with pytest.raises(SemanticsError):
+            ExampleSet.of({"x": 1}, {"y": 2})
+
+    def test_union_and_extended(self):
+        base = ExampleSet.of({"x": 1})
+        extended = base.extended(Example.of({"x": 2}))
+        assert len(extended) == 2 and len(base) == 1
+        union = extended.union(ExampleSet.of({"x": 1}, {"x": 3}))
+        assert len(union) == 3
+
+    def test_random_examples_within_bounds(self):
+        import random
+
+        examples = ExampleSet.random(["x", "y"], 5, random.Random(0), low=-3, high=3)
+        assert len(examples) <= 5
+        for example in examples:
+            assert -3 <= example.value("x") <= 3

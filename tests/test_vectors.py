@@ -1,0 +1,96 @@
+"""Unit and property tests for integer and Boolean vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.vectors import BoolVector, IntVector
+
+int_vectors = st.integers(min_value=1, max_value=5).flatmap(
+    lambda dim: st.tuples(
+        st.lists(st.integers(-100, 100), min_size=dim, max_size=dim),
+        st.lists(st.integers(-100, 100), min_size=dim, max_size=dim),
+    )
+)
+
+
+class TestIntVector:
+    def test_constant_and_zero(self):
+        assert IntVector.constant(3, 4).values == (3, 3, 3, 3)
+        assert IntVector.zero(2).is_zero()
+
+    def test_addition_and_subtraction(self):
+        left = IntVector([1, 2, 3])
+        right = IntVector([4, 5, 6])
+        assert (left + right).values == (5, 7, 9)
+        assert (right - left).values == (3, 3, 3)
+
+    def test_negation_and_scaling(self):
+        vector = IntVector([1, -2])
+        assert (-vector).values == (-1, 2)
+        assert vector.scale(3).values == (3, -6)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            IntVector([1]) + IntVector([1, 2])
+
+    def test_mask_zeroes_out_false_positions(self):
+        vector = IntVector([5, 6, 7])
+        mask = BoolVector([True, False, True])
+        assert vector.mask(mask).values == (5, 0, 7)
+
+    def test_less_than_componentwise(self):
+        left = IntVector([1, 5])
+        right = IntVector([2, 5])
+        assert left.less_than(right).values == (True, False)
+
+    def test_hashable_and_equal(self):
+        assert IntVector([1, 2]) == IntVector([1, 2])
+        assert len({IntVector([1, 2]), IntVector([1, 2])}) == 1
+
+    @given(int_vectors)
+    def test_addition_commutes(self, pair):
+        left, right = IntVector(pair[0]), IntVector(pair[1])
+        assert left + right == right + left
+
+    @given(int_vectors)
+    def test_subtraction_inverts_addition(self, pair):
+        left, right = IntVector(pair[0]), IntVector(pair[1])
+        assert (left + right) - right == left
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=6))
+    def test_scale_by_zero_is_zero(self, values):
+        assert IntVector(values).scale(0).is_zero()
+
+
+class TestBoolVector:
+    def test_constants(self):
+        assert BoolVector.all_true(3).values == (True, True, True)
+        assert BoolVector.all_false(2).values == (False, False)
+
+    def test_negation_involution(self):
+        vector = BoolVector([True, False, True])
+        assert ~~vector == vector
+
+    def test_and_or(self):
+        left = BoolVector([True, False])
+        right = BoolVector([True, True])
+        assert (left & right).values == (True, False)
+        assert (left | right).values == (True, True)
+
+    def test_enumerate_all_is_exhaustive_and_unique(self):
+        vectors = list(BoolVector.enumerate_all(3))
+        assert len(vectors) == 8
+        assert len(set(vectors)) == 8
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BoolVector([True]) & BoolVector([True, False])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_de_morgan(self, values):
+        vector = BoolVector(values)
+        other = BoolVector(list(reversed(values)))
+        assert ~(vector & other) == (~vector | ~other)
