@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import NayHorn
+from repro.engine import create_engine
 from repro.experiments import fig3, render_rows
 from repro.suites.scaling import example_set, scaling_benchmark
 
@@ -20,7 +20,7 @@ POINTS = [(3, 1), (3, 2), (3, 4), (4, 1), (4, 2), (5, 2)]
 def test_fig3_point(benchmark, nonterminals, examples):
     entry = scaling_benchmark(nonterminals)
     example_vector = example_set(examples)
-    tool = NayHorn(seed=0)
+    tool = create_engine("nayHorn", seed=0)
 
     def run():
         return tool.check(entry.problem, example_vector)

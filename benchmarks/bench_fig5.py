@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import NayHorn, Nope
+from repro.engine import create_engine
 from repro.experiments import fig5, render_rows
 from repro.suites.scaling import example_set, scaling_benchmark
 
@@ -21,7 +21,7 @@ POINTS = [(3, 1), (3, 2), (4, 1), (4, 2)]
 def test_fig5_point(benchmark, nonterminals, examples):
     entry = scaling_benchmark(nonterminals)
     example_vector = example_set(examples)
-    tool = Nope(seed=0)
+    tool = create_engine("nope", seed=0)
 
     def run():
         return tool.check(entry.problem, example_vector)
@@ -34,8 +34,8 @@ def test_fig5_nope_slower_than_nayhorn(capsys):
     """The §8.1 claim: same verdicts, nope pays an encoding overhead."""
     entry = scaling_benchmark(4)
     examples = example_set(2)
-    horn_result = NayHorn(seed=0).check(entry.problem, examples)
-    nope_result = Nope(seed=0).check(entry.problem, examples)
+    horn_result = create_engine("nayHorn", seed=0).check(entry.problem, examples)
+    nope_result = create_engine("nope", seed=0).check(entry.problem, examples)
     assert horn_result.verdict == nope_result.verdict
     assert nope_result.elapsed_seconds >= horn_result.elapsed_seconds
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import NayHorn, NaySL, Nope
-from repro.experiments import QUICK_TABLE1, render_rows, table1
+from repro.engine import create_engine
+from repro.experiments import ENGINE_ORDER, QUICK_TABLE1, render_rows, table1
 from repro.suites import get_benchmark
 
 #: (benchmark, suite) cells measured individually; a representative subset of
@@ -26,18 +26,12 @@ CELLS = [
     ("guard2", "LimitedIf"),
 ]
 
-TOOLS = {
-    "naySL": lambda: NaySL(seed=0),
-    "nayHorn": lambda: NayHorn(seed=0),
-    "nope": lambda: Nope(seed=0),
-}
-
 
 @pytest.mark.parametrize("benchmark_name,suite", CELLS)
-@pytest.mark.parametrize("tool_name", list(TOOLS))
+@pytest.mark.parametrize("tool_name", list(ENGINE_ORDER))
 def test_table1_cell(benchmark, benchmark_name, suite, tool_name):
     entry = get_benchmark(benchmark_name, suite)
-    tool = TOOLS[tool_name]()
+    tool = create_engine(tool_name, seed=0)
     examples = entry.witness_examples
 
     def run():

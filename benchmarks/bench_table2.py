@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import NayHorn, NaySL, Nope
-from repro.experiments import QUICK_TABLE2, render_rows, table2
+from repro.engine import create_engine
+from repro.experiments import ENGINE_ORDER, QUICK_TABLE2, render_rows, table2
 from repro.suites import get_benchmark
 
 CELLS = [
@@ -24,18 +24,12 @@ CELLS = [
     "mpg_plane2",
 ]
 
-TOOLS = {
-    "naySL": lambda: NaySL(seed=0),
-    "nayHorn": lambda: NayHorn(seed=0),
-    "nope": lambda: Nope(seed=0),
-}
-
 
 @pytest.mark.parametrize("benchmark_name", CELLS)
-@pytest.mark.parametrize("tool_name", list(TOOLS))
+@pytest.mark.parametrize("tool_name", list(ENGINE_ORDER))
 def test_table2_cell(benchmark, benchmark_name, tool_name):
     entry = get_benchmark(benchmark_name, "LimitedConst")
-    tool = TOOLS[tool_name]()
+    tool = create_engine(tool_name, seed=0)
     examples = entry.witness_examples
 
     def run():
@@ -62,7 +56,7 @@ def test_table2_scaling_with_array_size(capsys):
     """naySL's LimitedConst time grows with the array size (Table 2 shape)."""
     small = get_benchmark("array_search_2", "LimitedConst")
     large = get_benchmark("array_search_10", "LimitedConst")
-    tool = NaySL(seed=0)
+    tool = create_engine("naySL", seed=0)
     import time
 
     start = time.monotonic()

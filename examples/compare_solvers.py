@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import time
 
-from repro import NayHorn, NaySL, Nope, get_benchmark
+from repro import get_benchmark
+from repro.engine import create_engine, engine_names
 from repro.horn.clauses import encode_gfa_as_horn
 
 BENCHMARKS = [
@@ -26,7 +27,7 @@ BENCHMARKS = [
 
 
 def main() -> None:
-    tools = {"naySL": NaySL(seed=0), "nayHorn": NayHorn(seed=0), "nope": Nope(seed=0)}
+    tools = {name: create_engine(name, seed=0) for name in engine_names()}
     header = f"{'benchmark':28s}" + "".join(f"{name:>22s}" for name in tools)
     print(header)
     print("-" * len(header))

@@ -22,6 +22,14 @@ Quickstart::
 """
 
 from repro.baselines import NayHorn, NaySL, Nope
+from repro.engine import (
+    ExperimentRunner,
+    Task,
+    UnrealizabilityEngine,
+    create_engine,
+    engine_names,
+    register_engine,
+)
 from repro.grammar import (
     Nonterminal,
     Production,
@@ -43,12 +51,18 @@ from repro.unreal import (
     check_lia_examples,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "NaySL",
     "NayHorn",
     "Nope",
+    "UnrealizabilityEngine",
+    "register_engine",
+    "create_engine",
+    "engine_names",
+    "ExperimentRunner",
+    "Task",
     "NaySolver",
     "NayConfig",
     "Verdict",

@@ -8,9 +8,12 @@
   unrealizability to program reachability and then to Horn clauses; our
   reimplementation reproduces the extra encoding indirection and its cost.
 
-All three expose the same interface: ``solve(problem) -> CegisResult`` (the
-full CEGIS loop) and ``check(problem, examples) -> CheckResult`` (one
-unrealizability check over a fixed example set).
+All three implement the :class:`repro.engine.base.UnrealizabilityEngine`
+protocol — ``solve(problem) -> CegisResult`` (the full CEGIS loop),
+``check(problem, examples) -> CheckResult`` (one unrealizability check over a
+fixed example set), and ``configure(**knobs)`` — and register themselves in
+:mod:`repro.engine.registry` at import time, so consumers construct them via
+``create_engine("naySL")`` rather than importing the classes directly.
 """
 
 from repro.baselines.nay_sl import NaySL

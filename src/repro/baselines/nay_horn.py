@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.engine.base import EngineConfigMixin
+from repro.engine.registry import register_engine
 from repro.horn.solver import HornEngine
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
@@ -12,8 +14,9 @@ from repro.unreal.cegis import NayConfig, NaySolver
 from repro.unreal.result import CegisResult, CheckResult
 
 
+@register_engine("nayHorn")
 @dataclass
-class NayHorn:
+class NayHorn(EngineConfigMixin):
     """NAY in Horn mode: same CEGIS loop, approximate unrealizability check.
 
     The paper encodes the GFA equations as constrained Horn clauses solved by

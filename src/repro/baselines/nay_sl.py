@@ -5,14 +5,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.engine.base import EngineConfigMixin
+from repro.engine.registry import register_engine
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.unreal.cegis import NayConfig, NaySolver
 from repro.unreal.result import CegisResult, CheckResult
 
 
+@register_engine("naySL")
 @dataclass
-class NaySL:
+class NaySL(EngineConfigMixin):
     """The NaySL tool configuration (Alg. 2 with the exact checker)."""
 
     seed: Optional[int] = None

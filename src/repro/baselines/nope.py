@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.base import EngineConfigMixin
+from repro.engine.registry import register_engine
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.grammar.transforms import normalize_for_gfa
 from repro.horn.clauses import HornSystem, encode_gfa_as_horn
@@ -80,8 +82,9 @@ def build_reachability_program(
     return ReachabilityProgram(procedures, assertion)
 
 
+@register_engine("nope")
 @dataclass
-class Nope:
+class Nope(EngineConfigMixin):
     """The NOPE baseline: program-reachability reduction + Horn solving."""
 
     seed: Optional[int] = None
@@ -107,18 +110,15 @@ class Nope:
     def solve(
         self, problem: SyGuSProblem, initial_examples: Optional[ExampleSet] = None
     ) -> CegisResult:
-        """The CEGIS loop with NOPE's checker in place of NAY's."""
+        """The CEGIS loop with NOPE's checker injected in place of NAY's."""
         solver = NaySolver(
             NayConfig(
                 mode="horn",
                 seed=self.seed,
                 timeout_seconds=self.timeout_seconds,
                 max_iterations=self.max_iterations,
+                checker=self.check,
             )
-        )
-        # Substitute the checker with the overhead-bearing NOPE encoding.
-        solver.check_examples = lambda problem_, examples_: self.check(  # type: ignore[method-assign]
-            problem_, examples_
         )
         return solver.solve(problem, initial_examples)
 

@@ -4,60 +4,104 @@ Subcommands:
 
 * ``solve <file.sl>``       — run the NAY CEGIS loop on a SyGuS-IF problem;
 * ``check <benchmark>``     — run one unrealizability check on a named
-  benchmark's witness example set with a chosen tool;
+  benchmark's witness example set with a chosen engine (``--examples N``
+  overrides the witness example count);
 * ``list``                  — list the benchmark suites;
-* ``experiments <name>``    — shorthand for ``python -m repro.experiments``.
+* ``engines``               — list the registered engines;
+* ``experiments <name>``    — shorthand for ``python -m repro.experiments``
+  (``--workers N`` parallelizes, ``--out DIR`` persists JSONL results).
+
+Engines are resolved through :mod:`repro.engine.registry`; any engine
+registered with ``@register_engine`` is immediately available to every
+subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from typing import Optional, Sequence
 
 from repro import experiments
-from repro.baselines import NayHorn, NaySL, Nope
+from repro.engine.registry import create_engine, engine_names
+from repro.semantics.examples import ExampleSet
 from repro.suites import all_benchmarks, get_benchmark
+from repro.suites.base import Benchmark
 from repro.sygus import parse_sygus_file
+from repro.utils.errors import ReproError
 
 
-def _tool(name: str, seed: Optional[int], timeout: Optional[float]):
-    if name == "naySL":
-        return NaySL(seed=seed, timeout_seconds=timeout)
-    if name == "nayHorn":
-        return NayHorn(seed=seed, timeout_seconds=timeout)
-    if name == "nope":
-        return Nope(seed=seed, timeout_seconds=timeout)
-    raise SystemExit(f"unknown tool {name!r}")
+def _resize_examples(benchmark: Benchmark, count: int) -> ExampleSet:
+    """An example set of exactly ``count`` examples for a benchmark.
+
+    Starts from the recorded witness examples (they are the ones known to
+    prove unrealizability) and tops up with seeded random examples when more
+    are requested, so the result stays deterministic.
+    """
+    examples = list(benchmark.witness_examples or ExampleSet())[:count]
+    rng = random.Random(0)
+    collected = ExampleSet(examples)
+    for _ in range(100 * count):
+        if len(collected) >= count:
+            break
+        collected = collected.union(
+            ExampleSet.random(benchmark.problem.variables, 1, rng, -50, 50)
+        )
+    if len(collected) < count:
+        print(
+            f"warning: only {len(collected)} distinct examples available "
+            f"(requested {count})",
+            file=sys.stderr,
+        )
+    return collected
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    engines = engine_names()
     parser = argparse.ArgumentParser(prog="repro-nay", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     solve = subparsers.add_parser("solve", help="run the CEGIS loop on a .sl file")
     solve.add_argument("path")
-    solve.add_argument("--tool", default="naySL", choices=["naySL", "nayHorn", "nope"])
+    solve.add_argument("--tool", default="naySL", choices=engines)
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--timeout", type=float, default=600.0)
 
     check = subparsers.add_parser("check", help="check a named benchmark")
     check.add_argument("benchmark")
-    check.add_argument("--tool", default="naySL", choices=["naySL", "nayHorn", "nope"])
+    check.add_argument("--tool", default="naySL", choices=engines)
     check.add_argument("--timeout", type=float, default=600.0)
+    def _nonnegative(value: str) -> int:
+        parsed = int(value)
+        if parsed < 0:
+            raise argparse.ArgumentTypeError("example count must be >= 0")
+        return parsed
+
+    check.add_argument(
+        "--examples",
+        type=_nonnegative,
+        default=None,
+        help="override the witness example count (truncate or top up, seeded)",
+    )
 
     subparsers.add_parser("list", help="list all benchmarks")
+    subparsers.add_parser("engines", help="list the registered engines")
 
     experiment = subparsers.add_parser("experiments", help="regenerate tables/figures")
     experiment.add_argument("name", choices=sorted(experiments.EXPERIMENTS) + ["all"])
     experiment.add_argument("--full", action="store_true")
+    experiment.add_argument("--workers", type=int, default=1)
+    experiment.add_argument("--out", default=None)
 
     arguments = parser.parse_args(argv)
 
     if arguments.command == "solve":
         problem = parse_sygus_file(arguments.path)
-        tool = _tool(arguments.tool, arguments.seed, arguments.timeout)
-        result = tool.solve(problem)
+        engine = create_engine(
+            arguments.tool, seed=arguments.seed, timeout_seconds=arguments.timeout
+        )
+        result = engine.solve(problem)
         print(f"verdict: {result.verdict.value}")
         if result.solution is not None:
             print(f"solution: {result.solution.to_sexpr()}")
@@ -66,15 +110,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.command == "check":
-        benchmark = get_benchmark(arguments.benchmark)
-        tool = _tool(arguments.tool, 0, arguments.timeout)
+        try:
+            benchmark = get_benchmark(arguments.benchmark)
+        except ReproError as error:
+            print(error, file=sys.stderr)
+            return 1
+        engine = create_engine(arguments.tool, seed=0, timeout_seconds=arguments.timeout)
         examples = benchmark.witness_examples
+        if arguments.examples is not None:
+            examples = _resize_examples(benchmark, arguments.examples)
         if examples is None:
             print("benchmark has no recorded witness examples; running CEGIS instead")
-            result = tool.solve(benchmark.problem)
+            result = engine.solve(benchmark.problem)
             print(f"verdict: {result.verdict.value}")
             return 0
-        result = tool.check(benchmark.problem, examples)
+        result = engine.check(benchmark.problem, examples)
         print(f"verdict: {result.verdict.value} on {examples}")
         print(f"time: {result.elapsed_seconds:.2f}s")
         return 0
@@ -88,10 +138,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         return 0
 
+    if arguments.command == "engines":
+        for name in engines:
+            print(name)
+        return 0
+
     if arguments.command == "experiments":
-        return experiments.main(
-            [arguments.name] + (["--full"] if arguments.full else [])
-        )
+        passthrough = [arguments.name, "--workers", str(arguments.workers)]
+        if arguments.full:
+            passthrough.append("--full")
+        if arguments.out:
+            passthrough.extend(["--out", arguments.out])
+        return experiments.main(passthrough)
 
     return 1
 

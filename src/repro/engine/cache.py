@@ -1,0 +1,163 @@
+"""Memoization of grammar normalization and GFA equation construction.
+
+The experiment sweeps repeat an enormous amount of structural work: the
+Fig. 2 series solves the *same* chain grammar once per example count, and
+every (tool, benchmark) cell of Tables 1/2 re-normalizes the benchmark's
+grammar for each engine.  Normalization (:func:`normalize_for_gfa`) and
+equation-system construction (:func:`build_lia_equations`) are pure
+functions of immutable inputs, so this module caches them process-wide.
+
+Cache keys (documented in DESIGN.md):
+
+* **normalized grammar** — keyed by the grammar *fingerprint*: the tuple
+  ``(start, nonterminals, productions)``.  Fingerprints are structural, so
+  two independently constructed but identical grammars (e.g. the scaling
+  benchmark rebuilt per sweep point) share one cache entry; the grammar's
+  display ``name`` is deliberately excluded.
+* **LIA equation system** — keyed by ``(grammar fingerprint, examples)``;
+  the system's constant semi-linear sets embed the example projections, so
+  the example set is part of the key.  :class:`~repro.semantics.examples.ExampleSet`
+  is hashable by value.
+
+Both cached values are immutable (grammars are never mutated after
+construction; :class:`~repro.gfa.equations.EquationSystem` is built from
+frozen monomials and the Newton solver only derives restricted copies), so
+sharing entries across callers is safe.
+
+Each worker process of the experiment runner holds its own cache — hits are
+per-process, which is exactly what the runner's task batching exploits by
+keeping same-grammar tasks adjacent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.domains.clia import CliaInterpretation
+from repro.gfa.builder import build_lia_equations
+from repro.gfa.equations import EquationSystem
+from repro.grammar.rtg import RegularTreeGrammar
+from repro.grammar.transforms import normalize_for_gfa
+from repro.semantics.examples import ExampleSet
+
+
+def grammar_fingerprint(grammar: RegularTreeGrammar) -> Hashable:
+    """A structural, hashable identity for a grammar (name excluded)."""
+    return (grammar.start, grammar.nonterminals, grammar.productions)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, one pair per cached construction."""
+
+    normalize_hits: int = 0
+    normalize_misses: int = 0
+    equations_hits: int = 0
+    equations_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "normalize_hits": self.normalize_hits,
+            "normalize_misses": self.normalize_misses,
+            "equations_hits": self.equations_hits,
+            "equations_misses": self.equations_misses,
+        }
+
+
+class GfaCache:
+    """An LRU cache over the two pure construction steps of the GFA pipeline.
+
+    ``max_entries`` bounds each table independently; the default comfortably
+    covers a full experiment sweep while keeping worst-case memory bounded
+    for long-lived server processes.
+    """
+
+    def __init__(self, max_entries: int = 256, enabled: bool = True):
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._normalized: "OrderedDict[Hashable, RegularTreeGrammar]" = OrderedDict()
+        self._equations: "OrderedDict[Hashable, EquationSystem]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- the cached constructions ---------------------------------------------
+
+    def normalized(self, grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+        """``normalize_for_gfa(grammar)``, memoized by structural fingerprint."""
+        if not self.enabled:
+            return normalize_for_gfa(grammar)
+        key = grammar_fingerprint(grammar)
+        with self._lock:
+            cached = self._get(self._normalized, key)
+            if cached is not None:
+                self.stats.normalize_hits += 1
+                return cached
+            self.stats.normalize_misses += 1
+        value = normalize_for_gfa(grammar)
+        with self._lock:
+            self._put(self._normalized, key, value)
+        return value
+
+    def lia_equations(
+        self, normalized: RegularTreeGrammar, examples: ExampleSet
+    ) -> EquationSystem:
+        """``build_lia_equations`` over an already-normalized grammar, memoized.
+
+        The interpretation is derived from the example set here rather than
+        accepted as a parameter: the example set is the cache key, so letting
+        callers supply their own interpretation would alias different
+        interpretations onto one entry.
+        """
+        if not self.enabled:
+            return build_lia_equations(normalized, CliaInterpretation(examples))
+        key = (grammar_fingerprint(normalized), examples)
+        with self._lock:
+            cached = self._get(self._equations, key)
+            if cached is not None:
+                self.stats.equations_hits += 1
+                return cached
+            self.stats.equations_misses += 1
+        value = build_lia_equations(normalized, CliaInterpretation(examples))
+        with self._lock:
+            self._put(self._equations, key, value)
+        return value
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._normalized.clear()
+            self._equations.clear()
+            self.stats = CacheStats()
+
+    @staticmethod
+    def _get(table: OrderedDict, key: Hashable):
+        value = table.get(key)
+        if value is not None:
+            table.move_to_end(key)
+        return value
+
+    def _put(self, table: OrderedDict, key: Hashable, value) -> None:
+        table[key] = value
+        table.move_to_end(key)
+        while len(table) > self.max_entries:
+            table.popitem(last=False)
+
+
+#: The process-wide cache used by the solvers in :mod:`repro.unreal`.
+_DEFAULT_CACHE = GfaCache()
+
+
+def get_cache() -> GfaCache:
+    return _DEFAULT_CACHE
+
+
+def clear_cache() -> None:
+    _DEFAULT_CACHE.clear()
+
+
+def cache_stats() -> CacheStats:
+    return _DEFAULT_CACHE.stats

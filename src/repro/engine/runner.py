@@ -1,0 +1,264 @@
+"""The batched experiment runner: tasks in, deterministic rows out.
+
+Every table and figure of §8 is a list of independent measurements.  The
+runner makes that explicit: an experiment is a declarative list of
+:class:`Task` values — *references* to an engine (by registry name), a
+benchmark (by suite name or scaling size) and an example set (witness or
+``x = 1..k``) — executed either serially or on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Design points:
+
+* **Tasks are plain data.**  Workers re-resolve the engine through
+  :mod:`repro.engine.registry` and the benchmark through
+  :mod:`repro.suites`, so nothing heavyweight crosses the process boundary
+  and every worker warms its own :mod:`repro.engine.cache`.
+* **Deterministic ordering.**  Rows come back in task order regardless of
+  worker count or completion order; ``workers=1`` and ``workers=N`` produce
+  identical stable fields (see :mod:`repro.engine.results`).
+* **Two-sided timeout policy.**  A run that finishes past its deadline but
+  with a definitive two-sided verdict (``UNREALIZABLE`` *or* ``REALIZABLE``)
+  keeps that verdict — the old harness back-dated late ``REALIZABLE``
+  answers to ``TIMEOUT``, losing information.  Only ``UNKNOWN`` and
+  resource-limit outcomes are reported as ``TIMEOUT``.
+* **Wall-clock guards.**  Engines receive the task timeout as their soft
+  deadline; on top of that the pool waits at most
+  ``timeout * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN`` per task and
+  records a ``TIMEOUT`` row if a worker is truly stuck.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.registry import create_engine
+from repro.engine.results import ResultsStore
+from repro.semantics.examples import ExampleSet
+from repro.suites.base import Benchmark
+from repro.unreal.result import Verdict
+from repro.utils.errors import SolverLimitError
+
+#: Hard wall-clock guard: how long past a task's soft timeout the parent
+#: waits for a worker before writing the row off as TIMEOUT.
+HARD_TIMEOUT_FACTOR = 3.0
+HARD_TIMEOUT_MARGIN = 30.0
+
+
+@dataclass
+class Task:
+    """One measurement: an engine (or raw GFA solve) on one benchmark.
+
+    Benchmarks are referenced by name so tasks stay picklable and cheap:
+    ``scaling_size`` selects :func:`repro.suites.scaling.scaling_benchmark`,
+    otherwise ``benchmark``/``suite`` go through
+    :func:`repro.suites.get_benchmark`.  ``example_count`` selects the
+    ``x = 1..k`` scaling example set; ``None`` means the benchmark's recorded
+    witness examples.
+    """
+
+    kind: str = "check"  # "check" | "solve" | "gfa"
+    engine: Optional[str] = None
+    knobs: Dict[str, object] = field(default_factory=dict)
+    benchmark: Optional[str] = None
+    suite: Optional[str] = None
+    scaling_size: Optional[int] = None
+    example_count: Optional[int] = None
+    timeout: Optional[float] = None
+    stratify: bool = True  # only for kind="gfa"
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+def resolve_benchmark(task: Task) -> Benchmark:
+    if task.scaling_size is not None:
+        from repro.suites.scaling import scaling_benchmark
+
+        return scaling_benchmark(task.scaling_size)
+    if task.benchmark is None:
+        raise ValueError("task references no benchmark")
+    from repro.suites import get_benchmark
+
+    return get_benchmark(task.benchmark, task.suite)
+
+
+def resolve_examples(task: Task, benchmark: Benchmark) -> ExampleSet:
+    if task.example_count is not None:
+        from repro.suites.scaling import example_set
+
+        return example_set(task.example_count)
+    return benchmark.witness_examples or ExampleSet()
+
+
+def apply_timeout_policy(
+    verdict: Verdict, elapsed: float, timeout: Optional[float]
+) -> Verdict:
+    """Late two-sided verdicts survive; only undetermined outcomes time out."""
+    if timeout is not None and elapsed > timeout:
+        if verdict not in (Verdict.UNREALIZABLE, Verdict.REALIZABLE):
+            return Verdict.TIMEOUT
+    return verdict
+
+
+def execute_task(task: Task) -> Dict[str, object]:
+    """Run one task to a result row (also the worker entry point)."""
+    benchmark = resolve_benchmark(task)
+    examples = resolve_examples(task, benchmark)
+
+    if task.kind == "gfa":
+        return _execute_gfa(task, benchmark, examples)
+
+    engine = create_engine(
+        task.engine or "naySL", timeout_seconds=task.timeout, **task.knobs
+    )
+    start = time.monotonic()
+    try:
+        if task.kind == "solve" or len(examples) == 0:
+            result = engine.solve(benchmark.problem)
+            verdict = result.verdict
+            num_examples = result.num_examples
+        else:
+            result = engine.check(benchmark.problem, examples)
+            verdict = result.verdict
+            num_examples = len(examples)
+    except SolverLimitError:
+        verdict = Verdict.TIMEOUT
+        num_examples = len(examples)
+    elapsed = time.monotonic() - start
+    verdict = apply_timeout_policy(verdict, elapsed, task.timeout)
+    return {
+        "suite": benchmark.suite,
+        "benchmark": benchmark.name,
+        "tool": engine.name,
+        "verdict": verdict.value,
+        "seconds": round(elapsed, 4),
+        "examples": num_examples,
+        "paper_seconds": benchmark.paper.get(engine.name),
+        **task.tags,
+    }
+
+
+def _execute_gfa(
+    task: Task, benchmark: Benchmark, examples: ExampleSet
+) -> Dict[str, object]:
+    """A raw semi-linear-set solve (the Fig. 2 / Fig. 4 measurement)."""
+    from repro.unreal.lia import solve_lia_gfa
+
+    start = time.monotonic()
+    solution = solve_lia_gfa(
+        benchmark.problem.grammar, examples, stratify=task.stratify
+    )
+    elapsed = time.monotonic() - start
+    return {
+        "benchmark": benchmark.name,
+        "nonterminals": benchmark.problem.grammar.num_nonterminals,
+        "examples": len(examples),
+        "seconds": round(elapsed, 4),
+        "semilinear_size": solution.start_value.size,
+        "stratify": task.stratify,
+        **task.tags,
+    }
+
+
+def _timeout_row(task: Task) -> Dict[str, object]:
+    """The row recorded when a worker exceeds the hard wall-clock guard.
+
+    Mirrors the shape the task's kind would have produced so downstream
+    post-processing (and stable-field comparisons) see homogeneous rows.
+    """
+    benchmark = resolve_benchmark(task)
+    examples = resolve_examples(task, benchmark)
+    if task.kind == "gfa":
+        return {
+            "benchmark": benchmark.name,
+            "nonterminals": benchmark.problem.grammar.num_nonterminals,
+            "examples": len(examples),
+            "seconds": float(task.timeout or 0.0),
+            "semilinear_size": 0,
+            "stratify": task.stratify,
+            "verdict": Verdict.TIMEOUT.value,
+            **task.tags,
+        }
+    return {
+        "suite": benchmark.suite,
+        "benchmark": benchmark.name,
+        "tool": task.engine or "gfa",
+        "verdict": Verdict.TIMEOUT.value,
+        "seconds": float(task.timeout or 0.0),
+        "examples": len(examples),
+        "paper_seconds": benchmark.paper.get(task.engine or ""),
+        **task.tags,
+    }
+
+
+class ExperimentRunner:
+    """Execute a task list serially or on a process pool.
+
+    ``workers=1`` (the default) runs in-process — fully deterministic and
+    the best mode for measurement runs.  ``workers>1`` fans tasks out to a
+    ``ProcessPoolExecutor`` while preserving task ordering of the returned
+    rows.  ``out`` names a directory to persist rows to as JSONL (see
+    :class:`~repro.engine.results.ResultsStore`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        out: Optional[str] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.store = ResultsStore(out) if out else None
+
+    def run(
+        self, tasks: Sequence[Task], experiment: str = "adhoc"
+    ) -> List[Dict[str, object]]:
+        # Copy tasks when filling in the default timeout so a task list can
+        # be reused across runners with different timeouts.
+        tasks = [
+            replace(task, timeout=self.timeout) if task.timeout is None else task
+            for task in tasks
+        ]
+        if self.workers == 1 or len(tasks) <= 1:
+            rows = [execute_task(task) for task in tasks]
+        else:
+            rows = self._run_pool(tasks)
+        if self.store is not None:
+            self.store.append(experiment, rows, meta={"workers": self.workers})
+        return rows
+
+    def _run_pool(self, tasks: List[Task]) -> List[Dict[str, object]]:
+        rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+        max_workers = min(self.workers, len(tasks), (os.cpu_count() or 2))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        stuck = False
+        try:
+            futures: List[Future] = [pool.submit(execute_task, task) for task in tasks]
+            for index, (task, future) in enumerate(zip(tasks, futures)):
+                guard = (
+                    task.timeout * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN
+                    if task.timeout is not None
+                    else None
+                )
+                try:
+                    rows[index] = future.result(timeout=guard)
+                except FutureTimeoutError:
+                    future.cancel()
+                    stuck = True
+                    rows[index] = _timeout_row(task)
+        finally:
+            if stuck:
+                # A worker blew through its hard guard; shutdown(wait=True)
+                # would join it forever.  Cancel what has not started and
+                # terminate the worker processes outright — every finished
+                # task's row is already collected.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for process in list(getattr(pool, "_processes", {}).values() or []):
+                    process.terminate()
+            else:
+                pool.shutdown(wait=True)
+        return [row for row in rows if row is not None]

@@ -1,9 +1,12 @@
 """The experiment harness: regenerates every table and figure of §8.
 
-Each public function returns plain Python data (lists of row dictionaries)
-and also renders a text table/series, so the same code backs the pytest
-benchmarks in ``benchmarks/``, the command line (``python -m repro.experiments
-<experiment>``), and EXPERIMENTS.md.
+Each public function builds a *declarative task list* and hands it to the
+:class:`~repro.engine.runner.ExperimentRunner` — the same runner backs the
+pytest benchmarks in ``benchmarks/``, the command line (``python -m
+repro.experiments <experiment> [--workers N] [--out results/]``), and
+EXPERIMENTS.md.  Engines are resolved exclusively through
+:mod:`repro.engine.registry`, so adding a fourth tool to every table is a
+one-line change to :data:`ENGINE_ORDER`.
 
 Experiments (see DESIGN.md's per-experiment index):
 
@@ -25,18 +28,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines import NayHorn, NaySL, Nope
-from repro.semantics.examples import ExampleSet
+from repro.engine.runner import ExperimentRunner, Task
 from repro.suites import benchmarks_by_suite
 from repro.suites.base import Benchmark
-from repro.suites.scaling import example_set, scaling_benchmark
-from repro.unreal.lia import solve_lia_gfa
-from repro.unreal.result import Verdict
-from repro.utils.errors import ReproError, SolverLimitError
+
+#: The tools of the §8 comparison, in table column order.  Every experiment
+#: resolves these through the engine registry; registering a new engine and
+#: adding its name here is all it takes to grow the tables.
+ENGINE_ORDER = ("naySL", "nayHorn", "nope")
 
 #: Benchmarks used when ``quick=True`` (the default for pytest benchmarks):
 #: a representative subset that keeps the harness under a few minutes.
@@ -87,51 +89,19 @@ class ExperimentRow:
             **self.extra,
         }
 
-
-def _tools(timeout: float) -> Dict[str, object]:
-    return {
-        "naySL": NaySL(seed=0, timeout_seconds=timeout),
-        "nayHorn": NayHorn(seed=0, timeout_seconds=timeout),
-        "nope": Nope(seed=0, timeout_seconds=timeout),
-    }
-
-
-def _run_tool_on_benchmark(
-    tool_name: str, tool, benchmark: Benchmark, timeout: float
-) -> ExperimentRow:
-    """Run one tool on one benchmark's witness example set (deterministic).
-
-    The paper's Table 1/2 report the time of the CEGIS run whose last
-    iteration proves unrealizability; running the checkers directly on the
-    recorded witness example set measures exactly that final, dominating
-    iteration while keeping the harness deterministic.
-    """
-    examples = benchmark.witness_examples or ExampleSet()
-    start = time.monotonic()
-    try:
-        if len(examples) == 0:
-            result = tool.solve(benchmark.problem)
-            verdict = result.verdict
-            num_examples = result.num_examples
-        else:
-            result = tool.check(benchmark.problem, examples)
-            verdict = result.verdict
-            num_examples = len(examples)
-    except SolverLimitError:
-        verdict = Verdict.TIMEOUT
-        num_examples = len(examples)
-    elapsed = time.monotonic() - start
-    if elapsed > timeout and verdict not in (Verdict.UNREALIZABLE,):
-        verdict = Verdict.TIMEOUT
-    return ExperimentRow(
-        suite=benchmark.suite,
-        benchmark=benchmark.name,
-        tool=tool_name,
-        verdict=verdict.value,
-        seconds=elapsed,
-        examples=num_examples,
-        paper_seconds=benchmark.paper.get(tool_name),
-    )
+    @staticmethod
+    def from_dict(row: Dict[str, object]) -> "ExperimentRow":
+        known = {"suite", "benchmark", "tool", "verdict", "seconds", "examples", "paper_seconds"}
+        return ExperimentRow(
+            suite=str(row.get("suite", "")),
+            benchmark=str(row.get("benchmark", "")),
+            tool=str(row.get("tool", "")),
+            verdict=str(row.get("verdict", "")),
+            seconds=float(row.get("seconds", 0.0)),
+            examples=int(row.get("examples", 0)),
+            paper_seconds=row.get("paper_seconds"),  # type: ignore[arg-type]
+            extra={key: value for key, value in row.items() if key not in known},
+        )
 
 
 def _select(benchmarks: Sequence[Benchmark], names: Optional[Sequence[str]]) -> List[Benchmark]:
@@ -141,12 +111,41 @@ def _select(benchmarks: Sequence[Benchmark], names: Optional[Sequence[str]]) -> 
     return [by_name[name] for name in names if name in by_name]
 
 
+def _runner(workers: int, timeout: Optional[float], out: Optional[str]) -> ExperimentRunner:
+    return ExperimentRunner(workers=workers, timeout=timeout, out=out)
+
+
 # ---------------------------------------------------------------------------
 # Tables 1 and 2
 # ---------------------------------------------------------------------------
 
 
-def table1(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
+def _table_tasks(benchmarks: Sequence[Benchmark], timeout: float) -> List[Task]:
+    """The (benchmark x engine) grid, benchmark-major like the paper's tables.
+
+    Keeping the per-benchmark cells adjacent also keeps the grammar cache hot:
+    all three engines normalize the same grammar back to back.
+    """
+    return [
+        Task(
+            kind="check",
+            engine=engine,
+            knobs={"seed": 0},
+            benchmark=benchmark.name,
+            suite=benchmark.suite,
+            timeout=timeout,
+        )
+        for benchmark in benchmarks
+        for engine in ENGINE_ORDER
+    ]
+
+
+def table1(
+    quick: bool = True,
+    timeout: float = 60.0,
+    workers: int = 1,
+    out: Optional[str] = None,
+) -> List[ExperimentRow]:
     """Table 1: LimitedPlus and LimitedIf, all three tools."""
     suites = benchmarks_by_suite()
     benchmarks = suites["LimitedPlus"] + suites["LimitedIf"]
@@ -154,25 +153,22 @@ def table1(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
         benchmarks = _select(benchmarks, QUICK_TABLE1)
     else:
         benchmarks = [b for b in benchmarks if b.witness_examples is not None]
-    rows: List[ExperimentRow] = []
-    tools = _tools(timeout)
-    for benchmark in benchmarks:
-        for tool_name, tool in tools.items():
-            rows.append(_run_tool_on_benchmark(tool_name, tool, benchmark, timeout))
-    return rows
+    rows = _runner(workers, timeout, out).run(_table_tasks(benchmarks, timeout), "table1")
+    return [ExperimentRow.from_dict(row) for row in rows]
 
 
-def table2(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
+def table2(
+    quick: bool = True,
+    timeout: float = 60.0,
+    workers: int = 1,
+    out: Optional[str] = None,
+) -> List[ExperimentRow]:
     """Table 2 (Appendix A): LimitedConst, all three tools."""
     benchmarks = benchmarks_by_suite()["LimitedConst"]
     if quick:
         benchmarks = _select(benchmarks, QUICK_TABLE2)
-    rows: List[ExperimentRow] = []
-    tools = _tools(timeout)
-    for benchmark in benchmarks:
-        for tool_name, tool in tools.items():
-            rows.append(_run_tool_on_benchmark(tool_name, tool, benchmark, timeout))
-    return rows
+    rows = _runner(workers, timeout, out).run(_table_tasks(benchmarks, timeout), "table2")
+    return [ExperimentRow.from_dict(row) for row in rows]
 
 
 # ---------------------------------------------------------------------------
@@ -183,85 +179,110 @@ def table2(quick: bool = True, timeout: float = 60.0) -> List[ExperimentRow]:
 def fig2(
     sizes: Optional[Sequence[int]] = None,
     example_counts: Sequence[int] = (1, 2, 3, 4),
+    workers: int = 1,
+    out: Optional[str] = None,
 ) -> List[Dict[str, object]]:
-    """Fig. 2: time to compute the semi-linear set vs |N|, one series per |E|."""
+    """Fig. 2: time to compute the semi-linear set vs |N|, one series per |E|.
+
+    The sweep revisits each grammar size once per example count; the grammar
+    cache (:mod:`repro.engine.cache`) guarantees each scaling grammar is
+    normalized exactly once per size, not once per (size, count) point.
+    """
     if sizes is None:
         sizes = [3, 5, 8, 11, 14]
-    points: List[Dict[str, object]] = []
-    for count in example_counts:
-        examples = example_set(count)
-        for size in sizes:
-            benchmark = scaling_benchmark(size)
-            start = time.monotonic()
-            solution = solve_lia_gfa(benchmark.problem.grammar, examples)
-            elapsed = time.monotonic() - start
-            points.append(
-                {
-                    "examples": count,
-                    "nonterminals": benchmark.problem.grammar.num_nonterminals,
-                    "seconds": round(elapsed, 4),
-                    "semilinear_size": solution.start_value.size,
-                }
-            )
-    return points
+    tasks = [
+        Task(kind="gfa", scaling_size=size, example_count=count)
+        for count in example_counts
+        for size in sizes
+    ]
+    rows = _runner(workers, None, out).run(tasks, "fig2")
+    return [
+        {
+            "examples": row["examples"],
+            "nonterminals": row["nonterminals"],
+            "seconds": row["seconds"],
+            "semilinear_size": row["semilinear_size"],
+        }
+        for row in rows
+    ]
 
 
-def _horn_series(tool_factory, example_counts, sizes) -> List[Dict[str, object]]:
-    points: List[Dict[str, object]] = []
-    for size in sizes:
-        benchmark = scaling_benchmark(size)
-        for count in example_counts:
-            examples = example_set(count)
-            tool = tool_factory()
-            start = time.monotonic()
-            result = tool.check(benchmark.problem, examples)
-            elapsed = time.monotonic() - start
-            points.append(
-                {
-                    "nonterminals": benchmark.problem.grammar.num_nonterminals,
-                    "examples": count,
-                    "seconds": round(elapsed, 4),
-                    "verdict": result.verdict.value,
-                }
-            )
-    return points
+def _series_tasks(engine: str, example_counts, sizes) -> List[Task]:
+    return [
+        Task(
+            kind="check",
+            engine=engine,
+            knobs={"seed": 0},
+            scaling_size=size,
+            example_count=count,
+        )
+        for size in sizes
+        for count in example_counts
+    ]
+
+
+def _series_points(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [
+        {
+            "nonterminals": row["nonterminals"],
+            "examples": row["examples"],
+            "seconds": row["seconds"],
+            "verdict": row["verdict"],
+        }
+        for row in rows
+    ]
 
 
 def fig3(
     example_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
     sizes: Sequence[int] = (3, 4, 5),
+    workers: int = 1,
+    out: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Fig. 3: nayHorn running time vs |E|, one series per |N|."""
-    return _horn_series(lambda: NayHorn(seed=0), example_counts, sizes)
+    tasks = _series_tasks("nayHorn", example_counts, sizes)
+    for task in tasks:
+        task.tags["nonterminals"] = task.scaling_size
+    rows = _runner(workers, None, out).run(tasks, "fig3")
+    return _series_points(rows)
 
 
 def fig5(
     example_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
     sizes: Sequence[int] = (3, 4, 5),
+    workers: int = 1,
+    out: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Fig. 5: nope running time vs |E|, one series per |N|."""
-    return _horn_series(lambda: Nope(seed=0), example_counts, sizes)
+    tasks = _series_tasks("nope", example_counts, sizes)
+    for task in tasks:
+        task.tags["nonterminals"] = task.scaling_size
+    rows = _runner(workers, None, out).run(tasks, "fig5")
+    return _series_points(rows)
 
 
 def fig4(
-    sizes: Optional[Sequence[int]] = None, example_count: int = 2
+    sizes: Optional[Sequence[int]] = None,
+    example_count: int = 2,
+    workers: int = 1,
+    out: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Fig. 4: naySL solve time with vs without grammar stratification."""
     if sizes is None:
         sizes = [5, 8, 11, 14, 17]
-    examples = example_set(example_count)
+    tasks = [
+        Task(kind="gfa", scaling_size=size, example_count=example_count, stratify=stratify)
+        for size in sizes
+        for stratify in (True, False)
+    ]
+    rows = _runner(workers, None, out).run(tasks, "fig4")
     points: List[Dict[str, object]] = []
-    for size in sizes:
-        benchmark = scaling_benchmark(size)
-        start = time.monotonic()
-        solve_lia_gfa(benchmark.problem.grammar, examples, stratify=True)
-        with_stratification = time.monotonic() - start
-        start = time.monotonic()
-        solve_lia_gfa(benchmark.problem.grammar, examples, stratify=False)
-        without_stratification = time.monotonic() - start
+    for stratified, unstratified in zip(rows[0::2], rows[1::2]):
+        with_stratification = float(stratified["seconds"])  # type: ignore[arg-type]
+        without_stratification = float(unstratified["seconds"])  # type: ignore[arg-type]
         points.append(
             {
-                "nonterminals": benchmark.problem.grammar.num_nonterminals,
+                "nonterminals": stratified["nonterminals"],
                 "stratified_seconds": round(with_stratification, 4),
                 "unstratified_seconds": round(without_stratification, 4),
                 "speedup": round(
@@ -301,12 +322,16 @@ def render_rows(rows: Sequence[Dict[str, object]] | Sequence[ExperimentRow]) -> 
 
 
 EXPERIMENTS = {
-    "table1": lambda quick: table1(quick=quick),
-    "table2": lambda quick: table2(quick=quick),
-    "fig2": lambda quick: fig2(sizes=[3, 5, 8] if quick else None),
-    "fig3": lambda quick: fig3(example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6)),
-    "fig4": lambda quick: fig4(sizes=[5, 8, 11] if quick else None),
-    "fig5": lambda quick: fig5(example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6)),
+    "table1": lambda quick, **kw: table1(quick=quick, **kw),
+    "table2": lambda quick, **kw: table2(quick=quick, **kw),
+    "fig2": lambda quick, **kw: fig2(sizes=[3, 5, 8] if quick else None, **kw),
+    "fig3": lambda quick, **kw: fig3(
+        example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6), **kw
+    ),
+    "fig4": lambda quick, **kw: fig4(sizes=[5, 8, 11] if quick else None, **kw),
+    "fig5": lambda quick, **kw: fig5(
+        example_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6), **kw
+    ),
 }
 
 
@@ -320,11 +345,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="run the full (slow) configuration"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory to persist JSONL results under"
+    )
     arguments = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
         print(f"== {name} ==")
-        rows = EXPERIMENTS[name](not arguments.full)
+        rows = EXPERIMENTS[name](
+            not arguments.full, workers=arguments.workers, out=arguments.out
+        )
         print(render_rows(rows))
         print()
     return 0

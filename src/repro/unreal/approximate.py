@@ -22,10 +22,10 @@ from typing import Dict, Union
 
 from repro.domains.boolvectors import BoolVectorSet
 from repro.domains.numeric import Interval, Congruence, ProductValue
+from repro.engine.cache import get_cache
 from repro.grammar.alphabet import Sort
 from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
-from repro.grammar.transforms import normalize_for_gfa
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.unreal.check import check_unrealizable
@@ -53,7 +53,7 @@ def solve_abstract_gfa(
     max_iterations: int = 500,
 ) -> AbstractSolution:
     """Kleene iteration with widening over the product domain."""
-    normalized = normalize_for_gfa(grammar)
+    normalized = get_cache().normalized(grammar)
     dimension = len(examples)
     values: Dict[Nonterminal, AbstractValue] = {}
     for nonterminal in normalized.nonterminals:

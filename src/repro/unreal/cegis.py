@@ -36,6 +36,10 @@ from repro.utils.errors import SolverLimitError
 from repro.utils.timing import Stopwatch
 
 
+#: Signature of an injected unrealizability checker (Alg. 2's "thread 2").
+Checker = Callable[[SyGuSProblem, ExampleSet], CheckResult]
+
+
 @dataclass
 class NayConfig:
     """Tuning knobs of the CEGIS loop (defaults follow §7/§8)."""
@@ -50,6 +54,11 @@ class NayConfig:
     synthesizer_max_size: int = 10
     synthesizer_max_terms: int = 50_000
     stratify: bool = True
+    #: When set, replaces the mode-based checker dispatch entirely.  This is
+    #: how NOPE runs the CEGIS loop with its program-reachability encoding:
+    #: the engine passes ``checker=self.check`` instead of assigning over the
+    #: solver's ``check_examples`` method.
+    checker: Optional[Checker] = None
 
 
 class NaySolver:
@@ -68,7 +77,9 @@ class NaySolver:
     def check_examples(
         self, problem: SyGuSProblem, examples: ExampleSet
     ) -> CheckResult:
-        """Dispatch to the LIA, CLIA or approximate checker by mode/grammar."""
+        """Dispatch to the injected, LIA, CLIA or approximate checker."""
+        if self.config.checker is not None:
+            return self.config.checker(problem, examples)
         if self.config.mode in ("horn", "abstract"):
             return check_examples_abstract(problem, examples)
         if problem.grammar.is_lia() or problem.grammar.is_lia_plus():

@@ -27,6 +27,7 @@ from typing import Dict
 from repro.domains.boolvectors import BoolVectorSet
 from repro.domains.clia import CliaInterpretation
 from repro.domains.semilinear import SemiLinearSet
+from repro.engine.cache import get_cache
 from repro.gfa.builder import build_remif_equations
 from repro.gfa.newton import solve_stratified
 from repro.gfa.semiring import SemiLinearSemiring
@@ -34,7 +35,6 @@ from repro.gfa.stratify import equation_strata, single_stratum
 from repro.grammar.alphabet import Sort
 from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
-from repro.grammar.transforms import normalize_for_gfa
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.unreal.check import check_unrealizable
@@ -62,7 +62,7 @@ def solve_clia_gfa(
     max_outer_iterations: int | None = None,
 ) -> CliaGfaSolution:
     """SolveMutual (§6.4): exact abstraction of a CLIA grammar on examples."""
-    normalized = normalize_for_gfa(grammar)
+    normalized = get_cache().normalized(grammar)
     if not normalized.is_clia():
         raise UnsupportedFeatureError("grammar contains operators outside CLIA")
     dimension = len(examples)

@@ -18,15 +18,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.domains.clia import CliaInterpretation
 from repro.domains.semilinear import SemiLinearSet
-from repro.gfa.builder import build_lia_equations
+from repro.engine.cache import get_cache
 from repro.gfa.newton import solve_newton, solve_stratified
 from repro.gfa.semiring import SemiLinearSemiring
 from repro.gfa.stratify import equation_strata, single_stratum
 from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
-from repro.grammar.transforms import normalize_for_gfa
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.unreal.check import check_unrealizable
@@ -50,12 +48,12 @@ def solve_lia_gfa(
     simplify: bool = True,
 ) -> GfaSolution:
     """Compute ``n_{G_E}(X)`` for every nonterminal of an LIA grammar."""
-    normalized = normalize_for_gfa(grammar)
+    cache = get_cache()
+    normalized = cache.normalized(grammar)
     if not normalized.is_lia_plus():
         raise UnsupportedFeatureError(
             "grammar is not an LIA grammar; use the CLIA procedure instead"
         )
-    interpretation = CliaInterpretation(examples)
     semiring = SemiLinearSemiring(len(examples), simplify=simplify)
 
     start_time = time.monotonic()
@@ -64,7 +62,7 @@ def solve_lia_gfa(
         empty = SemiLinearSet.empty(len(examples))
         return GfaSolution(empty, {normalized.start: empty}, 0.0)
 
-    system = build_lia_equations(normalized, interpretation)
+    system = cache.lia_equations(normalized, examples)
     strata = equation_strata(system) if stratify else single_stratum(system)
     solution = solve_stratified(system, semiring, strata)
     elapsed = time.monotonic() - start_time
