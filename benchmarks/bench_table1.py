@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import create_engine
+from repro.api import Solver
 from repro.experiments import ENGINE_ORDER, QUICK_TABLE1, render_rows, table1
 from repro.suites import get_benchmark
 
@@ -31,20 +31,19 @@ CELLS = [
 @pytest.mark.parametrize("tool_name", list(ENGINE_ORDER))
 def test_table1_cell(benchmark, benchmark_name, suite, tool_name):
     entry = get_benchmark(benchmark_name, suite)
-    tool = create_engine(tool_name, seed=0)
-    examples = entry.witness_examples
+    solver = Solver(engine=tool_name)
 
     def run():
-        return tool.check(entry.problem, examples)
+        return solver.check(entry)
 
     result = benchmark(run)
     # Soundness: no tool may claim a realizable/unknown verdict is
     # "unrealizable" wrongly; the named benchmarks are all unrealizable, so an
     # exact tool must prove it, and approximate tools may only say unknown.
     if tool_name == "naySL":
-        assert result.verdict.value == "unrealizable"
+        assert result.verdict == "unrealizable"
     else:
-        assert result.verdict.value in ("unrealizable", "unknown")
+        assert result.verdict in ("unrealizable", "unknown")
 
 
 def test_table1_rows(capsys):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import create_engine
+from repro.api import Solver
 from repro.experiments import ENGINE_ORDER, QUICK_TABLE2, render_rows, table2
 from repro.suites import get_benchmark
 
@@ -29,17 +29,16 @@ CELLS = [
 @pytest.mark.parametrize("tool_name", list(ENGINE_ORDER))
 def test_table2_cell(benchmark, benchmark_name, tool_name):
     entry = get_benchmark(benchmark_name, "LimitedConst")
-    tool = create_engine(tool_name, seed=0)
-    examples = entry.witness_examples
+    solver = Solver(engine=tool_name)
 
     def run():
-        return tool.check(entry.problem, examples)
+        return solver.check(entry)
 
     result = benchmark(run)
     if tool_name == "naySL":
-        assert result.verdict.value == "unrealizable"
+        assert result.verdict == "unrealizable"
     else:
-        assert result.verdict.value in ("unrealizable", "unknown")
+        assert result.verdict in ("unrealizable", "unknown")
 
 
 def test_table2_rows(capsys):
@@ -54,17 +53,14 @@ def test_table2_rows(capsys):
 
 def test_table2_scaling_with_array_size(capsys):
     """naySL's LimitedConst time grows with the array size (Table 2 shape)."""
-    small = get_benchmark("array_search_2", "LimitedConst")
-    large = get_benchmark("array_search_10", "LimitedConst")
-    tool = create_engine("naySL", seed=0)
-    import time
-
-    start = time.monotonic()
-    assert tool.check(small.problem, small.witness_examples).verdict.value == "unrealizable"
-    small_time = time.monotonic() - start
-    start = time.monotonic()
-    assert tool.check(large.problem, large.witness_examples).verdict.value == "unrealizable"
-    large_time = time.monotonic() - start
+    solver = Solver(engine="naySL")
+    small = solver.check(get_benchmark("array_search_2", "LimitedConst"))
+    large = solver.check(get_benchmark("array_search_10", "LimitedConst"))
+    assert small.verdict == "unrealizable"
+    assert large.verdict == "unrealizable"
     with capsys.disabled():
-        print(f"\narray_search_2: {small_time:.3f}s, array_search_10: {large_time:.3f}s")
-    assert large_time > small_time
+        print(
+            f"\narray_search_2: {small.elapsed_seconds:.3f}s, "
+            f"array_search_10: {large.elapsed_seconds:.3f}s"
+        )
+    assert large.elapsed_seconds > small.elapsed_seconds

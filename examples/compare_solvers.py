@@ -1,9 +1,12 @@
 """Comparing the exact and approximate unrealizability checkers (§8.1 in miniature).
 
-The example runs naySL (exact semi-linear sets), nayHorn (approximate
-abstract domains standing in for the Horn-clause mode) and the NOPE baseline
-on a handful of benchmarks from the three suites, printing a small version of
-Table 1/2: who proves what, and how long each takes.  It also prints the
+The example resolves everything through the public api facade
+(:class:`repro.api.Solver`): a batch of checks runs naySL (exact semi-linear
+sets), nayHorn (approximate abstract domains standing in for the Horn-clause
+mode) and the NOPE baseline on a handful of benchmarks from the three suites,
+printing a small version of Table 1/2 — who proves what, and how long each
+takes.  A final portfolio race shows the service-style front door: all three
+engines race and the first definitive verdict wins.  It also prints the
 Horn-clause encoding of one benchmark so the §4.3 reduction is visible.
 
 Run with:  python examples/compare_solvers.py
@@ -11,10 +14,9 @@ Run with:  python examples/compare_solvers.py
 
 from __future__ import annotations
 
-import time
-
 from repro import get_benchmark
-from repro.engine import create_engine, engine_names
+from repro.api import Solver
+from repro.engine import engine_names
 from repro.horn.clauses import encode_gfa_as_horn
 
 BENCHMARKS = [
@@ -27,19 +29,28 @@ BENCHMARKS = [
 
 
 def main() -> None:
-    tools = {name: create_engine(name, seed=0) for name in engine_names()}
+    solver = Solver(timeout_seconds=60.0)
+    tools = engine_names()
     header = f"{'benchmark':28s}" + "".join(f"{name:>22s}" for name in tools)
     print(header)
     print("-" * len(header))
     for name, suite in BENCHMARKS:
         entry = get_benchmark(name, suite)
         cells = []
-        for tool in tools.values():
-            start = time.monotonic()
-            result = tool.check(entry.problem, entry.witness_examples)
-            elapsed = time.monotonic() - start
-            cells.append(f"{result.verdict.value:>14s} {elapsed:6.2f}s")
+        for tool in tools:
+            response = solver.check(entry, engine=tool)
+            cells.append(f"{response.verdict:>14s} {response.elapsed_seconds:6.2f}s")
         print(f"{suite + '/' + name:28s}" + "".join(cells))
+
+    print()
+    print("Portfolio race on LimitedConst/mpg_guard1 (first definitive verdict wins):")
+    race = solver.solve("mpg_guard1", engine="portfolio")
+    portfolio = race.details.get("portfolio", {})
+    print(
+        f"  verdict={race.verdict} winner={race.engine} "
+        f"raced={', '.join(race.engines_raced)} "
+        f"race_seconds={portfolio.get('race_seconds')}"
+    )
 
     print()
     print("Horn-clause encoding (§4.3) of LimitedPlus/plane1:")

@@ -1,0 +1,17 @@
+; LimitedIf/max2 — f(x, y) = max(x, y) with one IfThenElse too few (unrealizable).
+(set-logic CLIA)
+
+(synth-fun f ((x Int) (y Int)) Int
+  (
+    (I0 Int (E))
+    (B Bool ((<= E E) (< E E)))
+    (E Int (A (+ A E)))
+    (A Int (x y 0 1))
+  ))
+
+(declare-var x Int)
+(declare-var y Int)
+
+(constraint (and (<= (+ (* (- 1) (f x y)) x) 0) (<= (+ (* (- 1) (f x y)) y) 0) (or (= (+ (f x y) (* (- 1) x)) 0) (= (+ (f x y) (* (- 1) y)) 0))))
+
+(check-synth)

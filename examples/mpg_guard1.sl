@@ -1,0 +1,14 @@
+; LimitedConst/mpg_guard1 — guarded linear function with a restricted constant pool (unrealizable).
+(set-logic CLIA)
+
+(synth-fun f ((x Int)) Int
+  (
+    (Start Int (x 0 (+ Start Start) (ite B Start Start)))
+    (B Bool ((<= Start Start) (< Start Start)))
+  ))
+
+(declare-var x Int)
+
+(constraint (and (or (<= (+ (* (- 1) x) 1) 0) (= (+ (f x) (* (- 1) x) (- 1)) 0)) (or (< (+ x (- 1)) 0) (= (+ (f x) (* (- 1) x)) 0))))
+
+(check-synth)

@@ -1,0 +1,14 @@
+; LimitedPlus/plane1 — f(x1, x2) = 2*x1 + 2 with one Plus too few (unrealizable).
+(set-logic LIA)
+
+(synth-fun f ((x Int)) Int
+  (
+    (A Int (x 0))
+    (P0 Int (A))
+  ))
+
+(declare-var x Int)
+
+(constraint (= (+ (f x) (* (- 2) x)) 0))
+
+(check-synth)

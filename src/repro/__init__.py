@@ -14,13 +14,24 @@ The public API mirrors the paper's structure:
 
 Quickstart::
 
-    from repro import NaySL, parse_sygus
+    from repro import Solver
 
-    problem = parse_sygus(open("problem.sl").read())
-    result = NaySL(seed=0).solve(problem)
-    print(result.verdict)
+    response = Solver(engine="portfolio").solve("problem.sl")
+    print(response.verdict, response.to_json())
+
+The service-grade front door is :mod:`repro.api` (:class:`Solver`,
+:class:`SolveRequest`/:class:`SolveResponse` wire format, portfolio solving,
+``repro-nay serve``); the classes below remain available for direct,
+in-process use.
 """
 
+from repro.api import (
+    SCHEMA_VERSION,
+    Solver,
+    SolveRequest,
+    SolveResponse,
+    solve,
+)
 from repro.baselines import NayHorn, NaySL, Nope
 from repro.engine import (
     ExperimentRunner,
@@ -51,9 +62,14 @@ from repro.unreal import (
     check_lia_examples,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Solver",
+    "SolveRequest",
+    "SolveResponse",
+    "solve",
+    "SCHEMA_VERSION",
     "NaySL",
     "NayHorn",
     "Nope",

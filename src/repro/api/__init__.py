@@ -1,0 +1,63 @@
+"""``repro.api``: the service-grade public entry point.
+
+One stable surface over everything the library can do, built from four
+pieces (see DESIGN.md's api section):
+
+* :mod:`repro.api.wire` — the versioned JSON wire format
+  (:class:`SolveRequest` / :class:`SolveResponse`, ``schema_version``,
+  round-trippable, picklable);
+* :mod:`repro.api.facade` — :class:`Solver` with ``solve`` /
+  ``solve_batch`` / ``check`` / ``verify`` and the shared
+  :func:`run_engine` execution core every consumer (CLI, experiments,
+  benchmarks, HTTP) goes through;
+* :mod:`repro.api.portfolio` — race engines, first definitive verdict wins,
+  losers cancelled;
+* :mod:`repro.api.service` — ``repro-nay serve``, a stdlib HTTP endpoint
+  speaking the wire format.
+
+Quickstart::
+
+    from repro.api import Solver
+
+    response = Solver(engine="portfolio").solve("plane1")
+    response.verdict            # "unrealizable"
+    response.witness_examples   # the machine-checkable certificate
+    response.to_json()          # schema-versioned wire payload
+"""
+
+from repro.api.facade import (
+    PORTFOLIO_ENGINE,
+    Solver,
+    execute_request,
+    run_engine,
+    solve,
+)
+from repro.api.portfolio import solve_portfolio
+from repro.api.service import make_server, serve
+from repro.api.wire import (
+    DEFINITIVE_VERDICTS,
+    SCHEMA_VERSION,
+    SolveRequest,
+    SolveResponse,
+    error_response,
+    json_safe,
+)
+from repro.utils.errors import WireFormatError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFINITIVE_VERDICTS",
+    "PORTFOLIO_ENGINE",
+    "SolveRequest",
+    "SolveResponse",
+    "WireFormatError",
+    "Solver",
+    "solve",
+    "solve_portfolio",
+    "execute_request",
+    "run_engine",
+    "error_response",
+    "json_safe",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,426 @@
+"""The public solving facade: one entry point for every consumer.
+
+:class:`Solver` (and the module-level :func:`solve` convenience) accepts any
+problem reference — a :class:`~repro.sygus.problem.SyGuSProblem`, a
+:class:`~repro.suites.base.Benchmark`, a benchmark name, a ``.sl`` file path,
+or inline SyGuS-IF text — normalizes it into a
+:class:`~repro.api.wire.SolveRequest`, and executes it through exactly one
+code path:
+
+* :func:`execute_request` — resolve the problem and examples, dispatch to a
+  single engine or the portfolio racer, return a
+  :class:`~repro.api.wire.SolveResponse`;
+* :func:`run_engine` — the shared engine-execution core (engine creation,
+  wall-clock measurement, :class:`~repro.utils.errors.SolverLimitError`
+  mapping, and the two-sided timeout policy).  The experiment runner's
+  ``execute_task`` delegates here too, so the CLI, the batch/serve surface,
+  the experiment harness and the pytest benchmarks all share one
+  engine/example/timeout plumbing.
+
+Requests and responses are plain wire data, so :meth:`Solver.solve_batch`
+can fan requests out to a process pool (via the runner's ``pool_map``) and
+``repro-nay serve`` can accept them over HTTP unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.wire import (
+    SolveRequest,
+    SolveResponse,
+    error_response,
+    grammar_stats,
+    json_safe,
+)
+from repro.engine.registry import create_engine, engine_names
+from repro.semantics.examples import ExampleSet
+from repro.suites import get_benchmark
+from repro.suites.base import Benchmark
+from repro.sygus import parse_sygus, parse_sygus_file, print_sygus
+from repro.sygus.problem import SyGuSProblem
+from repro.unreal.result import Verdict
+from repro.utils.errors import ReproError, SolverLimitError
+
+#: The reserved engine name that races every (or a chosen subset of the)
+#: registered engines and returns the first definitive verdict.
+PORTFOLIO_ENGINE = "portfolio"
+
+ProblemLike = Union[SyGuSProblem, Benchmark, SolveRequest, str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Request resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_problem(
+    request: SolveRequest,
+) -> Tuple[SyGuSProblem, Optional[Benchmark]]:
+    """The SyGuS problem a request refers to (plus its benchmark, if any)."""
+    sources = [
+        name
+        for name, value in (
+            ("benchmark", request.benchmark),
+            ("path", request.path),
+            ("sl", request.sl),
+        )
+        if value
+    ]
+    if len(sources) != 1:
+        raise ReproError(
+            "request must set exactly one of benchmark/path/sl "
+            f"(got: {', '.join(sources) or 'none'})"
+        )
+    if request.benchmark:
+        benchmark = get_benchmark(request.benchmark, request.suite)
+        return benchmark.problem, benchmark
+    if request.path:
+        try:
+            return parse_sygus_file(request.path), None
+        except OSError as error:
+            raise ReproError(f"cannot read {request.path!r}: {error}") from None
+    return parse_sygus(request.sl or "", name="request"), None
+
+
+def resolve_request_examples(
+    request: SolveRequest,
+    problem: SyGuSProblem,
+    benchmark: Optional[Benchmark],
+) -> ExampleSet:
+    """The example set a request runs on, after applying its budgets.
+
+    Precedence: explicit ``examples`` beat the benchmark's recorded witness
+    examples.  ``example_count`` then resizes (truncate or deterministic
+    top-up) and ``max_examples`` caps the result.
+    """
+    if request.examples is not None:
+        examples = ExampleSet.from_dicts(request.examples)
+    elif benchmark is not None and benchmark.witness_examples is not None:
+        examples = benchmark.witness_examples
+    else:
+        examples = ExampleSet()
+    if request.example_count is not None:
+        examples = examples.resized(
+            problem.variables, request.example_count, seed=request.seed
+        )
+    if request.max_examples is not None and len(examples) > request.max_examples:
+        examples = ExampleSet(list(examples)[: request.max_examples])
+    return examples
+
+
+def resolve_kind(request: SolveRequest, examples: ExampleSet) -> str:
+    """``auto`` becomes ``check`` when an example set is available."""
+    if request.kind != "auto":
+        return request.kind
+    return "check" if len(examples) > 0 else "solve"
+
+
+# ---------------------------------------------------------------------------
+# The shared engine-execution core
+# ---------------------------------------------------------------------------
+
+
+def run_engine(
+    engine_name: str,
+    kind: str,
+    problem: SyGuSProblem,
+    examples: Optional[ExampleSet] = None,
+    *,
+    knobs: Optional[Dict[str, object]] = None,
+    timeout: Optional[float] = None,
+    seed: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> SolveResponse:
+    """Run one engine on one problem and report the outcome in wire form.
+
+    This is the single place engines are instantiated and timed for solving:
+    the facade, the portfolio racer, and the experiment runner's
+    ``execute_task`` all call it.  A ``check`` with no examples falls back to
+    the full CEGIS ``solve`` (nothing to check against), matching the
+    historical runner semantics.  The two-sided timeout policy of
+    :func:`repro.engine.runner.apply_timeout_policy` is applied to the
+    measured wall time: late definitive verdicts survive, undetermined late
+    outcomes become ``timeout``.
+    """
+    from repro.engine.runner import apply_timeout_policy
+
+    knobs = dict(knobs or {})
+    knobs.setdefault("timeout_seconds", timeout)
+    if seed is not None:
+        knobs.setdefault("seed", seed)
+    if max_iterations is not None:
+        knobs.setdefault("max_iterations", max_iterations)
+    engine = create_engine(engine_name, **knobs)
+    examples = examples if examples is not None else ExampleSet()
+
+    solution = None
+    iterations = 0
+    details: Dict[str, Any] = {}
+    start = time.monotonic()
+    try:
+        if kind == "solve" or len(examples) == 0:
+            kind = "solve"
+            result = engine.solve(problem)
+            verdict = result.verdict
+            num_examples = result.num_examples
+            iterations = result.iterations
+            witness = result.examples
+            details = result.details
+            if result.solution is not None:
+                solution = result.solution.to_sexpr()
+        else:
+            result = engine.check(problem, examples)
+            verdict = result.verdict
+            num_examples = len(examples)
+            witness = examples
+            details = result.details
+    except SolverLimitError as error:
+        verdict = Verdict.TIMEOUT
+        num_examples = len(examples)
+        witness = examples
+        details = {"limit": str(error)}
+    elapsed = time.monotonic() - start
+    verdict = apply_timeout_policy(verdict, elapsed, timeout)
+
+    return SolveResponse(
+        verdict=verdict.value,
+        engine=engine.name,
+        kind=kind,
+        problem=problem.name,
+        elapsed_seconds=round(elapsed, 4),
+        iterations=iterations,
+        num_examples=num_examples,
+        witness_examples=list(witness.as_dicts()),
+        solution=solution,
+        grammar=grammar_stats(problem),
+        spec=problem.spec.description,
+        details=json_safe(details),
+    )
+
+
+def execute_request(request: SolveRequest) -> SolveResponse:
+    """Execute one wire request end to end (also the batch worker entry).
+
+    Failures to resolve or solve become ``verdict="error"`` responses rather
+    than exceptions, so a batch or a served endpoint degrades per-request.
+    """
+    try:
+        if request.engine == PORTFOLIO_ENGINE:
+            from repro.api.portfolio import solve_portfolio
+
+            return solve_portfolio(request)
+        problem, benchmark = resolve_problem(request)
+        examples = resolve_request_examples(request, problem, benchmark)
+        kind = resolve_kind(request, examples)
+        response = run_engine(
+            request.engine,
+            kind,
+            problem,
+            examples,
+            timeout=request.timeout_seconds,
+            seed=request.seed,
+            max_iterations=request.max_iterations,
+        )
+        response.suite = benchmark.suite if benchmark is not None else None
+        response.tags = dict(request.tags)
+        return response
+    except ReproError as error:
+        return error_response(str(error), request)
+    except Exception as error:  # noqa: BLE001 — a service degrades per-request
+        # Wire-valid but type-skewed payloads (e.g. a string timeout) surface
+        # here; the batch pool and the HTTP endpoint must get a well-formed
+        # error response, not a crashed worker or a dropped connection.
+        return error_response(f"internal error: {type(error).__name__}: {error}", request)
+
+
+def timeout_response(request: SolveRequest) -> SolveResponse:
+    """The wire response recorded when a request blows its hard guard."""
+    return SolveResponse(
+        verdict="timeout",
+        engine=request.engine,
+        kind="solve" if request.kind == "auto" else request.kind,
+        problem=request.benchmark or request.path or "",
+        suite=request.suite,
+        elapsed_seconds=float(request.timeout_seconds or 0.0),
+        tags=dict(request.tags),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The Solver facade
+# ---------------------------------------------------------------------------
+
+
+class Solver:
+    """Service-grade front door over the engine registry.
+
+    Construction fixes the defaults (engine, budgets, parallelism); every
+    ``solve``/``check``/``solve_batch`` call may override them per request.
+    ``engine="portfolio"`` races engines on a process pool and returns the
+    first definitive verdict.
+
+    >>> Solver().solve("plane1").verdict
+    'unrealizable'
+    """
+
+    def __init__(
+        self,
+        engine: str = "naySL",
+        *,
+        timeout_seconds: Optional[float] = None,
+        seed: int = 0,
+        workers: int = 1,
+        max_iterations: Optional[int] = None,
+        max_examples: Optional[int] = None,
+        engines: Optional[Sequence[str]] = None,
+    ):
+        self.engine = engine
+        self.timeout_seconds = timeout_seconds
+        self.seed = seed
+        self.workers = max(1, int(workers))
+        self.max_iterations = max_iterations
+        self.max_examples = max_examples
+        self.engines = list(engines) if engines is not None else None
+
+    # -- request construction -------------------------------------------------
+
+    def request(self, problem: ProblemLike, **overrides: Any) -> SolveRequest:
+        """Normalize any problem reference into a wire request.
+
+        Accepts a :class:`SyGuSProblem` (serialized through the SyGuS-IF
+        printer so the request stays wire-clean), a :class:`Benchmark`, a
+        ``.sl`` path, inline SyGuS-IF text, a benchmark name, or an existing
+        :class:`SolveRequest` (returned with overrides applied).
+        """
+        examples = overrides.pop("examples", None)
+        if isinstance(examples, ExampleSet):
+            examples = list(examples.as_dicts())
+        if isinstance(problem, SolveRequest):
+            if examples is not None:
+                overrides["examples"] = examples
+            return replace(problem, **overrides) if overrides else problem
+        base: Dict[str, Any] = {
+            "engine": self.engine,
+            "engines": list(self.engines) if self.engines is not None else None,
+            "timeout_seconds": self.timeout_seconds,
+            "seed": self.seed,
+            "max_iterations": self.max_iterations,
+            "max_examples": self.max_examples,
+        }
+        if examples is not None:
+            base["examples"] = examples
+        base.update(overrides)
+        if isinstance(problem, SyGuSProblem):
+            return SolveRequest(sl=print_sygus(problem), **base)
+        if isinstance(problem, Benchmark):
+            return SolveRequest(benchmark=problem.name, suite=problem.suite, **base)
+        if isinstance(problem, Path):
+            return SolveRequest(path=str(problem), **base)
+        text = str(problem)
+        if "(" in text:
+            return SolveRequest(sl=text, **base)
+        if text.endswith(".sl") or os.path.sep in text or os.path.exists(text):
+            return SolveRequest(path=text, **base)
+        return SolveRequest(benchmark=text, **base)
+
+    def _with_defaults(self, request: SolveRequest) -> SolveRequest:
+        """Fill budgets a raw wire request (e.g. from HTTP) left unset."""
+        filled = {}
+        if request.timeout_seconds is None and self.timeout_seconds is not None:
+            filled["timeout_seconds"] = self.timeout_seconds
+        if request.max_iterations is None and self.max_iterations is not None:
+            filled["max_iterations"] = self.max_iterations
+        if request.max_examples is None and self.max_examples is not None:
+            filled["max_examples"] = self.max_examples
+        return replace(request, **filled) if filled else request
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(self, problem: ProblemLike, **overrides: Any) -> SolveResponse:
+        """Solve one problem (kind ``auto``: check when examples exist)."""
+        return execute_request(self.request(problem, **overrides))
+
+    def check(
+        self,
+        problem: ProblemLike,
+        examples: Optional[Union[ExampleSet, Iterable[Dict[str, int]]]] = None,
+        **overrides: Any,
+    ) -> SolveResponse:
+        """One unrealizability check over a fixed example set."""
+        if examples is not None and not isinstance(examples, ExampleSet):
+            examples = ExampleSet.from_dicts(examples)
+        return execute_request(
+            self.request(problem, kind="check", examples=examples, **overrides)
+        )
+
+    def solve_request(self, request: SolveRequest) -> SolveResponse:
+        """Execute a wire request, applying this solver's default budgets."""
+        return execute_request(self._with_defaults(request))
+
+    def solve_batch(
+        self,
+        problems: Sequence[ProblemLike],
+        workers: Optional[int] = None,
+        **overrides: Any,
+    ) -> List[SolveResponse]:
+        """Solve many requests, optionally on a process pool.
+
+        Responses come back in request order regardless of worker count; a
+        request that blows its hard wall-clock guard yields a ``timeout``
+        response instead of stalling the batch.
+        """
+        requests = [
+            self._with_defaults(self.request(problem, **overrides))
+            for problem in problems
+        ]
+        workers = self.workers if workers is None else max(1, int(workers))
+        if workers == 1 or len(requests) <= 1:
+            return [execute_request(request) for request in requests]
+        from repro.engine.runner import hard_guard, pool_map
+
+        responses = pool_map(
+            execute_request,
+            requests,
+            workers=workers,
+            guard_for=lambda request: hard_guard(request.timeout_seconds),
+            fallback_for=timeout_response,
+        )
+        return [response for response in responses if response is not None]
+
+    # -- certificates ---------------------------------------------------------
+
+    def verify(
+        self, response: SolveResponse, problem: Optional[ProblemLike] = None
+    ) -> bool:
+        """Machine-check an ``unrealizable`` response's witness certificate.
+
+        Re-runs the exact naySL check on exactly the response's witness
+        example set; by Lem. 3.5 unrealizability over any finite example set
+        implies unrealizability of the original problem, so agreement here
+        certifies the verdict.  Responses for inline/path problems need the
+        ``problem`` argument (the response alone only names benchmarks).
+        """
+        if response.verdict != "unrealizable" or not response.witness_examples:
+            return False
+        source: ProblemLike = problem if problem is not None else response.problem
+        check = self.check(
+            source,
+            examples=ExampleSet.from_dicts(response.witness_examples),
+            engine="naySL",
+            suite=response.suite if problem is None else None,
+        )
+        return check.verdict == "unrealizable"
+
+    def available_engines(self) -> List[str]:
+        """Registry engines plus the reserved portfolio strategy."""
+        return list(engine_names()) + [PORTFOLIO_ENGINE]
+
+
+def solve(problem: ProblemLike, **overrides: Any) -> SolveResponse:
+    """Module-level convenience: ``Solver().solve(...)``."""
+    return Solver().solve(problem, **overrides)

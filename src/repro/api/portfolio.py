@@ -1,0 +1,147 @@
+"""Portfolio solving: race engines, keep the first definitive verdict.
+
+The paper's evaluation (§8) shows no single engine dominating — exact naySL
+decides every LIA/CLIA instance but pays for big grammars, approximate
+nayHorn answers in milliseconds when its abstraction suffices, and NOPE
+trails by a constant factor.  The portfolio strategy turns that complementary
+strength into latency: every selected engine runs the same request on its own
+process, the first **definitive** verdict (``unrealizable``/``realizable``)
+wins, and the losers are cancelled outright (pending futures dropped, running
+worker processes terminated).
+
+Requests cross the process boundary in wire form (``SolveRequest.to_json``)
+and outcomes come back the same way, so the racer exercises exactly the
+format ``repro-nay serve`` speaks.
+
+When no engine is definitive the best non-definitive outcome is reported
+(``unknown`` beats ``timeout`` beats ``error``), preserving soundness: a
+portfolio response never upgrades an approximate engine's ``unknown``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.api.wire import SolveRequest, SolveResponse, error_response
+from repro.engine.registry import engine_names
+
+#: Preference order for the reported outcome when no engine is definitive.
+_LOSER_ORDER = {"unknown": 0, "timeout": 1, "error": 2}
+
+
+def portfolio_engines(request: SolveRequest) -> List[str]:
+    """The engines a request races: its explicit pool, or all registered."""
+    if request.engines:
+        return list(request.engines)
+    return list(engine_names())
+
+
+def _race_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry: one engine's leg of the race, in wire form end to end."""
+    from repro.api.facade import execute_request
+
+    return execute_request(SolveRequest.from_json(payload)).to_json()
+
+
+def _race_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the race pool forks/spawns from.
+
+    ``fork`` is fastest and inherits dynamically registered engines, but
+    forking a multi-threaded process (e.g. a ``repro-nay serve`` handler
+    thread) can deadlock the child on locks held by other threads — there,
+    and on platforms without ``fork``, fall back to ``spawn``.
+    """
+    if threading.active_count() == 1:
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            pass
+    return multiprocessing.get_context("spawn")
+
+
+def _best_loser(
+    finished: Dict[str, SolveResponse], engines: List[str], request: SolveRequest
+) -> SolveResponse:
+    """The outcome to report when the race produced no definitive verdict."""
+    ranked = sorted(
+        (name for name in engines if name in finished),
+        key=lambda name: (_LOSER_ORDER.get(finished[name].verdict, 3), engines.index(name)),
+    )
+    if ranked:
+        return finished[ranked[0]]
+    from repro.api.facade import timeout_response
+
+    return timeout_response(request)
+
+
+def solve_portfolio(request: SolveRequest) -> SolveResponse:
+    """Race the request across engines; first definitive verdict wins."""
+    from repro.engine.runner import hard_guard, shutdown_pool_now
+
+    engines = portfolio_engines(request)
+    if not engines:
+        return error_response("portfolio has no engines to race", request)
+
+    from repro.api.facade import execute_request
+
+    start = time.monotonic()
+    if len(engines) == 1:
+        response = execute_request(replace(request, engine=engines[0]))
+        response.engines_raced = list(engines)
+        return response
+
+    guard = hard_guard(request.timeout_seconds)
+    deadline = None if guard is None else start + guard
+
+    finished: Dict[str, SolveResponse] = {}
+    winner: Optional[SolveResponse] = None
+    # One worker per engine, deliberately ignoring the core count: a race
+    # only works if every leg starts immediately.  On an oversubscribed box
+    # the legs timeshare, which still lets the fastest engine win.
+    pool = ProcessPoolExecutor(max_workers=len(engines), mp_context=_race_context())
+    pending: set = set()
+    try:
+        futures: Dict[Future, str] = {}
+        for name in engines:
+            payload = replace(request, engine=name, engines=None).to_json()
+            futures[pool.submit(_race_worker, payload)] = name
+        pending = set(futures)
+        while pending and winner is None:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+            if not done:
+                break  # hard wall-clock guard expired with engines still running
+            for future in done:
+                name = futures[future]
+                try:
+                    response = SolveResponse.from_json(future.result())
+                except Exception as error:  # worker crashed; the race goes on
+                    response = error_response(str(error), request, engine=name)
+                finished[name] = response
+                if winner is None and response.is_definitive:
+                    winner = response
+    finally:
+        if pending:
+            # Cancel the losers: drop queued legs, terminate running workers.
+            shutdown_pool_now(pool)
+        else:
+            pool.shutdown(wait=True)
+
+    race_seconds = time.monotonic() - start
+    response = winner if winner is not None else _best_loser(finished, engines, request)
+    response.engines_raced = list(engines)
+    response.details = {
+        **response.details,
+        "portfolio": {
+            "winner": response.engine if winner is not None else None,
+            "race_seconds": round(race_seconds, 4),
+            "finished": sorted(finished),
+            "cancelled": sorted(set(engines) - set(finished)),
+        },
+    }
+    return response

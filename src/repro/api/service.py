@@ -1,0 +1,145 @@
+"""``repro-nay serve``: the wire format over HTTP, stdlib only.
+
+A thin :mod:`http.server` JSON endpoint that makes the solver callable as a
+service:
+
+* ``POST /solve``  — body is a :class:`~repro.api.wire.SolveRequest`
+  payload; the reply is a :class:`~repro.api.wire.SolveResponse` payload
+  (HTTP 200 even for ``verdict="error"`` responses — the request was
+  well-formed and was executed).  Malformed JSON or wire-format violations
+  get HTTP 400 with ``{"error": ...}``.
+* ``GET /engines`` — the engine names a request may ask for, including the
+  reserved ``"portfolio"`` strategy.
+* ``GET /healthz`` — liveness plus the schema version this build speaks.
+
+The server is a :class:`~http.server.ThreadingHTTPServer`; per-request
+solving happens in the handler thread (the portfolio strategy may fan out to
+its own process pool from there).  There is deliberately no web framework
+dependency — the repo stays stdlib-only by design.
+
+Example::
+
+    repro-nay serve --port 8080 &
+    curl -s localhost:8080/solve -d '{"benchmark": "plane1", "engine": "naySL"}'
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.facade import Solver
+from repro.api.wire import SCHEMA_VERSION, SolveRequest
+from repro.utils.errors import WireFormatError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+
+
+class ApiServer(ThreadingHTTPServer):
+    """HTTP server carrying the :class:`Solver` the handlers dispatch to."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], solver: Optional[Solver] = None):
+        super().__init__(address, ApiRequestHandler)
+        self.solver = solver if solver is not None else Solver()
+
+
+class ApiRequestHandler(BaseHTTPRequestHandler):
+    """Routes: POST /solve, GET /engines, GET /healthz."""
+
+    server: ApiServer
+
+    # Keep request logging off the server's stderr; the CLI prints one
+    # banner line and the service is otherwise silent.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "schema_version": SCHEMA_VERSION,
+                    "engines": self.server.solver.available_engines(),
+                },
+            )
+        elif self.path == "/engines":
+            self._send_json(
+                200,
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "engines": self.server.solver.available_engines(),
+                },
+            )
+        else:
+            self._send_json(404, {"error": f"no such resource: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/solve":
+            self._send_json(404, {"error": f"no such resource: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send_json(400, {"error": "invalid Content-Length"})
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            request = SolveRequest.from_json(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": f"request body is not JSON: {error}"})
+            return
+        except (WireFormatError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            response = self.server.solver.solve_request(request)
+            payload = response.to_json()
+        except Exception as error:  # noqa: BLE001 — never drop the connection
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(200, payload)
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    solver: Optional[Solver] = None,
+) -> ApiServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free one."""
+    return ApiServer((host, port), solver)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    solver: Optional[Solver] = None,
+) -> int:
+    """Run the JSON endpoint until interrupted (the ``serve`` subcommand)."""
+    server = make_server(host, port, solver)
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    print(
+        f"repro-nay serving on http://{bound_host}:{bound_port} "
+        f"(POST /solve, GET /engines, GET /healthz; schema v{SCHEMA_VERSION})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -5,84 +5,124 @@ Subcommands:
 * ``solve <file.sl>``       — run the NAY CEGIS loop on a SyGuS-IF problem;
 * ``check <benchmark>``     — run one unrealizability check on a named
   benchmark's witness example set with a chosen engine (``--examples N``
-  overrides the witness example count);
+  resizes the set deterministically);
+* ``batch <dir>``           — solve every ``.sl`` file under a directory,
+  optionally on a process pool (``--workers``) and/or with the engine
+  portfolio (``--tool portfolio``);
+* ``serve``                 — start the JSON HTTP endpoint
+  (``POST /solve``, ``GET /engines``, ``GET /healthz``);
 * ``list``                  — list the benchmark suites;
-* ``engines``               — list the registered engines;
-* ``experiments <name>``    — shorthand for ``python -m repro.experiments``
-  (``--workers N`` parallelizes, ``--out DIR`` persists JSONL results).
+* ``engines``               — list the registered engines (+ portfolio);
+* ``experiments <name>``    — shorthand for ``python -m repro.experiments``.
 
-Engines are resolved through :mod:`repro.engine.registry`; any engine
-registered with ``@register_engine`` is immediately available to every
-subcommand.
+``solve``, ``check`` and ``batch`` accept ``--json`` to emit the versioned
+wire format (:mod:`repro.api.wire`) instead of text.  All solving resolves
+through :class:`repro.api.Solver`, so the CLI carries no engine/example/
+timeout plumbing of its own.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro import experiments
-from repro.engine.registry import create_engine, engine_names
+from repro.api import PORTFOLIO_ENGINE, SolveResponse, Solver
+from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
+from repro.engine.registry import engine_names
 from repro.semantics.examples import ExampleSet
-from repro.suites import all_benchmarks, get_benchmark
-from repro.suites.base import Benchmark
-from repro.sygus import parse_sygus_file
-from repro.utils.errors import ReproError
+from repro.suites import all_benchmarks
 
 
-def _resize_examples(benchmark: Benchmark, count: int) -> ExampleSet:
-    """An example set of exactly ``count`` examples for a benchmark.
+def _nonnegative(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("example count must be >= 0")
+    return parsed
 
-    Starts from the recorded witness examples (they are the ones known to
-    prove unrealizability) and tops up with seeded random examples when more
-    are requested, so the result stays deterministic.
-    """
-    examples = list(benchmark.witness_examples or ExampleSet())[:count]
-    rng = random.Random(0)
-    collected = ExampleSet(examples)
-    for _ in range(100 * count):
-        if len(collected) >= count:
-            break
-        collected = collected.union(
-            ExampleSet.random(benchmark.problem.variables, 1, rng, -50, 50)
-        )
-    if len(collected) < count:
-        print(
-            f"warning: only {len(collected)} distinct examples available "
-            f"(requested {count})",
-            file=sys.stderr,
-        )
-    return collected
+
+def _add_solving_arguments(parser: argparse.ArgumentParser, tools: List[str]) -> None:
+    parser.add_argument("--tool", default="naySL", choices=tools)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--max-iterations", type=int, default=None, help="CEGIS iteration budget"
+    )
+    parser.add_argument(
+        "--max-examples", type=int, default=None, help="cap the example set size"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the versioned JSON wire format"
+    )
+
+
+def _solver_for(arguments: argparse.Namespace) -> Solver:
+    return Solver(
+        engine=arguments.tool,
+        timeout_seconds=arguments.timeout,
+        seed=arguments.seed,
+        max_iterations=arguments.max_iterations,
+        max_examples=arguments.max_examples,
+    )
+
+
+def _emit(response: SolveResponse, as_json: bool) -> int:
+    """Print one response (text or wire form); non-zero on error responses."""
+    if as_json:
+        print(response.to_json_text(indent=2))
+        return 1 if response.error else 0
+    if response.error:
+        print(response.error, file=sys.stderr)
+        return 1
+    if response.kind == "check":
+        examples = ExampleSet.from_dicts(response.witness_examples)
+        print(f"verdict: {response.verdict} on {examples}")
+    else:
+        print(f"verdict: {response.verdict}")
+        if response.solution is not None:
+            print(f"solution: {response.solution}")
+        print(f"examples used: {response.num_examples}")
+    if response.engines_raced:
+        print(f"winner: {response.engine} (raced {', '.join(response.engines_raced)})")
+    print(f"time: {response.elapsed_seconds:.2f}s")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     engines = engine_names()
+    tools = engines + [PORTFOLIO_ENGINE]
     parser = argparse.ArgumentParser(prog="repro-nay", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     solve = subparsers.add_parser("solve", help="run the CEGIS loop on a .sl file")
     solve.add_argument("path")
-    solve.add_argument("--tool", default="naySL", choices=engines)
-    solve.add_argument("--seed", type=int, default=0)
-    solve.add_argument("--timeout", type=float, default=600.0)
+    _add_solving_arguments(solve, tools)
 
     check = subparsers.add_parser("check", help="check a named benchmark")
     check.add_argument("benchmark")
-    check.add_argument("--tool", default="naySL", choices=engines)
-    check.add_argument("--timeout", type=float, default=600.0)
-    def _nonnegative(value: str) -> int:
-        parsed = int(value)
-        if parsed < 0:
-            raise argparse.ArgumentTypeError("example count must be >= 0")
-        return parsed
-
+    _add_solving_arguments(check, tools)
     check.add_argument(
         "--examples",
         type=_nonnegative,
         default=None,
-        help="override the witness example count (truncate or top up, seeded)",
+        help="resize the witness example set (truncate or top up, seeded)",
+    )
+
+    batch = subparsers.add_parser("batch", help="solve every .sl file under a directory")
+    batch.add_argument("directory")
+    _add_solving_arguments(batch, tools)
+    batch.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
+    )
+
+    server = subparsers.add_parser("serve", help="start the JSON HTTP endpoint")
+    server.add_argument("--host", default=DEFAULT_HOST)
+    server.add_argument("--port", type=int, default=DEFAULT_PORT)
+    server.add_argument(
+        "--timeout", type=float, default=600.0, help="default per-request timeout"
     )
 
     subparsers.add_parser("list", help="list all benchmarks")
@@ -97,37 +137,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(argv)
 
     if arguments.command == "solve":
-        problem = parse_sygus_file(arguments.path)
-        engine = create_engine(
-            arguments.tool, seed=arguments.seed, timeout_seconds=arguments.timeout
-        )
-        result = engine.solve(problem)
-        print(f"verdict: {result.verdict.value}")
-        if result.solution is not None:
-            print(f"solution: {result.solution.to_sexpr()}")
-        print(f"examples used: {result.num_examples}")
-        print(f"time: {result.elapsed_seconds:.2f}s")
-        return 0
+        solver = _solver_for(arguments)
+        response = solver.solve(Path(arguments.path), kind="solve")
+        return _emit(response, arguments.json)
 
     if arguments.command == "check":
-        try:
-            benchmark = get_benchmark(arguments.benchmark)
-        except ReproError as error:
-            print(error, file=sys.stderr)
-            return 1
-        engine = create_engine(arguments.tool, seed=0, timeout_seconds=arguments.timeout)
-        examples = benchmark.witness_examples
-        if arguments.examples is not None:
-            examples = _resize_examples(benchmark, arguments.examples)
-        if examples is None:
+        solver = _solver_for(arguments)
+        # Resolution failures (unknown benchmark, exhausted example top-up)
+        # come back as verdict="error" responses; _emit routes them to
+        # stderr with exit code 1.
+        response = solver.solve(arguments.benchmark, example_count=arguments.examples)
+        if response.kind == "solve" and not arguments.json and not response.error:
             print("benchmark has no recorded witness examples; running CEGIS instead")
-            result = engine.solve(benchmark.problem)
-            print(f"verdict: {result.verdict.value}")
+            print(f"verdict: {response.verdict}")
             return 0
-        result = engine.check(benchmark.problem, examples)
-        print(f"verdict: {result.verdict.value} on {examples}")
-        print(f"time: {result.elapsed_seconds:.2f}s")
-        return 0
+        return _emit(response, arguments.json)
+
+    if arguments.command == "batch":
+        return _run_batch(arguments)
+
+    if arguments.command == "serve":
+        solver = Solver(timeout_seconds=arguments.timeout)
+        return serve(arguments.host, arguments.port, solver)
 
     if arguments.command == "list":
         for benchmark in all_benchmarks(include_scaling=True):
@@ -139,7 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.command == "engines":
-        for name in engines:
+        for name in tools:
             print(name)
         return 0
 
@@ -152,6 +183,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return experiments.main(passthrough)
 
     return 1
+
+
+def _run_batch(arguments: argparse.Namespace) -> int:
+    directory = Path(arguments.directory)
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 1
+    paths = sorted(directory.rglob("*.sl"))
+    if not paths:
+        print(f"no .sl files under {directory}", file=sys.stderr)
+        return 1
+    solver = _solver_for(arguments)
+    responses = solver.solve_batch(paths, workers=arguments.workers, kind="solve")
+    if arguments.json:
+        print(json.dumps([response.to_json() for response in responses], indent=2))
+    else:
+        rows = [
+            {
+                "file": str(path),
+                "verdict": response.verdict,
+                "engine": response.engine,
+                "seconds": response.elapsed_seconds,
+                "examples": response.num_examples,
+            }
+            for path, response in zip(paths, responses)
+        ]
+        print(experiments.render_rows(rows))
+        for path, response in zip(paths, responses):
+            if response.error:
+                print(f"{path}: {response.error}", file=sys.stderr)
+    return 1 if any(response.error for response in responses) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,7 +28,13 @@ from repro.engine.results import (
     stable_fingerprint,
     stable_view,
 )
-from repro.engine.runner import ExperimentRunner, Task, apply_timeout_policy
+from repro.engine.runner import (
+    ExperimentRunner,
+    Task,
+    apply_timeout_policy,
+    pool_map,
+    shutdown_pool_now,
+)
 
 __all__ = [
     "UnrealizabilityEngine",
@@ -49,4 +55,6 @@ __all__ = [
     "ExperimentRunner",
     "Task",
     "apply_timeout_policy",
+    "pool_map",
+    "shutdown_pool_now",
 ]

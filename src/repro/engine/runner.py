@@ -13,6 +13,10 @@ Design points:
   :mod:`repro.engine.registry` and the benchmark through
   :mod:`repro.suites`, so nothing heavyweight crosses the process boundary
   and every worker warms its own :mod:`repro.engine.cache`.
+* **One execution core.**  ``check``/``solve`` tasks delegate the actual
+  solving to :func:`repro.api.facade.run_engine`, the same code path behind
+  the CLI, ``repro-nay serve`` and the portfolio; the pool plumbing itself
+  (:func:`pool_map`) is likewise shared with the api's ``solve_batch``.
 * **Deterministic ordering.**  Rows come back in task order regardless of
   worker count or completion order; ``workers=1`` and ``workers=N`` produce
   identical stable fields (see :mod:`repro.engine.results`).
@@ -34,19 +38,29 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-from repro.engine.registry import create_engine
 from repro.engine.results import ResultsStore
 from repro.semantics.examples import ExampleSet
 from repro.suites.base import Benchmark
 from repro.unreal.result import Verdict
-from repro.utils.errors import SolverLimitError
 
 #: Hard wall-clock guard: how long past a task's soft timeout the parent
 #: waits for a worker before writing the row off as TIMEOUT.
 HARD_TIMEOUT_FACTOR = 3.0
 HARD_TIMEOUT_MARGIN = 30.0
+
+
+def hard_guard(timeout: Optional[float]) -> Optional[float]:
+    """The hard wall-clock budget for a soft timeout (None = unbounded).
+
+    One policy for every pooled surface: the experiment runner, the api's
+    ``solve_batch`` and the portfolio racer all wait this long before
+    writing a worker off as stuck.
+    """
+    if timeout is None:
+        return None
+    return timeout * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN
 
 
 @dataclass
@@ -104,39 +118,37 @@ def apply_timeout_policy(
 
 
 def execute_task(task: Task) -> Dict[str, object]:
-    """Run one task to a result row (also the worker entry point)."""
+    """Run one task to a result row (also the worker entry point).
+
+    ``check``/``solve`` tasks delegate the actual solving to the api facade's
+    :func:`repro.api.facade.run_engine` — the one place engines are
+    instantiated, timed and subjected to the timeout policy — and only map
+    the wire response back onto the experiment row shape.
+    """
     benchmark = resolve_benchmark(task)
     examples = resolve_examples(task, benchmark)
 
     if task.kind == "gfa":
         return _execute_gfa(task, benchmark, examples)
 
-    engine = create_engine(
-        task.engine or "naySL", timeout_seconds=task.timeout, **task.knobs
+    from repro.api.facade import run_engine
+
+    response = run_engine(
+        task.engine or "naySL",
+        task.kind,
+        benchmark.problem,
+        examples,
+        knobs=task.knobs,
+        timeout=task.timeout,
     )
-    start = time.monotonic()
-    try:
-        if task.kind == "solve" or len(examples) == 0:
-            result = engine.solve(benchmark.problem)
-            verdict = result.verdict
-            num_examples = result.num_examples
-        else:
-            result = engine.check(benchmark.problem, examples)
-            verdict = result.verdict
-            num_examples = len(examples)
-    except SolverLimitError:
-        verdict = Verdict.TIMEOUT
-        num_examples = len(examples)
-    elapsed = time.monotonic() - start
-    verdict = apply_timeout_policy(verdict, elapsed, task.timeout)
     return {
         "suite": benchmark.suite,
         "benchmark": benchmark.name,
-        "tool": engine.name,
-        "verdict": verdict.value,
-        "seconds": round(elapsed, 4),
-        "examples": num_examples,
-        "paper_seconds": benchmark.paper.get(engine.name),
+        "tool": response.engine,
+        "verdict": response.verdict,
+        "seconds": response.elapsed_seconds,
+        "examples": response.num_examples,
+        "paper_seconds": benchmark.paper.get(response.engine),
         **task.tags,
     }
 
@@ -232,33 +244,74 @@ class ExperimentRunner:
         return rows
 
     def _run_pool(self, tasks: List[Task]) -> List[Dict[str, object]]:
-        rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
-        max_workers = min(self.workers, len(tasks), (os.cpu_count() or 2))
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        stuck = False
-        try:
-            futures: List[Future] = [pool.submit(execute_task, task) for task in tasks]
-            for index, (task, future) in enumerate(zip(tasks, futures)):
-                guard = (
-                    task.timeout * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_MARGIN
-                    if task.timeout is not None
-                    else None
-                )
-                try:
-                    rows[index] = future.result(timeout=guard)
-                except FutureTimeoutError:
-                    future.cancel()
-                    stuck = True
-                    rows[index] = _timeout_row(task)
-        finally:
-            if stuck:
-                # A worker blew through its hard guard; shutdown(wait=True)
-                # would join it forever.  Cancel what has not started and
-                # terminate the worker processes outright — every finished
-                # task's row is already collected.
-                pool.shutdown(wait=False, cancel_futures=True)
-                for process in list(getattr(pool, "_processes", {}).values() or []):
-                    process.terminate()
-            else:
-                pool.shutdown(wait=True)
+        rows = pool_map(
+            execute_task,
+            tasks,
+            workers=self.workers,
+            guard_for=lambda task: hard_guard(task.timeout),
+            fallback_for=_timeout_row,
+        )
         return [row for row in rows if row is not None]
+
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def shutdown_pool_now(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without joining stuck or no-longer-wanted workers.
+
+    ``shutdown(wait=True)`` would join a worker that blew through its hard
+    guard forever; instead cancel everything that has not started and
+    terminate the worker processes outright.  Also used by the portfolio
+    racer to cancel losing engines once a definitive verdict is in.
+    """
+    # Snapshot the worker processes first: shutdown() drops the pool's
+    # reference to them even with wait=False.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.terminate()
+
+
+def pool_map(
+    fn: Callable[[Item], Result],
+    items: Sequence[Item],
+    *,
+    workers: int,
+    guard_for: Optional[Callable[[Item], Optional[float]]] = None,
+    fallback_for: Optional[Callable[[Item], Result]] = None,
+) -> List[Optional[Result]]:
+    """Ordered parallel map with the runner's hard wall-clock discipline.
+
+    Results come back in item order.  ``guard_for`` gives each item's hard
+    wall-clock budget; an item whose worker exceeds it is written off with
+    ``fallback_for(item)`` (or ``None``) and the stuck worker is terminated
+    during teardown.  Both ``fn`` and the items must be picklable; the
+    callbacks run only in the parent.  Shared by the experiment runner and
+    :meth:`repro.api.Solver.solve_batch`.
+    """
+    results: List[Optional[Result]] = [None] * len(items)
+    max_workers = min(workers, len(items), (os.cpu_count() or 2))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    stuck = False
+    try:
+        futures: List[Future] = [pool.submit(fn, item) for item in items]
+        for index, (item, future) in enumerate(zip(items, futures)):
+            guard = guard_for(item) if guard_for is not None else None
+            try:
+                results[index] = future.result(timeout=guard)
+            except FutureTimeoutError:
+                future.cancel()
+                stuck = True
+                results[index] = (
+                    fallback_for(item) if fallback_for is not None else None
+                )
+    finally:
+        if stuck:
+            # Every finished item's result is already collected; only the
+            # stuck workers are abandoned.
+            shutdown_pool_now(pool)
+        else:
+            pool.shutdown(wait=True)
+    return results

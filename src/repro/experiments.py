@@ -6,7 +6,9 @@ pytest benchmarks in ``benchmarks/``, the command line (``python -m
 repro.experiments <experiment> [--workers N] [--out results/]``), and
 EXPERIMENTS.md.  Engines are resolved exclusively through
 :mod:`repro.engine.registry`, so adding a fourth tool to every table is a
-one-line change to :data:`ENGINE_ORDER`.
+one-line change to :data:`ENGINE_ORDER`; the actual solving of every cell
+flows through the api facade's :func:`repro.api.facade.run_engine`, the one
+engine/timeout execution path shared with the CLI and ``repro-nay serve``.
 
 Experiments (see DESIGN.md's per-experiment index):
 

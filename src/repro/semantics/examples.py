@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
-from repro.utils.errors import SemanticsError
+from repro.utils.errors import ExampleExhaustionError, SemanticsError
 from repro.utils.vectors import IntVector
 
 
@@ -128,6 +128,61 @@ class ExampleSet:
         for example in other:
             merged._examples = self._append(merged._examples, example)
         return merged
+
+    def resized(
+        self,
+        variables: Sequence[str],
+        count: int,
+        seed: int = 0,
+        low: int = -50,
+        high: int = 50,
+    ) -> "ExampleSet":
+        """Exactly ``count`` examples: truncate, or top up deterministically.
+
+        The first ``count`` existing examples are kept (they are typically the
+        witness examples known to prove unrealizability); any shortfall is
+        filled with seeded random examples over ``variables`` drawn from
+        ``[low, high]``.  Raises :class:`ExampleExhaustionError` when the
+        value range cannot supply ``count`` distinct examples.
+        """
+        if count < 0:
+            raise SemanticsError("example count must be >= 0")
+        variables = tuple(variables)
+        if self._examples and self._examples[0].variables() != tuple(sorted(variables)):
+            variables = self._examples[0].variables()
+        resized = ExampleSet(self._examples[:count])
+        if len(resized) >= count:
+            return resized
+        span = high - low + 1
+        capacity = span ** len(variables) if variables else 1
+        if count > capacity:
+            raise ExampleExhaustionError(
+                f"cannot build {count} distinct examples over {len(variables)} "
+                f"variable(s) in [{low}, {high}] (only {capacity} exist)"
+            )
+        rng = random.Random(seed)
+        attempts = 0
+        max_attempts = 100 * count + 10 * capacity
+        while len(resized) < count:
+            if attempts >= max_attempts:
+                raise ExampleExhaustionError(
+                    f"random top-up exhausted after {attempts} draws with "
+                    f"{len(resized)} of {count} distinct examples"
+                )
+            attempts += 1
+            resized = resized.union(ExampleSet.random(variables, 1, rng, low, high))
+        return resized
+
+    # -- wire format ---------------------------------------------------------
+
+    def as_dicts(self) -> Tuple[Dict[str, int], ...]:
+        """The examples as plain dicts (the JSON wire representation)."""
+        return tuple(example.as_dict() for example in self._examples)
+
+    @staticmethod
+    def from_dicts(assignments: Iterable[Mapping[str, int]]) -> "ExampleSet":
+        """Rebuild an example set from its :meth:`as_dicts` representation."""
+        return ExampleSet(Example.of(assignment) for assignment in assignments)
 
     def projection(self, variable: str) -> IntVector:
         """``mu_E(variable)``: the vector of the variable's values across E."""

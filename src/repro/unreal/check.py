@@ -68,10 +68,18 @@ def check_unrealizable(
         verdict = Verdict.REALIZABLE
     else:
         verdict = Verdict.UNKNOWN
+    # The model is normalized to a plain {str: int} dict at construction so
+    # the result's ``details`` payload is always JSON-serializable (the api
+    # wire format embeds it verbatim).
+    details = (
+        {"model": {str(name): int(value) for name, value in result.model.items()}}
+        if result.is_sat and result.model is not None
+        else {}
+    )
     return CheckResult(
         verdict=verdict,
         examples=examples,
         elapsed_seconds=elapsed,
         abstraction_size=abstraction_size,
-        details={"model": result.model} if result.is_sat else {},
+        details=details,
     )

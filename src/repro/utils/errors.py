@@ -20,6 +20,24 @@ class SemanticsError(ReproError):
     """Raised when a term cannot be evaluated under the requested semantics."""
 
 
+class ExampleExhaustionError(SemanticsError):
+    """Raised when an example set cannot be grown to the requested size.
+
+    The random top-up used by :meth:`repro.semantics.examples.ExampleSet.resized`
+    draws from a finite value range; once every distinct example in that range
+    is taken, asking for more is an error rather than a silent shortfall.
+    """
+
+
+class WireFormatError(ReproError):
+    """Raised when a JSON payload does not conform to the api wire format.
+
+    Covers unknown schema versions, missing required fields, and unknown
+    keys in :class:`repro.api.SolveRequest` / :class:`repro.api.SolveResponse`
+    payloads.
+    """
+
+
 class SolverError(ReproError):
     """Raised when the logic substrate is given an ill-formed problem."""
 

@@ -272,13 +272,12 @@ class TestCliIntegration:
         assert "stratified_seconds" in capsys.readouterr().out
 
     def test_resize_examples_tops_up_deterministically(self):
-        from repro.cli import _resize_examples
-
         benchmark = get_benchmark("plane1", "LimitedPlus")
         witness = benchmark.witness_examples
-        grown = _resize_examples(benchmark, len(witness) + 2)
+        variables = benchmark.problem.variables
+        grown = witness.resized(variables, len(witness) + 2)
         assert len(grown) == len(witness) + 2
-        again = _resize_examples(benchmark, len(witness) + 2)
+        again = witness.resized(variables, len(witness) + 2)
         assert grown == again
-        shrunk = _resize_examples(benchmark, 1)
+        shrunk = witness.resized(variables, 1)
         assert len(shrunk) == 1
