@@ -1,0 +1,67 @@
+"""Worklist vs dense solver timings on the scaling systems.
+
+The chain systems are the worst case for dense iteration — information flows
+one dependency edge per round — so these entries bound the benefit of the
+worklist strategy from above (kleene) and measure it on the paper's actual
+fig2/fig3 workloads (Newton / abstract engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gfa.fixpoint import DENSE, WORKLIST
+from repro.gfa.kleene import solve_kleene
+from repro.gfa.semiring import BooleanSemiring
+from repro.perf import chain_boolean_system
+from repro.suites.scaling import chain_grammar, example_set, scaling_benchmark
+from repro.unreal.approximate import solve_abstract_gfa
+from repro.unreal.lia import solve_lia_gfa
+
+STRATEGIES = [WORKLIST, DENSE]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("length", [64, 256])
+def test_kleene_chain(benchmark, strategy, length):
+    system = chain_boolean_system(length)
+    semiring = BooleanSemiring()
+
+    solution = benchmark(lambda: solve_kleene(system, semiring, strategy=strategy))
+    assert solution["X0"] is True
+
+
+# Stratification (§7) is recorded as its own axis: (DENSE, False) is the
+# historical full-system baseline, (DENSE, True) isolates the Jacobian
+# strategy alone.
+@pytest.mark.parametrize(
+    "strategy,stratify", [(WORKLIST, True), (DENSE, True), (DENSE, False)]
+)
+@pytest.mark.parametrize("nonterminals,examples", [(14, 1), (14, 2)])
+def test_fig2_newton(benchmark, strategy, stratify, nonterminals, examples):
+    entry = scaling_benchmark(nonterminals)
+    grammar = entry.problem.grammar
+    example_vector = example_set(examples)
+
+    def run():
+        from repro.engine.cache import clear_cache
+
+        clear_cache()
+        return solve_lia_gfa(
+            grammar, example_vector, stratify=stratify, strategy=strategy
+        )
+
+    solution = benchmark(run)
+    assert not solution.start_value.is_empty()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("nonterminals,examples", [(14, 2), (20, 2)])
+def test_fig3_abstract(benchmark, strategy, nonterminals, examples):
+    grammar = chain_grammar(max(1, nonterminals - 2))
+    example_vector = example_set(examples)
+
+    solution = benchmark(
+        lambda: solve_abstract_gfa(grammar, example_vector, strategy=strategy)
+    )
+    assert solution.iterations > 0

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the semi-linear-set algebra.
+
+These isolate the domain operations the fixpoint solvers spend their time in
+(§8.1 reports semi-linear computation dominates NaySL), including the
+memoized subsumption-based simplification of §7 opt (i) and the hash-consed
+construction path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.perf import _semilinear_inputs
+from repro.utils.vectors import IntVector
+
+
+@pytest.fixture
+def values():
+    return _semilinear_inputs(24)
+
+
+def test_combine_simplify(benchmark, values):
+    def run():
+        accumulated = SemiLinearSet.empty(2)
+        for value in values:
+            accumulated = accumulated.combine(value).simplify()
+        return accumulated
+
+    result = benchmark(run)
+    assert not result.is_empty()
+
+
+def test_extend_chain(benchmark, values):
+    def run():
+        product = values[0]
+        for value in values[1:8]:
+            product = product.extend(value).simplify()
+        return product
+
+    result = benchmark(run)
+    assert not result.is_empty()
+
+
+def test_star(benchmark, values):
+    union = SemiLinearSet.empty(2)
+    for value in values:
+        union = union.combine(value)
+
+    result = benchmark(union.star)
+    assert result.linear_sets
+
+
+def test_interned_construction(benchmark):
+    """Rebuilding identical linear sets must hit the intern table."""
+
+    def run():
+        sets = [
+            LinearSet(
+                IntVector([i % 5, i % 7]),
+                (IntVector([1, i % 3]), IntVector([i % 2, 2])),
+            )
+            for i in range(200)
+        ]
+        return SemiLinearSet(sets, 2)
+
+    result = benchmark(run)
+    assert result.linear_sets

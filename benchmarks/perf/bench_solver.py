@@ -1,0 +1,27 @@
+"""End-to-end ``Solver.solve`` timings over the scaling suite.
+
+These go through the public api facade — request resolution, engine registry,
+GFA cache, final satisfiability check — so they track what a service caller
+actually observes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Solver
+
+
+@pytest.mark.parametrize("name", ["chain_8", "chain_14"])
+def test_solver_end_to_end(benchmark, name):
+    solver = Solver(engine="naySL", timeout_seconds=120.0)
+
+    def run():
+        from repro.engine.cache import clear_cache
+
+        clear_cache()
+        return solver.solve(name)
+
+    response = benchmark(run)
+    assert response.error is None
+    assert response.verdict == "unrealizable"

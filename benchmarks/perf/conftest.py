@@ -1,0 +1,24 @@
+"""Fixtures for the fixpoint perf suite (``benchmarks/perf/``).
+
+These pytest-benchmark entries time the building blocks the
+``repro-nay bench`` harness (:mod:`repro.perf`) aggregates into
+``BENCH_fixpoint.json``: Kleene/Newton solves under both strategies,
+semi-linear microbenchmarks, and end-to-end ``Solver.solve``.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Each benchmark clears the process-wide memo tables first so measurements are
+not flattered by another benchmark's warm cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def cold_caches():
+    clear_cache()
+    yield

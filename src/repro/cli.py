@@ -13,7 +13,9 @@ Subcommands:
   (``POST /solve``, ``GET /engines``, ``GET /healthz``);
 * ``list``                  — list the benchmark suites;
 * ``engines``               — list the registered engines (+ portfolio);
-* ``experiments <name>``    — shorthand for ``python -m repro.experiments``.
+* ``experiments <name>``    — shorthand for ``python -m repro.experiments``;
+* ``bench``                 — run the fixpoint perf harness (worklist vs
+  dense strategies) and write the versioned ``BENCH_fixpoint.json`` artifact.
 
 ``solve``, ``check`` and ``batch`` accept ``--json`` to emit the versioned
 wire format (:mod:`repro.api.wire`) instead of text.  All solving resolves
@@ -134,6 +136,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     experiment.add_argument("--workers", type=int, default=1)
     experiment.add_argument("--out", default=None)
 
+    bench = subparsers.add_parser(
+        "bench", help="run the fixpoint perf harness and write BENCH_fixpoint.json"
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3, help="timed repetitions per measurement"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small sweep for CI smoke runs"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="artifact path (default BENCH_fixpoint.json; '-' to skip writing)",
+    )
+
     arguments = parser.parse_args(argv)
 
     if arguments.command == "solve":
@@ -172,6 +189,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "engines":
         for name in tools:
             print(name)
+        return 0
+
+    if arguments.command == "bench":
+        from repro import perf
+
+        report = perf.run_perf_suite(
+            repetitions=arguments.repeat, quick=arguments.quick
+        )
+        print(perf.render_report(report))
+        if arguments.out != "-":
+            target = perf.write_report(
+                report, arguments.out or perf.DEFAULT_BENCH_PATH
+            )
+            print(f"wrote {target}")
         return 0
 
     if arguments.command == "experiments":

@@ -13,37 +13,152 @@ Newton's method (Lem. 5.2) requires.  This module implements the domain, the
 three operations, the projection ``projSL`` used by the CLIA machinery
 (§6.2), symbolic concretization (§5.4), and the subsumption-based
 simplification mentioned as optimisation (i) in §7.
+
+Performance notes.  Both classes are hash-consed (:mod:`repro.utils.intern`)
+into a *canonical form*: a linear set's generators are deduplicated and
+sorted, a semi-linear set's linear sets are deduplicated and sorted.  Equal
+values are therefore the same object, equality is a pointer comparison in
+the common case, and hashes are computed once.  On top of the canonical
+identities, :meth:`SemiLinearSet.simplify` and the subsumption check are
+memoized in bounded LRU tables — the solvers re-simplify the same iterates
+on every fixpoint round, and subsumption bottoms out in integer-feasibility
+queries that are far too expensive to repeat.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.logic.formulas import Formula, atom_eq, atom_ge, conjunction, disjunction
 from repro.logic.terms import LinearExpression
 from repro.utils.errors import SolverLimitError
+from repro.utils.intern import interner
 from repro.utils.vectors import BoolVector, IntVector
 
+_LINEAR_SETS = interner("LinearSet")
+_SEMILINEAR_SETS = interner("SemiLinearSet")
 
-@dataclass(frozen=True)
+
+class _BoundedMemo:
+    """A tiny LRU memo table with hit/miss counters.
+
+    Keys are interned domain values (hash cached, equality pointer-fast), so
+    lookups are cheap; the bound keeps long-lived server processes from
+    accumulating every simplification ever computed.  A lock serialises the
+    LRU bookkeeping — ``repro-nay serve`` solves on ThreadingHTTPServer
+    request threads, and an unlocked ``move_to_end`` can race an eviction.
+    """
+
+    __slots__ = ("name", "max_entries", "hits", "misses", "_table", "_lock")
+
+    def __init__(self, name: str, max_entries: int = 4096):
+        self.name = name
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._table: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable):
+        with self._lock:
+            value = self._table.get(key)
+            if value is not None:
+                self._table.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            self._table[key] = value
+            self._table.move_to_end(key)
+            while len(self._table) > self.max_entries:
+                self._table.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._table),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+_SIMPLIFY_MEMO = _BoundedMemo("simplify")
+_SUBSUMES_MEMO = _BoundedMemo("subsumes", max_entries=16384)
+
+
+def semilinear_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss statistics of the simplification and subsumption memos."""
+    return {
+        "simplify": _SIMPLIFY_MEMO.stats(),
+        "subsumes": _SUBSUMES_MEMO.stats(),
+    }
+
+
+def clear_semilinear_caches() -> None:
+    """Reset the simplification and subsumption memo tables."""
+    _SIMPLIFY_MEMO.clear()
+    _SUBSUMES_MEMO.clear()
+
+
 class LinearSet:
-    """A linear set ``<offset, generators>`` of integer vectors."""
+    """A linear set ``<offset, generators>``, interned in canonical form.
+
+    Canonicalization drops zero generators (they do not change the denoted
+    set), deduplicates via a hash set, and sorts — so two constructions that
+    denote the same ``<u, V>`` always produce the identical object, and
+    canonicalization is idempotent by construction.
+    """
+
+    __slots__ = ("offset", "generators", "_hash", "__weakref__")
 
     offset: IntVector
     generators: Tuple[IntVector, ...]
 
-    def __post_init__(self) -> None:
-        # Deduplicate and drop zero generators; they do not change the set.
-        cleaned: List[IntVector] = []
-        for generator in self.generators:
-            if generator.is_zero():
-                continue
-            if generator not in cleaned:
-                cleaned.append(generator)
-        object.__setattr__(
-            self, "generators", tuple(sorted(cleaned, key=lambda v: v.values))
+    def __new__(cls, offset: IntVector, generators: Iterable[IntVector] = ()):
+        cleaned = tuple(
+            sorted(
+                {generator for generator in generators if not generator.is_zero()},
+                key=lambda vector: vector.values,
+            )
         )
+        key = (offset, cleaned)
+        cached = _LINEAR_SETS.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "offset", offset)
+        object.__setattr__(self, "generators", cleaned)
+        object.__setattr__(self, "_hash", hash(key))
+        return _LINEAR_SETS.add(key, self)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LinearSet instances are immutable")
+
+    def __reduce__(self):
+        return (LinearSet, (self.offset, self.generators))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, LinearSet)
+            and self.offset == other.offset
+            and self.generators == other.generators
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def dimension(self) -> int:
@@ -102,29 +217,48 @@ class LinearSet:
             constraints.append(atom_ge(LinearExpression.variable(name), 0))
         return conjunction(constraints)
 
+    def _sort_key(self) -> Tuple:
+        return (self.offset.values, tuple(g.values for g in self.generators))
+
     def __str__(self) -> str:
         generators = ", ".join(str(list(g.values)) for g in self.generators)
         return f"<{list(self.offset.values)}, {{{generators}}}>"
 
+    def __repr__(self) -> str:
+        return f"LinearSet(offset={self.offset!r}, generators={self.generators!r})"
+
 
 class SemiLinearSet:
-    """A finite union of linear sets, with semiring operations.
+    """A finite union of linear sets, interned in canonical (sorted) form.
 
     The empty union is the semiring ``0``; ``{<0, {}>}`` is the semiring ``1``.
     """
 
-    __slots__ = ("_linear_sets", "_dimension")
+    __slots__ = ("_linear_sets", "_dimension", "_hash", "__weakref__")
 
-    def __init__(self, linear_sets: Iterable[LinearSet] = (), dimension: int = 0):
-        sets: List[LinearSet] = []
-        for linear_set in linear_sets:
-            if linear_set not in sets:
-                sets.append(linear_set)
-        self._linear_sets: Tuple[LinearSet, ...] = tuple(sets)
-        if self._linear_sets:
-            self._dimension = self._linear_sets[0].dimension
-        else:
-            self._dimension = dimension
+    def __new__(cls, linear_sets: Iterable[LinearSet] = (), dimension: int = 0):
+        # Deduplicate (interned linear sets hash/compare fast) and sort so
+        # that order of construction never influences identity.
+        unique = tuple(
+            sorted(dict.fromkeys(linear_sets), key=LinearSet._sort_key)
+        )
+        if unique:
+            dimension = unique[0].dimension
+        key = (unique, dimension)
+        cached = _SEMILINEAR_SETS.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "_linear_sets", unique)
+        object.__setattr__(self, "_dimension", dimension)
+        object.__setattr__(self, "_hash", hash(unique))
+        return _SEMILINEAR_SETS.add(key, self)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SemiLinearSet instances are immutable")
+
+    def __reduce__(self):
+        return (SemiLinearSet, (self._linear_sets, self._dimension))
 
     # -- constructors --------------------------------------------------------
 
@@ -166,6 +300,12 @@ class SemiLinearSet:
     def combine(self, other: "SemiLinearSet") -> "SemiLinearSet":
         """``(+)``: set union."""
         self._check(other)
+        if self is other:
+            return self
+        if not other._linear_sets and self._dimension >= other._dimension:
+            return self
+        if not self._linear_sets and other._dimension >= self._dimension:
+            return other
         return SemiLinearSet(
             self._linear_sets + other._linear_sets,
             max(self._dimension, other._dimension),
@@ -210,6 +350,8 @@ class SemiLinearSet:
     def leq(self, other: "SemiLinearSet") -> bool:
         """The induced order ``a <= b  iff  a (+) b = b`` — here syntactic:
         every linear set of ``self`` appears in (or is subsumed by) ``other``."""
+        if self is other:
+            return True
         return all(
             linear_set in other._linear_sets
             or any(_subsumes(candidate, linear_set) for candidate in other._linear_sets)
@@ -221,8 +363,18 @@ class SemiLinearSet:
 
         Subsumption is checked with a sound, incomplete criterion (see
         :func:`_subsumes`), so simplification never changes the denoted set.
+        Results are memoized on the interned identity of ``self``; the
+        result is itself subsumption-free, so it is recorded as its own
+        fixpoint and re-simplifying it is a cache hit.
         """
-        sets = list(self._linear_sets)
+        # The memo key includes the dimension: __eq__ deliberately ignores it
+        # (empty sets of any dimension are interchangeable as values), but the
+        # *result* returned here must keep self's dimension.
+        memo_key = (self._linear_sets, self._dimension)
+        cached = _SIMPLIFY_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+        sets = self._linear_sets
         kept: List[LinearSet] = []
         for index, candidate in enumerate(sets):
             subsumed = False
@@ -238,7 +390,11 @@ class SemiLinearSet:
                 break
             if not subsumed:
                 kept.append(candidate)
-        return SemiLinearSet(kept, self._dimension)
+        result = self if len(kept) == len(sets) else SemiLinearSet(kept, self._dimension)
+        _SIMPLIFY_MEMO.put(memo_key, result)
+        if result is not self:
+            _SIMPLIFY_MEMO.put((result._linear_sets, result._dimension), result)
+        return result
 
     def symbolic(self, outputs: Sequence[LinearExpression], tag: str = "") -> Formula:
         """Symbolic concretization ``gamma_hat`` (Eqn. (26)).
@@ -280,12 +436,17 @@ class SemiLinearSet:
             raise ValueError("semi-linear sets have different dimensions")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, SemiLinearSet):
             return NotImplemented
-        return set(self._linear_sets) == set(other._linear_sets)
+        # Canonical form makes the tuple comparison order-insensitive; the
+        # dimension is deliberately not compared (two empty sets of different
+        # dimensions are interchangeable, matching the semiring's 0).
+        return self._linear_sets == other._linear_sets
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._linear_sets))
+        return self._hash
 
     def __str__(self) -> str:
         if not self._linear_sets:
@@ -303,10 +464,24 @@ def _subsumes(container: LinearSet, candidate: LinearSet) -> bool:
     generator of ``container``, and ``candidate``'s offset must be reachable
     from ``container``'s offset using ``container``'s generators (an integer
     feasibility query).  This is sufficient but not necessary, which is all
-    the simplification needs.
+    the simplification needs.  Verdicts are memoized on the interned pair —
+    the feasibility query dominates simplification time and the fixpoint
+    solvers re-ask the same pairs on every iteration.
     """
+    if container is candidate:
+        return True
     if container.dimension != candidate.dimension:
         return False
+    key = (container, candidate)
+    cached = _SUBSUMES_MEMO.get(key)
+    if cached is not None:
+        return cached
+    verdict = _subsumes_uncached(container, candidate)
+    _SUBSUMES_MEMO.put(key, verdict)
+    return verdict
+
+
+def _subsumes_uncached(container: LinearSet, candidate: LinearSet) -> bool:
     container_generators = set(container.generators)
     if not all(generator in container_generators for generator in candidate.generators):
         return False

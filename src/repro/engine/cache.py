@@ -37,11 +37,13 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.domains.clia import CliaInterpretation
+from repro.domains.semilinear import clear_semilinear_caches, semilinear_cache_stats
 from repro.gfa.builder import build_lia_equations
 from repro.gfa.equations import EquationSystem
 from repro.grammar.rtg import RegularTreeGrammar
 from repro.grammar.transforms import normalize_for_gfa
 from repro.semantics.examples import ExampleSet
+from repro.utils.intern import intern_stats
 
 
 def grammar_fingerprint(grammar: RegularTreeGrammar) -> Hashable:
@@ -156,8 +158,29 @@ def get_cache() -> GfaCache:
 
 
 def clear_cache() -> None:
+    """Reset the GFA cache *and* the semi-linear simplification memos.
+
+    The intern tables (:mod:`repro.utils.intern`) are weak and self-pruning,
+    so they are deliberately left alone here.
+    """
     _DEFAULT_CACHE.clear()
+    clear_semilinear_caches()
 
 
 def cache_stats() -> CacheStats:
     return _DEFAULT_CACHE.stats
+
+
+def runtime_cache_stats() -> dict:
+    """One snapshot of every process-wide memo/intern table.
+
+    Combines the GFA construction cache (this module), the semi-linear
+    simplification/subsumption memos (:mod:`repro.domains.semilinear`), and
+    the hash-consing intern tables (:mod:`repro.utils.intern`) — the
+    ``repro-nay bench`` harness records this next to its timings.
+    """
+    return {
+        "gfa": _DEFAULT_CACHE.stats.as_dict(),
+        "semilinear": semilinear_cache_stats(),
+        "intern": intern_stats(),
+    }

@@ -10,12 +10,15 @@ over an abstract domain.  Two families of solvers are provided:
   for finite domains (Boolean-vector sets) and for the approximate mode.
 
 :mod:`repro.gfa.equations` defines the polynomial equation representation
-shared by both, and :mod:`repro.gfa.builder` constructs equations from a
-grammar, an example set, and an interpretation of the alphabet symbols.
+shared by both, :mod:`repro.gfa.builder` constructs equations from a
+grammar, an example set, and an interpretation of the alphabet symbols, and
+:mod:`repro.gfa.fixpoint` provides the worklist/dense iteration strategies
+and their work counters shared by every solver.
 """
 
 from repro.gfa.semiring import Semiring, SemiLinearSemiring
 from repro.gfa.equations import Monomial, Polynomial, EquationSystem
+from repro.gfa.fixpoint import DENSE, WORKLIST, FixpointSolution, FixpointStats
 from repro.gfa.newton import solve_newton, solve_linear_system
 from repro.gfa.kleene import solve_kleene
 
@@ -25,6 +28,10 @@ __all__ = [
     "Monomial",
     "Polynomial",
     "EquationSystem",
+    "DENSE",
+    "WORKLIST",
+    "FixpointSolution",
+    "FixpointStats",
     "solve_newton",
     "solve_linear_system",
     "solve_kleene",

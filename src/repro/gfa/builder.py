@@ -82,6 +82,18 @@ def build_remif_equations(
         if nonterminal.sort == Sort.INT
     ]
 
+    # The same leaf constant appears in many (production, mask) pairs; the
+    # 2^|E| masks make re-projecting it quadratically wasteful.  Hash-consed
+    # semi-linear sets make the memo keys cheap.
+    projected: Dict[object, SemiLinearSet] = {}
+
+    def project_constant(constant: SemiLinearSet, mask: BoolVector) -> SemiLinearSet:
+        key = (constant, mask)
+        value = projected.get(key)
+        if value is None:
+            value = projected[key] = constant.project(mask)
+        return value
+
     equations: Dict[object, Polynomial] = {}
     for nonterminal in integer_nonterminals:
         for mask in masks:
@@ -96,13 +108,13 @@ def build_remif_equations(
                     monomials.append(Monomial(one, ((production.args[0], mask),)))
                 elif name == "Num":
                     constant = interpretation.num(int(production.symbol.payload))
-                    monomials.append(Monomial(constant.project(mask), ()))
+                    monomials.append(Monomial(project_constant(constant, mask), ()))
                 elif name == "Var":
                     constant = interpretation.var(str(production.symbol.payload))
-                    monomials.append(Monomial(constant.project(mask), ()))
+                    monomials.append(Monomial(project_constant(constant, mask), ()))
                 elif name == "NegVar":
                     constant = interpretation.neg_var(str(production.symbol.payload))
-                    monomials.append(Monomial(constant.project(mask), ()))
+                    monomials.append(Monomial(project_constant(constant, mask), ()))
                 elif name == "IfThenElse":
                     guard, then_nt, else_nt = production.args
                     guard_values = boolean_values.get(

@@ -28,6 +28,25 @@ Key = Hashable
 Element = TypeVar("Element")
 
 
+def invert_dependencies(
+    dependencies: Mapping[Key, Iterable[Key]],
+) -> Dict[Key, Tuple[Key, ...]]:
+    """Turn a ``reader -> inputs`` map into an ``input -> readers`` map.
+
+    This is the edge map the worklist solvers follow when a value changes;
+    :meth:`EquationSystem.dependents` derives it from the polynomials, and
+    the grammar-driven solvers (SolveBool, the approximate engine) build it
+    from production arguments.
+    """
+    dependents: Dict[Key, List[Key]] = {}
+    for reader, inputs in dependencies.items():
+        for used in inputs:
+            users = dependents.setdefault(used, [])
+            if reader not in users:
+                users.append(reader)
+    return {key: tuple(users) for key, users in dependents.items()}
+
+
 @dataclass(frozen=True)
 class Monomial(Generic[Element]):
     """``coefficient (x) X_1 (x) ... (x) X_k`` (the X_i may repeat)."""
@@ -105,12 +124,22 @@ class Polynomial(Generic[Element]):
         return value
 
     def variables(self) -> Tuple[Key, ...]:
-        seen: List[Key] = []
-        for monomial in self.monomials:
-            for variable in monomial.variables:
-                if variable not in seen:
-                    seen.append(variable)
-        return tuple(seen)
+        """The distinct variables of this polynomial, in first-seen order.
+
+        Cached on the instance: the worklist solver and Newton's sparse
+        Jacobian consult the occurring-variable set on every visit.
+        """
+        cached = getattr(self, "_variables", None)
+        if cached is None:
+            cached = tuple(
+                dict.fromkeys(
+                    variable
+                    for monomial in self.monomials
+                    for variable in monomial.variables
+                )
+            )
+            object.__setattr__(self, "_variables", cached)
+        return cached
 
     def __str__(self) -> str:
         if not self.monomials:
@@ -123,10 +152,23 @@ class EquationSystem(Generic[Element]):
 
     def __init__(self, equations: Mapping[Key, Polynomial]):
         self.equations: Dict[Key, Polynomial] = dict(equations)
+        self._dependents: Dict[Key, Tuple[Key, ...]] = None  # type: ignore[assignment]
 
     @property
     def variables(self) -> Tuple[Key, ...]:
         return tuple(self.equations.keys())
+
+    def dependents(self) -> Dict[Key, Tuple[Key, ...]]:
+        """``used -> users``: which equations read each variable.
+
+        Computed once per system and cached (equation systems are never
+        mutated after construction).
+        """
+        if self._dependents is None:
+            self._dependents = invert_dependencies(
+                {key: polynomial.variables() for key, polynomial in self.equations.items()}
+            )
+        return self._dependents
 
     def evaluate(
         self, semiring: Semiring, assignment: Mapping[Key, Element]

@@ -4,15 +4,33 @@ Kleene iteration is exact on domains satisfying the ascending chain condition
 (sets of Boolean vectors — the SolveBool algorithm of §6.3 is exactly this)
 and, with widening, provides the generic sound-but-incomplete instantiation
 of the framework that the approximate mode uses (§4.3).
+
+Two evaluation strategies are available (see :mod:`repro.gfa.fixpoint`):
+
+* ``"worklist"`` (default) — dependency-driven chaotic iteration that only
+  re-evaluates an equation when one of its inputs changed;
+* ``"dense"`` — the classic every-equation-every-round iteration, kept as a
+  debugging fallback and as the baseline the perf harness measures against.
+
+Both compute the same least (or, with widening, post-) fixpoint; the result
+is a dict subclass carrying ``iterations``/``evaluations`` counters in its
+``stats`` attribute.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.gfa.equations import EquationSystem, Key
+from repro.gfa.fixpoint import (
+    DENSE,
+    WORKLIST,
+    FixpointSolution,
+    check_strategy,
+    solve_dense,
+    solve_worklist,
+)
 from repro.gfa.semiring import Semiring
-from repro.utils.errors import SolverLimitError
 
 
 def solve_kleene(
@@ -21,46 +39,44 @@ def solve_kleene(
     max_iterations: int = 10000,
     widen: Optional[Callable[[object, object], object]] = None,
     widening_delay: int = 8,
-) -> Dict[Key, object]:
+    strategy: str = WORKLIST,
+) -> FixpointSolution:
     """Least-fixpoint (or post-fixpoint, when widening) by chaotic iteration.
 
     Without ``widen`` the iteration computes the least fixpoint and raises
     :class:`SolverLimitError` if it fails to converge within the budget (for
     finite domains such as Boolean-vector sets the bound ``n * 2^|E|`` of
     Lem. 6.5 is far below the default).  With ``widen`` the iterate is widened
-    after ``widening_delay`` rounds, guaranteeing termination on domains with
+    after ``widening_delay`` visits, guaranteeing termination on domains with
     infinite ascending chains at the price of over-approximation.
+
+    ``max_iterations`` bounds rounds (dense) or per-key visits (worklist) —
+    the same quantity on a fully connected system.
     """
-    current = system.zero_assignment(semiring)
-    for iteration in range(max_iterations):
-        candidate = system.evaluate(semiring, current)
+    check_strategy(strategy)
+    equations = system.equations
+
+    def step(key: Key, assignment: Mapping[Key, object], visit: int) -> object:
+        value = equations[key].evaluate(semiring, assignment)
         # Values must never shrink; join with the previous iterate.
-        merged = {
-            key: semiring.combine(current[key], candidate[key]) for key in current
-        }
-        if widen is not None and iteration >= widening_delay:
-            merged = {key: widen(current[key], merged[key]) for key in current}
-        if all(semiring.equal(merged[key], current[key]) for key in current):
-            return current
-        current = merged
-    raise SolverLimitError(
-        f"Kleene iteration did not converge within {max_iterations} iterations"
-    )
+        merged = semiring.combine(assignment[key], value)
+        if widen is not None and visit > widening_delay:
+            merged = widen(assignment[key], merged)
+        return merged
 
-
-def iterate_to_fixpoint(
-    step: Callable[[Mapping[Key, object]], Dict[Key, object]],
-    initial: Mapping[Key, object],
-    equal: Callable[[object, object], bool],
-    max_iterations: int = 10000,
-) -> Dict[Key, object]:
-    """Generic fixpoint driver used by SolveBool/SolveMutual (§6.3, §6.4)."""
-    current = dict(initial)
-    for _ in range(max_iterations):
-        successor = step(current)
-        if all(equal(successor[key], current[key]) for key in current):
-            return successor
-        current = successor
-    raise SolverLimitError(
-        f"fixpoint iteration did not converge within {max_iterations} iterations"
-    )
+    initial = system.zero_assignment(semiring)
+    keys = list(equations)
+    if strategy == DENSE:
+        assignment, stats = solve_dense(
+            keys, initial, step, semiring.equal, max_iterations=max_iterations
+        )
+    else:
+        assignment, stats = solve_worklist(
+            keys,
+            initial,
+            step,
+            semiring.equal,
+            system.dependents(),
+            max_visits=max_iterations,
+        )
+    return FixpointSolution(assignment, stats)

@@ -16,14 +16,29 @@ is reached after at most ``|N|`` iterations; the implementation additionally
 stops as soon as two consecutive approximations are equal.
 
 Linear systems over a star semiring are solved by Gaussian elimination using
-the identity ``Y = a Y (+) b  =>  Y = a* b`` and back-substitution.
+the identity ``Y = a Y (+) b  =>  Y = a* b`` and back-substitution; the
+elimination is sparse — structurally absent coefficients are never touched.
+
+The default ``"worklist"`` strategy keeps the Jacobian *sparse* (a variable's
+row only holds entries for variables that actually occur in its polynomial)
+and *incremental* (a row is only re-evaluated when one of its inputs changed
+since the previous Newton round).  ``strategy="dense"`` rebuilds the full
+|N| x |N| matrix with an entry for every variable pair on every round — the
+historical behaviour, kept as a debugging fallback and perf baseline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Set
 
-from repro.gfa.equations import EquationSystem, Key, Monomial, Polynomial
+from repro.gfa.equations import EquationSystem, Key
+from repro.gfa.fixpoint import (
+    DENSE,
+    WORKLIST,
+    FixpointSolution,
+    FixpointStats,
+    check_strategy,
+)
 from repro.gfa.semiring import Semiring
 
 
@@ -31,39 +46,66 @@ def solve_newton(
     system: EquationSystem,
     semiring: Semiring,
     max_iterations: int | None = None,
-) -> Dict[Key, object]:
+    strategy: str = WORKLIST,
+) -> FixpointSolution:
     """Least solution of a polynomial equation system by Newton's method."""
+    check_strategy(strategy)
     variables = list(system.variables)
+    stats = FixpointStats(strategy=strategy)
     if not variables:
-        return {}
+        return FixpointSolution({}, stats)
     iterations = max_iterations if max_iterations is not None else len(variables) + 1
 
     zero = system.zero_assignment(semiring)
-    current = system.evaluate(semiring, zero)  # nu(0) = F(0)
+    current: Dict[Key, object] = {}
+    for variable in variables:  # nu(0) = F(0)
+        current[variable] = system.equations[variable].evaluate(semiring, zero)
+        stats.evaluations += 1
+
+    # Sparse mode: cache the update vector F(nu(i)) and the Jacobian rows,
+    # re-evaluating only rows whose occurring variables changed last round.
+    changed: Set[Key] = set(variables)
+    updates: Dict[Key, object] = {}
+    rows: Dict[Key, Dict[Key, object]] = {}
 
     for _ in range(iterations):
-        update = system.evaluate(semiring, current)  # F(nu(i))
-        # Build the linearised system Y = A Y (+) b with
-        #   A[x][y] = dF_x/dX_y evaluated at nu(i),  b[x] = F_x(nu(i)).
-        matrix: Dict[Key, Dict[Key, object]] = {}
+        stats.iterations += 1
+        if strategy == DENSE:
+            for variable in variables:
+                polynomial = system.equations[variable]
+                updates[variable] = polynomial.evaluate(semiring, current)
+                stats.evaluations += 1
+                row: Dict[Key, object] = {}
+                for other in variables:
+                    row[other] = polynomial.differentiate(other, semiring, current)
+                    stats.evaluations += 1
+                rows[variable] = row
+        else:
+            for variable in variables:
+                polynomial = system.equations[variable]
+                occurring = polynomial.variables()
+                if variable in rows and changed.isdisjoint(occurring):
+                    continue  # inputs unchanged: cached row and update stand
+                updates[variable] = polynomial.evaluate(semiring, current)
+                stats.evaluations += 1
+                row = {}
+                for other in occurring:
+                    row[other] = polynomial.differentiate(other, semiring, current)
+                    stats.evaluations += 1
+                rows[variable] = row
+        delta = solve_linear_system(rows, updates, semiring)
+        changed = set()
         for variable in variables:
-            row: Dict[Key, object] = {}
-            polynomial = system.equations[variable]
-            for other in variables:
-                row[other] = polynomial.differentiate(other, semiring, current)
-            matrix[variable] = row
-        delta = solve_linear_system(matrix, update, semiring)
-        successor = {
-            variable: semiring.combine(current[variable], delta[variable])
-            for variable in variables
-        }
-        if all(
-            semiring.equal(successor[variable], current[variable])
-            for variable in variables
-        ):
-            return successor
-        current = successor
-    return current
+            successor = semiring.combine(current[variable], delta[variable])
+            if successor is current[variable] or semiring.equal(
+                successor, current[variable]
+            ):
+                continue
+            current[variable] = successor
+            changed.add(variable)
+        if not changed:
+            return FixpointSolution(current, stats)
+    return FixpointSolution(current, stats)
 
 
 def solve_linear_system(
@@ -77,36 +119,47 @@ def solve_linear_system(
     pivot variable ``x`` is solved as ``Y_x = A[x][x]* (rest)`` and the result
     is substituted in the remaining equations; back-substitution then yields
     closed forms for every variable.
+
+    ``matrix`` rows may be sparse — a missing entry is the semiring zero, and
+    the elimination never materialises it (``star(0) = 1`` is the identity of
+    ``extend``, and substituting a zero coefficient is a no-op).
     """
     variables: List[Key] = list(constants.keys())
-    # Work on mutable copies.
-    coefficients: Dict[Key, Dict[Key, object]] = {
-        x: {y: matrix[x].get(y, semiring.zero()) for y in variables} for x in variables
-    }
+    zero = semiring.zero()
+    # Work on mutable sparse copies, dropping structural zeros up front.
+    coefficients: Dict[Key, Dict[Key, object]] = {}
+    for x in variables:
+        row = {}
+        for y, value in matrix.get(x, {}).items():
+            if value is zero or semiring.equal(value, zero):
+                continue
+            row[y] = value
+        coefficients[x] = row
     offsets: Dict[Key, object] = {x: constants[x] for x in variables}
 
     # Forward elimination.
     for index, pivot in enumerate(variables):
-        star = semiring.star(coefficients[pivot][pivot])
-        # Y_pivot = star (x) ( sum_{y != pivot} A[pivot][y] Y_y (+) b_pivot )
-        for other in variables:
-            if other == pivot:
-                coefficients[pivot][other] = semiring.zero()
-            else:
-                coefficients[pivot][other] = semiring.extend(
-                    star, coefficients[pivot][other]
-                )
-        offsets[pivot] = semiring.extend(star, offsets[pivot])
+        row = coefficients[pivot]
+        self_coefficient = row.pop(pivot, None)
+        if self_coefficient is not None:
+            # Y_pivot = star (x) ( sum_{y != pivot} A[pivot][y] Y_y (+) b_pivot )
+            star = semiring.star(self_coefficient)
+            for other in row:
+                row[other] = semiring.extend(star, row[other])
+            offsets[pivot] = semiring.extend(star, offsets[pivot])
         # Substitute into the equations of later variables.
         for later in variables[index + 1 :]:
-            factor = coefficients[later][pivot]
-            if semiring.equal(factor, semiring.zero()):
+            later_row = coefficients[later]
+            factor = later_row.pop(pivot, None)
+            if factor is None:
                 continue
-            coefficients[later][pivot] = semiring.zero()
-            for other in variables:
-                contribution = semiring.extend(factor, coefficients[pivot][other])
-                coefficients[later][other] = semiring.combine(
-                    coefficients[later][other], contribution
+            for other, value in row.items():
+                contribution = semiring.extend(factor, value)
+                existing = later_row.get(other)
+                later_row[other] = (
+                    contribution
+                    if existing is None
+                    else semiring.combine(existing, contribution)
                 )
             offsets[later] = semiring.combine(
                 offsets[later], semiring.extend(factor, offsets[pivot])
@@ -116,13 +169,11 @@ def solve_linear_system(
     solution: Dict[Key, object] = {}
     for pivot in reversed(variables):
         value = offsets[pivot]
-        for other in variables:
+        for other, factor in coefficients[pivot].items():
             if other in solution:
-                factor = coefficients[pivot][other]
-                if not semiring.equal(factor, semiring.zero()):
-                    value = semiring.combine(
-                        value, semiring.extend(factor, solution[other])
-                    )
+                value = semiring.combine(
+                    value, semiring.extend(factor, solution[other])
+                )
         solution[pivot] = value
     return solution
 
@@ -131,15 +182,18 @@ def solve_stratified(
     system: EquationSystem,
     semiring: Semiring,
     strata: Sequence[Sequence[Key]],
-) -> Dict[Key, object]:
+    strategy: str = WORKLIST,
+) -> FixpointSolution:
     """Solve a system stratum by stratum (§7), using Newton inside each stratum.
 
     ``strata`` must list the variables in dependency order (dependencies
     first); variables from earlier strata are substituted as constants before
     solving each stratum, so Newton only ever sees the (usually small)
-    mutually recursive cores.
+    mutually recursive cores.  The returned assignment's ``stats`` accumulate
+    the per-stratum counters (max iterations, summed evaluations).
     """
     solved: Dict[Key, object] = {}
+    stats = FixpointStats(strategy=strategy)
     for stratum in strata:
         stratum_keys = [key for key in stratum if key in system.equations]
         if not stratum_keys:
@@ -147,6 +201,7 @@ def solve_stratified(
         sub_system = system.restricted_to(stratum_keys).substitute_constants(
             semiring, solved
         )
-        solution = solve_newton(sub_system, semiring)
+        solution = solve_newton(sub_system, semiring, strategy=strategy)
+        stats.merge(solution.stats)
         solved.update(solution)
-    return solved
+    return FixpointSolution(solved, stats)

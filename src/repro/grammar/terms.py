@@ -5,30 +5,72 @@ many child terms as the symbol's arity.  Terms are immutable and hashable so
 that the enumerative synthesizer can use them in observational-equivalence
 caches, and they support structural helpers (size, depth, traversal, symbol
 counting) used throughout the test suite and the synthesizer's ranking.
+
+Terms are hash-consed through the weak intern table of
+:mod:`repro.utils.intern`: building the same (symbol, children) application
+twice yields the same object, so structural equality in the enumerator's
+equivalence caches is usually one pointer comparison and every term's hash is
+computed once.  Because children are themselves interned, the table is
+effectively a DAG store of all live terms.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Tuple
 
 from repro.grammar.alphabet import Sort, Symbol
 from repro.utils.errors import GrammarError
+from repro.utils.intern import interner
+
+_TERMS = interner("Term")
 
 
-@dataclass(frozen=True)
 class Term:
-    """An immutable ranked tree: a symbol applied to child terms."""
+    """An immutable, interned ranked tree: a symbol applied to child terms."""
+
+    __slots__ = ("symbol", "children", "_hash", "__weakref__")
 
     symbol: Symbol
-    children: Tuple["Term", ...] = ()
+    children: Tuple["Term", ...]
 
-    def __post_init__(self) -> None:
-        if len(self.children) != self.symbol.arity:
+    def __new__(cls, symbol: Symbol, children: Iterable["Term"] = ()):
+        parts = tuple(children)
+        if len(parts) != symbol.arity:
             raise GrammarError(
-                f"symbol {self.symbol.name} has arity {self.symbol.arity} but "
-                f"was applied to {len(self.children)} children"
+                f"symbol {symbol.name} has arity {symbol.arity} but "
+                f"was applied to {len(parts)} children"
             )
+        key = (symbol, parts)
+        cached = _TERMS.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "symbol", symbol)
+        object.__setattr__(self, "children", parts)
+        object.__setattr__(self, "_hash", hash(key))
+        return _TERMS.add(key, self)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Term instances are immutable")
+
+    def __reduce__(self):
+        # Re-route unpickling through __new__ so worker processes re-intern.
+        return (Term, (self.symbol, self.children))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Term)
+            and self.symbol == other.symbol
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Term(symbol={self.symbol!r}, children={self.children!r})"
 
     # -- constructors -------------------------------------------------------
 

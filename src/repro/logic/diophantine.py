@@ -53,8 +53,17 @@ def eliminate_equalities(
     current_inequalities: List[LinearExpression] = list(inequalities)
     substitutions: List[Tuple[str, LinearExpression]] = []
     fresh_counter = 0
+    # Coefficient reduction strictly shrinks the minimum |coefficient| of the
+    # equality being processed, so the per-equality step count is bounded by
+    # the coefficient magnitudes; this budget only guards against regressions.
+    budget = 1000 * (len(pending) + 1)
 
     while pending:
+        budget -= 1
+        if budget < 0:  # pragma: no cover - defensive
+            from repro.utils.errors import SolverLimitError
+
+            raise SolverLimitError("equality elimination exceeded its step budget")
         equality = pending.pop(0)
         coefficients = equality.coefficients
         if not coefficients:
@@ -109,7 +118,12 @@ def eliminate_equalities(
         mapping = {pivot_variable: replacement}
         new_equality = equality.substitute(mapping)
         pending = [expr.substitute(mapping) for expr in pending]
-        pending.append(new_equality)
+        # Keep reducing the same equality until a unit coefficient appears:
+        # its minimum |coefficient| strictly decreases each round, so this
+        # terminates.  (Rotating to the back of the queue instead can cycle
+        # forever — two unit-free equalities keep rewriting each other with
+        # fresh variables and never shrink.)
+        pending.insert(0, new_equality)
         current_inequalities = [
             expr.substitute(mapping) for expr in current_inequalities
         ]

@@ -1,0 +1,340 @@
+"""The repeatable fixpoint perf harness behind ``repro-nay bench``.
+
+Every workload is measured for both fixpoint strategies (``worklist`` vs
+``dense``, see :mod:`repro.gfa.fixpoint`) *in the same run*, so the recorded
+speedups compare like with like on the same machine and interpreter state.
+The result is a versioned ``BENCH_fixpoint.json`` artifact — medians,
+iteration counts, and equations-evaluated counters per workload — giving
+future changes a perf trajectory to compare against (see DESIGN.md).
+
+Workload groups:
+
+* ``kleene``  — pure solver microbenchmark: Kleene iteration on synthetic
+  chain systems over the Boolean semiring (the worst case for dense
+  iteration: information flows one edge per round);
+* ``fig2``    — the paper's Fig. 2 scaling workload: exact semi-linear-set
+  solving (stratified Newton) of chain grammars, |N| x |E| sweep;
+* ``fig3``    — the Fig. 3/5 scaling workload: the approximate product-domain
+  engine on the same chain grammars;
+* ``semilinear`` — micro-operations of the semi-linear domain (combine /
+  extend / star / simplify);
+* ``solve``   — end-to-end ``Solver.solve`` through the public api facade on
+  a scaling benchmark (worklist strategy only; the facade always runs the
+  default strategy).
+
+Fairness: the process-wide memo tables (GFA cache, simplification memos) are
+cleared before *every* timed repetition, so neither strategy warms the cache
+for the other.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import clear_cache, runtime_cache_stats
+from repro.gfa.equations import EquationSystem, Monomial, Polynomial
+from repro.gfa.fixpoint import DENSE, STRATEGIES, WORKLIST, FixpointStats
+from repro.gfa.kleene import solve_kleene
+from repro.gfa.semiring import BooleanSemiring, SemiLinearSemiring
+from repro.gfa.stratify import equation_strata
+from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.unreal.approximate import solve_abstract_gfa
+from repro.unreal.lia import solve_lia_gfa
+from repro.suites.scaling import chain_grammar, example_set, scaling_benchmark
+from repro.utils.vectors import IntVector
+
+#: Version of the BENCH_fixpoint.json schema.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default artifact path (repo root when run from a checkout).
+DEFAULT_BENCH_PATH = "BENCH_fixpoint.json"
+
+
+# ---------------------------------------------------------------------------
+# Workload definitions
+# ---------------------------------------------------------------------------
+
+
+def chain_boolean_system(length: int) -> EquationSystem:
+    """``X_0 = X_1, ..., X_{n-1} = X_n, X_n = 1`` plus a self-loop on X_0.
+
+    A dense solver needs ~n rounds of n evaluations to push ``true`` down the
+    chain; a worklist solver needs ~2n evaluations total.
+    """
+    equations = {}
+    for index in range(length):
+        equations[f"X{index}"] = Polynomial((Monomial(True, (f"X{index + 1}",)),))
+    equations[f"X{length}"] = Polynomial((Monomial(True, ()),))
+    # Make X0 self-recursive so the system is not a simple DAG.
+    equations["X0"] = Polynomial(
+        (Monomial(True, ("X1",)), Monomial(True, ("X0", "X1")))
+    )
+    return EquationSystem(equations)
+
+
+def _run_kleene(length: int, strategy: str) -> FixpointStats:
+    system = chain_boolean_system(length)
+    solution = solve_kleene(system, BooleanSemiring(), strategy=strategy)
+    assert solution["X0"] is True  # sanity: the chain must saturate
+    return solution.stats
+
+
+#: Extra fig2 measurement leg: dense Jacobian but stratification kept on.
+#: Stratification (§7) pre-dates the worklist work, so the report records it
+#: as its own axis — ``dense`` is the historical full-system solve (single
+#: stratum + dense Jacobian), ``dense_stratified`` isolates the pure
+#: Jacobian-strategy effect, and the headline speedup is worklist vs dense.
+DENSE_STRATIFIED = "dense_stratified"
+
+
+def _run_fig2(nonterminals: int, examples: int, strategy: str) -> FixpointStats:
+    entry = scaling_benchmark(nonterminals)
+    if strategy == DENSE:
+        stratify, solver_strategy = False, DENSE
+    elif strategy == DENSE_STRATIFIED:
+        stratify, solver_strategy = True, DENSE
+    else:
+        stratify, solver_strategy = True, WORKLIST
+    solution = solve_lia_gfa(
+        entry.problem.grammar,
+        example_set(examples),
+        stratify=stratify,
+        strategy=solver_strategy,
+    )
+    assert not solution.start_value.is_empty()
+    return FixpointStats(strategy, solution.iterations, solution.evaluations)
+
+
+def _run_fig3(nonterminals: int, examples: int, strategy: str) -> FixpointStats:
+    grammar = chain_grammar(max(1, nonterminals - 2))
+    solution = solve_abstract_gfa(grammar, example_set(examples), strategy=strategy)
+    return FixpointStats(strategy, solution.iterations, solution.evaluations)
+
+
+def _semilinear_inputs(count: int, dimension: int = 2) -> List[SemiLinearSet]:
+    values = []
+    for index in range(count):
+        offset = IntVector([index % 5, (2 * index) % 7])
+        generators = (
+            IntVector([1 + index % 3, index % 4]),
+            IntVector([index % 2, 1 + index % 5]),
+        )
+        values.append(SemiLinearSet([LinearSet(offset, generators)], dimension))
+    return values
+
+
+def _run_semilinear(count: int, strategy: str) -> FixpointStats:
+    """Micro: fold combine/extend/star/simplify over generated sets.
+
+    The strategy knob is meaningless for pure domain operations; both legs run
+    the identical loop so that the recorded "speedup" reflects the memoized
+    simplification path (cleared before each repetition) staying at 1x-ish.
+    """
+    del strategy
+    values = _semilinear_inputs(count)
+    accumulated = SemiLinearSet.empty(2)
+    operations = 0
+    for value in values:
+        accumulated = accumulated.combine(value).simplify()
+        operations += 2
+    product = values[0]
+    for value in values[1:]:
+        product = product.extend(value).simplify()
+        operations += 2
+    star = accumulated.star()
+    operations += 1
+    assert star.linear_sets
+    return FixpointStats(WORKLIST, 1, operations)
+
+
+class Workload:
+    """One named, parameterised measurement."""
+
+    def __init__(
+        self,
+        name: str,
+        group: str,
+        run: Callable[[str], FixpointStats],
+        strategies: Sequence[str] = STRATEGIES,
+    ):
+        self.name = name
+        self.group = group
+        self.run = run
+        self.strategies = tuple(strategies)
+
+
+def _solver_workload() -> Workload:
+    from repro.api import Solver
+
+    def run(strategy: str) -> FixpointStats:
+        del strategy
+        solver = Solver(engine="naySL", timeout_seconds=120.0)
+        response = solver.solve("chain_14")
+        assert response.error is None, response.error
+        return FixpointStats(WORKLIST, 0, 0)
+
+    return Workload("solve_end_to_end_chain14", "solve", run, strategies=(WORKLIST,))
+
+
+def default_workloads(quick: bool = False) -> List[Workload]:
+    """The standard suite; ``quick`` shrinks the sweep for CI smoke runs."""
+    kleene_sizes = [64] if quick else [64, 256, 1024]
+    fig2_points = [(14, 1)] if quick else [(14, 1), (20, 1), (26, 1), (14, 2), (20, 2)]
+    fig3_points = [(14, 2)] if quick else [(14, 2), (20, 2), (26, 2), (14, 3), (20, 3)]
+    micro_sizes = [16] if quick else [16, 48]
+
+    workloads: List[Workload] = []
+    for size in kleene_sizes:
+        workloads.append(
+            Workload(
+                f"kleene_bool_chain_{size}",
+                "kleene",
+                lambda strategy, size=size: _run_kleene(size, strategy),
+            )
+        )
+    for nonterminals, examples in fig2_points:
+        workloads.append(
+            Workload(
+                f"fig2_newton_n{nonterminals}_e{examples}",
+                "fig2",
+                lambda strategy, n=nonterminals, e=examples: _run_fig2(n, e, strategy),
+                strategies=(WORKLIST, DENSE, DENSE_STRATIFIED),
+            )
+        )
+    for nonterminals, examples in fig3_points:
+        workloads.append(
+            Workload(
+                f"fig3_abstract_n{nonterminals}_e{examples}",
+                "fig3",
+                lambda strategy, n=nonterminals, e=examples: _run_fig3(n, e, strategy),
+            )
+        )
+    for size in micro_sizes:
+        workloads.append(
+            Workload(
+                f"semilinear_micro_{size}",
+                "semilinear",
+                lambda strategy, size=size: _run_semilinear(size, strategy),
+                strategies=(WORKLIST,),
+            )
+        )
+    workloads.append(_solver_workload())
+    return workloads
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _measure(
+    run: Callable[[str], FixpointStats], strategy: str, repetitions: int
+) -> Dict[str, object]:
+    seconds: List[float] = []
+    stats = FixpointStats(strategy)
+    for _ in range(repetitions):
+        clear_cache()  # no strategy may warm the memo tables for the other
+        started = time.perf_counter()
+        stats = run(strategy)
+        seconds.append(time.perf_counter() - started)
+    return {
+        "median_seconds": statistics.median(seconds),
+        "min_seconds": min(seconds),
+        "repetitions": repetitions,
+        "iterations": stats.iterations,
+        "evaluations": stats.evaluations,
+    }
+
+
+def run_perf_suite(
+    repetitions: int = 3,
+    quick: bool = False,
+    workloads: Optional[Sequence[Workload]] = None,
+) -> Dict[str, object]:
+    """Run every workload under every strategy; return the report dict."""
+    chosen = list(workloads) if workloads is not None else default_workloads(quick)
+    rows: List[Dict[str, object]] = []
+    for workload in chosen:
+        row: Dict[str, object] = {"name": workload.name, "group": workload.group}
+        for strategy in workload.strategies:
+            row[strategy] = _measure(workload.run, strategy, repetitions)
+        if WORKLIST in row and DENSE in row:
+            worklist_seconds = row[WORKLIST]["median_seconds"]
+            dense_seconds = row[DENSE]["median_seconds"]
+            row["speedup"] = (
+                dense_seconds / worklist_seconds if worklist_seconds > 0 else None
+            )
+            worklist_evals = row[WORKLIST]["evaluations"]
+            dense_evals = row[DENSE]["evaluations"]
+            row["evaluation_ratio"] = (
+                dense_evals / worklist_evals if worklist_evals else None
+            )
+        rows.append(row)
+
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "fixpoint",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "workloads": rows,
+        "summary": _summarise(rows),
+        "caches": runtime_cache_stats(),
+    }
+    return report
+
+
+def _summarise(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    summary: Dict[str, object] = {}
+    for group in ("kleene", "fig2", "fig3"):
+        speedups = [
+            row["speedup"]
+            for row in rows
+            if row["group"] == group and row.get("speedup") is not None
+        ]
+        ratios = [
+            row["evaluation_ratio"]
+            for row in rows
+            if row["group"] == group and row.get("evaluation_ratio") is not None
+        ]
+        if speedups:
+            summary[f"{group}_min_speedup"] = min(speedups)
+            summary[f"{group}_median_speedup"] = statistics.median(speedups)
+        if ratios:
+            summary[f"{group}_max_evaluation_ratio"] = max(ratios)
+    return summary
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the report."""
+    lines = [
+        f"{'workload':32s} {'worklist':>10s} {'dense':>10s} {'speedup':>8s} "
+        f"{'evals(w)':>9s} {'evals(d)':>9s}"
+    ]
+    for row in report["workloads"]:
+        worklist = row.get(WORKLIST, {})
+        dense = row.get(DENSE, {})
+
+        def fmt_seconds(cell):
+            return f"{cell['median_seconds']:.4f}" if cell else "-"
+
+        speedup = row.get("speedup")
+        lines.append(
+            f"{row['name']:32s} {fmt_seconds(worklist):>10s} {fmt_seconds(dense):>10s} "
+            f"{(f'{speedup:.1f}x' if speedup else '-'):>8s} "
+            f"{(str(worklist.get('evaluations', '-')) if worklist else '-'):>9s} "
+            f"{(str(dense.get('evaluations', '-')) if dense else '-'):>9s}"
+        )
+    for key, value in sorted(report["summary"].items()):
+        lines.append(f"  {key}: {value:.2f}")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, object], path: str | Path) -> Path:
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

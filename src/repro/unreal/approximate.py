@@ -23,6 +23,15 @@ from typing import Dict, Union
 from repro.domains.boolvectors import BoolVectorSet
 from repro.domains.numeric import Interval, Congruence, ProductValue
 from repro.engine.cache import get_cache
+from repro.gfa.fixpoint import (
+    DENSE,
+    WORKLIST,
+    FixpointDivergenceError,
+    check_strategy,
+    invert_dependencies,
+    solve_dense,
+    solve_worklist,
+)
 from repro.grammar.alphabet import Sort
 from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
@@ -44,6 +53,7 @@ class AbstractSolution:
     values: Dict[Nonterminal, AbstractValue]
     iterations: int
     solve_seconds: float
+    evaluations: int = 0
 
 
 def solve_abstract_gfa(
@@ -51,41 +61,72 @@ def solve_abstract_gfa(
     examples: ExampleSet,
     widening_delay: int = 6,
     max_iterations: int = 500,
+    strategy: str = WORKLIST,
 ) -> AbstractSolution:
-    """Kleene iteration with widening over the product domain."""
+    """Chaotic iteration with widening over the product domain.
+
+    The default worklist strategy only re-evaluates a nonterminal when one of
+    the nonterminals its productions mention changed; ``"dense"`` sweeps every
+    nonterminal every round (debug fallback / perf baseline).
+    """
+    check_strategy(strategy)
     normalized = get_cache().normalized(grammar)
     dimension = len(examples)
-    values: Dict[Nonterminal, AbstractValue] = {}
+    initial: Dict[Nonterminal, AbstractValue] = {}
     for nonterminal in normalized.nonterminals:
         if nonterminal.sort == Sort.BOOL:
-            values[nonterminal] = BoolVectorSet.empty(dimension)
+            initial[nonterminal] = BoolVectorSet.empty(dimension)
         else:
-            values[nonterminal] = ProductValue.bottom(dimension)
+            initial[nonterminal] = ProductValue.bottom(dimension)
 
+    def step(nonterminal, values, visit):
+        accumulated = values[nonterminal]
+        for production in normalized.productions_of(nonterminal):
+            result = _apply_production(production, values, examples)
+            accumulated = _join(accumulated, result)
+        if visit > widening_delay and isinstance(accumulated, ProductValue):
+            accumulated = values[nonterminal].widen(accumulated)  # type: ignore[union-attr]
+        return accumulated
+
+    keys = list(normalized.nonterminals)
     start_time = time.monotonic()
-    for iteration in range(1, max_iterations + 1):
-        updated: Dict[Nonterminal, AbstractValue] = {}
-        for nonterminal in normalized.nonterminals:
-            accumulated = values[nonterminal]
-            for production in normalized.productions_of(nonterminal):
-                result = _apply_production(production, values, examples)
-                accumulated = _join(accumulated, result)
-            if iteration > widening_delay and isinstance(accumulated, ProductValue):
-                accumulated = values[nonterminal].widen(accumulated)  # type: ignore[union-attr]
-            updated[nonterminal] = accumulated
-        if all(_equal(updated[nt], values[nt]) for nt in normalized.nonterminals):
-            elapsed = time.monotonic() - start_time
-            start_value = updated[normalized.start]
-            if not isinstance(start_value, ProductValue):
-                raise SemanticsError("the start nonterminal must be integer-sorted")
-            return AbstractSolution(start_value, updated, iteration, elapsed)
-        values = updated
-    raise SolverLimitError("abstract Kleene iteration did not converge")
+    try:
+        if strategy == DENSE:
+            values, stats = solve_dense(
+                keys, initial, step, _equal, max_iterations=max_iterations
+            )
+        else:
+            dependencies = {
+                nt: [
+                    argument
+                    for production in normalized.productions_of(nt)
+                    for argument in production.args
+                ]
+                for nt in keys
+            }
+            values, stats = solve_worklist(
+                keys,
+                initial,
+                step,
+                _equal,
+                invert_dependencies(dependencies),
+                max_visits=max_iterations,
+            )
+    except FixpointDivergenceError as error:
+        raise SolverLimitError("abstract fixpoint iteration did not converge") from error
+    elapsed = time.monotonic() - start_time
+    start_value = values[normalized.start]
+    if not isinstance(start_value, ProductValue):
+        raise SemanticsError("the start nonterminal must be integer-sorted")
+    return AbstractSolution(
+        start_value, values, stats.iterations, elapsed, stats.evaluations
+    )
 
 
 def check_examples_abstract(
     problem: SyGuSProblem,
     examples: ExampleSet,
+    strategy: str = WORKLIST,
 ) -> CheckResult:
     """Alg. 1 with the approximate domain: sound, never claims REALIZABLE."""
     if len(examples) == 0:
@@ -96,7 +137,7 @@ def check_examples_abstract(
             else Verdict.UNREALIZABLE
         )
         return CheckResult(verdict=verdict, examples=examples)
-    solution = solve_abstract_gfa(problem.grammar, examples)
+    solution = solve_abstract_gfa(problem.grammar, examples, strategy=strategy)
     result = check_unrealizable(
         solution.start_value,
         problem.spec,
@@ -105,6 +146,7 @@ def check_examples_abstract(
     )
     result.details["iterations"] = solution.iterations
     result.details["gfa_seconds"] = solution.solve_seconds
+    result.details["gfa_evaluations"] = solution.evaluations
     return result
 
 

@@ -22,13 +22,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.domains.boolvectors import BoolVectorSet
 from repro.domains.clia import CliaInterpretation
 from repro.domains.semilinear import SemiLinearSet
 from repro.engine.cache import get_cache
 from repro.gfa.builder import build_remif_equations
+from repro.gfa.fixpoint import (
+    DENSE,
+    WORKLIST,
+    FixpointDivergenceError,
+    check_strategy,
+    invert_dependencies,
+    solve_dense,
+    solve_worklist,
+)
 from repro.gfa.newton import solve_stratified
 from repro.gfa.semiring import SemiLinearSemiring
 from repro.gfa.stratify import equation_strata, single_stratum
@@ -52,6 +61,7 @@ class CliaGfaSolution:
     boolean_values: Dict[Nonterminal, BoolVectorSet]
     outer_iterations: int
     solve_seconds: float
+    evaluations: int = 0
 
 
 def solve_clia_gfa(
@@ -60,8 +70,10 @@ def solve_clia_gfa(
     stratify: bool = True,
     simplify: bool = True,
     max_outer_iterations: int | None = None,
+    strategy: str = WORKLIST,
 ) -> CliaGfaSolution:
     """SolveMutual (§6.4): exact abstraction of a CLIA grammar on examples."""
+    check_strategy(strategy)
     normalized = get_cache().normalized(grammar)
     if not normalized.is_clia():
         raise UnsupportedFeatureError("grammar contains operators outside CLIA")
@@ -88,11 +100,15 @@ def solve_clia_gfa(
     }
     all_true = BoolVector.all_true(dimension)
 
+    evaluations = 0
     for iteration in range(1, max_outer_iterations + 1):
-        new_boolean = solve_bool(normalized, interpretation, integer_values)
+        new_boolean, bool_evaluations = solve_bool(
+            normalized, interpretation, integer_values, strategy=strategy
+        )
         system = build_remif_equations(normalized, interpretation, new_boolean)
         strata = equation_strata(system) if stratify else single_stratum(system)
-        solution = solve_stratified(system, semiring, strata)
+        solution = solve_stratified(system, semiring, strata, strategy=strategy)
+        evaluations += bool_evaluations + solution.stats.evaluations
         new_integer = {nt: solution[(nt, all_true)] for nt in integer_nts}
 
         boolean_stable = all(
@@ -110,6 +126,7 @@ def solve_clia_gfa(
                 boolean_values=boolean_values,
                 outer_iterations=iteration,
                 solve_seconds=elapsed,
+                evaluations=evaluations,
             )
     raise SolverLimitError("SolveMutual did not converge within its iteration bound")
 
@@ -118,41 +135,77 @@ def solve_bool(
     grammar: RegularTreeGrammar,
     interpretation: CliaInterpretation,
     integer_values: Dict[Nonterminal, SemiLinearSet],
-) -> Dict[Nonterminal, BoolVectorSet]:
-    """SolveBool (§6.3): Kleene iteration over the finite Boolean domain."""
+    strategy: str = WORKLIST,
+) -> "Tuple[Dict[Nonterminal, BoolVectorSet], int]":
+    """SolveBool (§6.3): fixpoint iteration over the finite Boolean domain.
+
+    Returns the per-nonterminal Boolean-vector sets together with the number
+    of nonterminal evaluations performed.  The default worklist strategy only
+    re-evaluates a nonterminal when one of the Boolean nonterminals it reads
+    changed; ``"dense"`` is the historical every-nonterminal-every-round
+    iteration.  Lem. 6.5 bounds the visits by ``n * 2^|E|``.
+    """
     dimension = interpretation.dimension
     boolean_nts = [nt for nt in grammar.nonterminals if nt.sort == Sort.BOOL]
-    values: Dict[Nonterminal, BoolVectorSet] = {
+    initial: Dict[Nonterminal, BoolVectorSet] = {
         nt: BoolVectorSet.empty(dimension) for nt in boolean_nts
     }
-    # Lem. 6.5: at most n * 2^|E| iterations are needed.
+
+    def step(nonterminal, values, visit):
+        accumulated = values[nonterminal]
+        for production in grammar.productions_of(nonterminal):
+            arguments = []
+            for argument in production.args:
+                if argument.sort == Sort.INT:
+                    arguments.append(integer_values[argument])
+                else:
+                    arguments.append(values[argument])
+            result = interpretation.apply(
+                production.symbol.name, production.symbol.payload, arguments
+            )
+            accumulated = accumulated.combine(result)
+        return accumulated
+
+    # Lem. 6.5: at most n * 2^|E| rounds/visits are needed.
     bound = max(2, len(boolean_nts) * (2 ** dimension) + 2)
-    for _ in range(bound):
-        updated: Dict[Nonterminal, BoolVectorSet] = {}
-        for nonterminal in boolean_nts:
-            accumulated = values[nonterminal]
-            for production in grammar.productions_of(nonterminal):
-                arguments = []
-                for argument in production.args:
-                    if argument.sort == Sort.INT:
-                        arguments.append(integer_values[argument])
-                    else:
-                        arguments.append(values[argument])
-                result = interpretation.apply(
-                    production.symbol.name, production.symbol.payload, arguments
-                )
-                accumulated = accumulated.combine(result)
-            updated[nonterminal] = accumulated
-        if all(updated[nt] == values[nt] for nt in boolean_nts):
-            return values
-        values = updated
-    raise SolverLimitError("SolveBool did not converge within its iteration bound")
+    equal = BoolVectorSet.__eq__
+    try:
+        if strategy == DENSE:
+            values, stats = solve_dense(
+                boolean_nts, initial, step, equal, max_iterations=bound
+            )
+        else:
+            dependencies = {
+                nt: [
+                    argument
+                    for production in grammar.productions_of(nt)
+                    for argument in production.args
+                    if argument.sort == Sort.BOOL
+                ]
+                for nt in boolean_nts
+            }
+            values, stats = solve_worklist(
+                boolean_nts,
+                initial,
+                step,
+                equal,
+                invert_dependencies(dependencies),
+                max_visits=bound,
+            )
+    except FixpointDivergenceError as error:
+        # Only the driver's own budget is translated; SolverLimitErrors from
+        # inside the step (ILP/elimination budgets) keep their diagnostics.
+        raise SolverLimitError(
+            "SolveBool did not converge within its iteration bound"
+        ) from error
+    return values, stats.evaluations
 
 
 def check_clia_examples(
     problem: SyGuSProblem,
     examples: ExampleSet,
     stratify: bool = True,
+    strategy: str = WORKLIST,
 ) -> CheckResult:
     """Alg. 1 instantiated with the exact CLIA abstraction (§6.5, Thm. 6.9)."""
     if len(examples) == 0:
@@ -163,7 +216,7 @@ def check_clia_examples(
             else Verdict.UNREALIZABLE
         )
         return CheckResult(verdict=verdict, examples=examples)
-    gfa = solve_clia_gfa(problem.grammar, examples, stratify=stratify)
+    gfa = solve_clia_gfa(problem.grammar, examples, stratify=stratify, strategy=strategy)
     result = check_unrealizable(
         gfa.start_value,
         problem.spec,
@@ -173,6 +226,7 @@ def check_clia_examples(
     )
     result.details["gfa_seconds"] = gfa.solve_seconds
     result.details["outer_iterations"] = gfa.outer_iterations
+    result.details["gfa_evaluations"] = gfa.evaluations
     result.details["boolean_values"] = {
         str(nt): str(value) for nt, value in gfa.boolean_values.items()
     }

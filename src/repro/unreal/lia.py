@@ -39,6 +39,8 @@ class GfaSolution:
     start_value: SemiLinearSet
     values: Dict[Nonterminal, SemiLinearSet]
     solve_seconds: float
+    iterations: int = 0
+    evaluations: int = 0
 
 
 def solve_lia_gfa(
@@ -46,8 +48,15 @@ def solve_lia_gfa(
     examples: ExampleSet,
     stratify: bool = True,
     simplify: bool = True,
+    strategy: str = "worklist",
 ) -> GfaSolution:
-    """Compute ``n_{G_E}(X)`` for every nonterminal of an LIA grammar."""
+    """Compute ``n_{G_E}(X)`` for every nonterminal of an LIA grammar.
+
+    ``strategy`` selects the fixpoint machinery (see
+    :mod:`repro.gfa.fixpoint`): ``"worklist"`` (default) uses the sparse,
+    dependency-driven Newton solver; ``"dense"`` rebuilds the full Jacobian
+    every round (debug fallback / perf baseline).
+    """
     cache = get_cache()
     normalized = cache.normalized(grammar)
     if not normalized.is_lia_plus():
@@ -64,12 +73,14 @@ def solve_lia_gfa(
 
     system = cache.lia_equations(normalized, examples)
     strata = equation_strata(system) if stratify else single_stratum(system)
-    solution = solve_stratified(system, semiring, strata)
+    solution = solve_stratified(system, semiring, strata, strategy=strategy)
     elapsed = time.monotonic() - start_time
     return GfaSolution(
         start_value=solution[normalized.start],
         values=solution,
         solve_seconds=elapsed,
+        iterations=solution.stats.iterations,
+        evaluations=solution.stats.evaluations,
     )
 
 
@@ -77,11 +88,12 @@ def check_lia_examples(
     problem: SyGuSProblem,
     examples: ExampleSet,
     stratify: bool = True,
+    strategy: str = "worklist",
 ) -> CheckResult:
     """Alg. 1 instantiated with the exact semi-linear-set domain (§5)."""
     if len(examples) == 0:
         return _empty_example_check(problem, examples)
-    gfa = solve_lia_gfa(problem.grammar, examples, stratify=stratify)
+    gfa = solve_lia_gfa(problem.grammar, examples, stratify=stratify, strategy=strategy)
     result = check_unrealizable(
         gfa.start_value,
         problem.spec,
@@ -90,6 +102,7 @@ def check_lia_examples(
         abstraction_size=gfa.start_value.size,
     )
     result.details["gfa_seconds"] = gfa.solve_seconds
+    result.details["gfa_evaluations"] = gfa.evaluations
     return result
 
 

@@ -1,4 +1,4 @@
-"""Small shared utilities: integer vectors, errors, timing helpers."""
+"""Small shared utilities: interning, integer vectors, errors, timing."""
 
 from repro.utils.errors import (
     ReproError,
@@ -9,6 +9,7 @@ from repro.utils.errors import (
     SyGuSParseError,
     UnsupportedFeatureError,
 )
+from repro.utils.intern import Interner, intern_stats, interner
 from repro.utils.vectors import IntVector, BoolVector
 from repro.utils.timing import Stopwatch
 
@@ -20,6 +21,9 @@ __all__ = [
     "SolverLimitError",
     "SyGuSParseError",
     "UnsupportedFeatureError",
+    "Interner",
+    "interner",
+    "intern_stats",
     "IntVector",
     "BoolVector",
     "Stopwatch",

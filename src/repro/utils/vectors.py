@@ -6,20 +6,43 @@ Boolean vector in B^|E| (Def. 3.4, §6.1).  These classes wrap plain tuples so
 that vectors are hashable (needed as dictionary keys and in sets of Boolean
 vectors) and so that the component-wise operations used by the concrete and
 abstract semantics live in one place.
+
+Both classes are *hash-consed* through the weak intern tables of
+:mod:`repro.utils.intern`: constructing a vector with component values that
+some live vector already holds returns that existing instance, so equality of
+vectors is usually a pointer comparison and their hashes are computed exactly
+once.  The structural ``__eq__`` fallback stays in place for the (benign)
+race window documented in the intern module.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Tuple
 
+from repro.utils.intern import interner
+
+_INT_VECTORS = interner("IntVector")
+_BOOL_VECTORS = interner("BoolVector")
+
 
 class IntVector:
-    """An immutable vector of Python integers with component-wise arithmetic."""
+    """An immutable, interned vector of Python integers."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_hash", "__weakref__")
 
-    def __init__(self, values: Iterable[int]):
-        self._values: Tuple[int, ...] = tuple(int(v) for v in values)
+    def __new__(cls, values: Iterable[int]):
+        parts: Tuple[int, ...] = tuple(int(v) for v in values)
+        cached = _INT_VECTORS.get(parts)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self._values = parts
+        self._hash = hash(parts)
+        return _INT_VECTORS.add(parts, self)
+
+    def __reduce__(self):
+        # Re-route unpickling through __new__ so worker processes re-intern.
+        return (IntVector, (self._values,))
 
     @staticmethod
     def constant(value: int, dimension: int) -> "IntVector":
@@ -84,22 +107,36 @@ class IntVector:
             )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, IntVector) and self._values == other._values
 
     def __hash__(self) -> int:
-        return hash(("IntVector", self._values))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IntVector{self._values}"
 
 
 class BoolVector:
-    """An immutable vector of booleans with component-wise connectives."""
+    """An immutable, interned vector of booleans."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_hash", "__weakref__")
 
-    def __init__(self, values: Iterable[bool]):
-        self._values: Tuple[bool, ...] = tuple(bool(v) for v in values)
+    def __new__(cls, values: Iterable[bool]):
+        parts: Tuple[bool, ...] = tuple(bool(v) for v in values)
+        cached = _BOOL_VECTORS.get(parts)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self._values = parts
+        # Tag the hash so (True, False) and the IntVector (1, 0) do not
+        # collide in dictionaries holding both kinds of vector.
+        self._hash = hash(("BoolVector", parts))
+        return _BOOL_VECTORS.add(parts, self)
+
+    def __reduce__(self):
+        return (BoolVector, (self._values,))
 
     @staticmethod
     def constant(value: bool, dimension: int) -> "BoolVector":
@@ -154,10 +191,12 @@ class BoolVector:
             )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, BoolVector) and self._values == other._values
 
     def __hash__(self) -> int:
-        return hash(("BoolVector", self._values))
+        return self._hash
 
     def __repr__(self) -> str:
         pretty = ", ".join("t" if v else "f" for v in self._values)
