@@ -1,0 +1,74 @@
+"""pytest-benchmark entries for the DPLL(T) logic core.
+
+These time the building blocks the ``repro-nay bench --suite logic``
+harness (:mod:`repro.perf`) aggregates into ``BENCH_logic.json``: replaying
+a captured fig2 exact-Newton query stream through the incremental solver
+and through the preserved pre-rewrite baseline, plus the warm
+membership-context path of the semi-linear domain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import clear_cache
+from repro.logic.reference import reference_check_sat
+from repro.logic.solver import check_sat
+from repro.perf import _capture_fig2_stream, _capture_random_stream
+
+FIG2_POINTS = ((8, 1), (14, 1), (8, 2), (14, 2))
+
+
+@pytest.fixture(scope="module")
+def fig2_stream():
+    return _capture_fig2_stream(FIG2_POINTS)
+
+
+@pytest.fixture(scope="module")
+def random_stream():
+    return _capture_random_stream(60)
+
+
+def test_fig2_stream_incremental(benchmark, fig2_stream):
+    def run():
+        clear_cache()
+        return [check_sat(formula).is_sat for formula in fig2_stream]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(fig2_stream)
+
+
+def test_fig2_stream_reference(benchmark, fig2_stream):
+    def run():
+        clear_cache()
+        return [reference_check_sat(formula)[0] for formula in fig2_stream]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(fig2_stream)
+
+
+def test_random_stream_incremental(benchmark, random_stream):
+    def run():
+        clear_cache()
+        return [check_sat(formula).is_sat for formula in random_stream]
+
+    benchmark(run)
+
+
+def test_membership_context_warm(benchmark):
+    """Repeated LinearSet membership: the cached-context + lemma path."""
+    from repro.domains.semilinear import LinearSet
+    from repro.utils.vectors import IntVector
+
+    container = LinearSet(
+        IntVector([1, 2]), (IntVector([2, 1]), IntVector([0, 3]))
+    )
+    probes = [IntVector([1 + 2 * i, 2 + i]) for i in range(12)]
+
+    clear_cache()
+
+    def run():
+        return [container.contains(probe) for probe in probes]
+
+    results = benchmark(run)
+    assert results[0] is True

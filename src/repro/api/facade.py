@@ -148,6 +148,7 @@ def run_engine(
     outcomes become ``timeout``.
     """
     from repro.engine.runner import apply_timeout_policy
+    from repro.logic.solver import runtime_counters
 
     knobs = dict(knobs or {})
     knobs.setdefault("timeout_seconds", timeout)
@@ -161,6 +162,7 @@ def run_engine(
     solution = None
     iterations = 0
     details: Dict[str, Any] = {}
+    counters_before = runtime_counters()
     start = time.monotonic()
     try:
         if kind == "solve" or len(examples) == 0:
@@ -186,6 +188,16 @@ def run_engine(
         details = {"limit": str(error)}
     elapsed = time.monotonic() - start
     verdict = apply_timeout_policy(verdict, elapsed, timeout)
+    # What the logic core did for this run: the counters are process-wide
+    # and monotone, so the before/after delta is exactly this engine's work
+    # (each batch worker / portfolio leg runs in its own process).  The one
+    # multi-threaded consumer is ``serve`` (ThreadingHTTPServer): two
+    # overlapping requests there share the counters, so their solver_stats
+    # are approximate — acceptable for diagnostic counters.
+    solver_stats = {
+        key: value - counters_before.get(key, 0)
+        for key, value in runtime_counters().items()
+    }
 
     return SolveResponse(
         verdict=verdict.value,
@@ -199,6 +211,7 @@ def run_engine(
         solution=solution,
         grammar=grammar_stats(problem),
         spec=problem.spec.description,
+        solver_stats=solver_stats,
         details=json_safe(details),
     )
 

@@ -33,9 +33,18 @@ from typing import Any, Dict, List, Optional
 
 from repro.utils.errors import WireFormatError
 
-#: Version of the wire format.  Bump on any breaking change to the payload
-#: shapes below; ``from_json`` rejects payloads from other versions.
-SCHEMA_VERSION = 1
+#: Version of the wire format.  Bump on any change to the payload shapes
+#: below; ``from_json`` accepts every version in
+#: :data:`SUPPORTED_SCHEMA_VERSIONS` and rejects everything else.
+#:
+#: * **2** — added ``SolveResponse.solver_stats`` (the DPLL(T) core's
+#:   theory-query / lemma-hit / cache-hit counters).  Purely additive, so
+#:   version-1 payloads are still parsed; emitted payloads carry version 2.
+SCHEMA_VERSION = 2
+
+#: Versions ``from_json`` accepts.  Version 1 payloads predate
+#: ``solver_stats``; the field simply defaults to empty for them.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Verdict strings a response may carry: the four engine verdicts plus
 #: ``"error"`` for requests that failed before an engine could run.
@@ -72,10 +81,10 @@ def _check_payload(payload: Dict[str, Any], cls: type, kind: str) -> None:
     if not isinstance(payload, dict):
         raise WireFormatError(f"{kind} payload must be a JSON object")
     version = payload.get("schema_version", SCHEMA_VERSION)
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise WireFormatError(
-            f"unsupported {kind} schema_version {version!r} "
-            f"(this build speaks version {SCHEMA_VERSION})"
+            f"unsupported {kind} schema_version {version!r} (this build speaks "
+            f"versions {', '.join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)})"
         )
     known = {spec.name for spec in fields(cls)}
     unknown = sorted(set(payload) - known)
@@ -155,6 +164,11 @@ class SolveResponse:
     solution: Optional[str] = None
     grammar: Dict[str, int] = field(default_factory=dict)
     spec: Optional[str] = None
+    #: Work the logic core did for this response (schema version 2): theory
+    #: query counts, lemma hits, logic-cache hits, simplex pivots, etc. —
+    #: the delta of :func:`repro.logic.solver.runtime_counters` around the
+    #: engine run.  Empty for version-1 payloads and error responses.
+    solver_stats: Dict[str, int] = field(default_factory=dict)
     details: Dict[str, Any] = field(default_factory=dict)
     engines_raced: List[str] = field(default_factory=list)
     error: Optional[str] = None

@@ -137,7 +137,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     experiment.add_argument("--out", default=None)
 
     bench = subparsers.add_parser(
-        "bench", help="run the fixpoint perf harness and write BENCH_fixpoint.json"
+        "bench",
+        help="run a perf harness and write its BENCH_*.json artifact",
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["fixpoint", "logic", "all"],
+        default="fixpoint",
+        help="fixpoint: worklist-vs-dense strategies (BENCH_fixpoint.json); "
+        "logic: incremental DPLL(T) core vs the pre-rewrite solver "
+        "(BENCH_logic.json); all: both",
     )
     bench.add_argument(
         "--repeat", type=int, default=3, help="timed repetitions per measurement"
@@ -148,7 +157,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench.add_argument(
         "--out",
         default=None,
-        help="artifact path (default BENCH_fixpoint.json; '-' to skip writing)",
+        help="artifact path (defaults to the suite's BENCH_*.json; '-' to "
+        "skip writing; only valid for a single suite)",
     )
 
     arguments = parser.parse_args(argv)
@@ -194,15 +204,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "bench":
         from repro import perf
 
-        report = perf.run_perf_suite(
-            repetitions=arguments.repeat, quick=arguments.quick
+        suites = (
+            ["fixpoint", "logic"] if arguments.suite == "all" else [arguments.suite]
         )
-        print(perf.render_report(report))
-        if arguments.out != "-":
-            target = perf.write_report(
-                report, arguments.out or perf.DEFAULT_BENCH_PATH
-            )
-            print(f"wrote {target}")
+        if arguments.out is not None and len(suites) > 1:
+            print("--out requires a single --suite", file=sys.stderr)
+            return 1
+        for suite in suites:
+            if suite == "fixpoint":
+                report = perf.run_perf_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_report(report))
+                default_path = perf.DEFAULT_BENCH_PATH
+            else:
+                report = perf.run_logic_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_logic_report(report))
+                default_path = perf.DEFAULT_LOGIC_BENCH_PATH
+            if arguments.out != "-":
+                target = perf.write_report(report, arguments.out or default_path)
+                print(f"wrote {target}")
         return 0
 
     if arguments.command == "experiments":

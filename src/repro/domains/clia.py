@@ -29,9 +29,8 @@ from repro.logic.formulas import (
     atom_gt,
     atom_le,
     atom_lt,
-    conjunction,
 )
-from repro.logic.solver import check_sat
+from repro.logic.solver import SolverContext
 from repro.logic.terms import LinearExpression
 from repro.semantics.examples import ExampleSet
 from repro.utils.errors import SemanticsError
@@ -132,20 +131,23 @@ class CliaInterpretation:
         right_outputs = [
             LinearExpression.variable(f"_cmp_r{i}") for i in range(self.dimension)
         ]
-        left_membership = left.symbolic(left_outputs, tag="L")
-        right_membership = right.symbolic(right_outputs, tag="R")
+        # The membership skeleton is shared by all 2^|E| queries: assert it
+        # once in a solver context (normalized once) and only swap the
+        # per-candidate comparison atoms as assumptions.
+        context = SolverContext()
+        context.assert_formula(left.symbolic(left_outputs, tag="L"))
+        context.assert_formula(right.symbolic(right_outputs, tag="R"))
         for candidate in BoolVector.enumerate_all(self.dimension):
-            constraints: List[Formula] = [left_membership, right_membership]
-            for index in range(self.dimension):
-                constraints.append(
-                    _comparison_formula(
-                        name,
-                        left_outputs[index],
-                        right_outputs[index],
-                        candidate[index],
-                    )
+            assumptions: List[Formula] = [
+                _comparison_formula(
+                    name,
+                    left_outputs[index],
+                    right_outputs[index],
+                    candidate[index],
                 )
-            if check_sat(conjunction(constraints)).is_sat:
+                for index in range(self.dimension)
+            ]
+            if context.check(assumptions).is_sat:
                 achievable.append(candidate)
         return BoolVectorSet(achievable, self.dimension)
 

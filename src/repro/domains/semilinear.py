@@ -95,6 +95,9 @@ class _BoundedMemo:
 
 _SIMPLIFY_MEMO = _BoundedMemo("simplify")
 _SUBSUMES_MEMO = _BoundedMemo("subsumes", max_entries=16384)
+#: Per-LinearSet membership solver contexts (the asserted skeleton of
+#: :meth:`LinearSet.contains`); see the method for the key/assumption split.
+_MEMBER_CONTEXTS = _BoundedMemo("member_contexts", max_entries=2048)
 
 
 def semilinear_cache_stats() -> Dict[str, Dict[str, int]]:
@@ -102,13 +105,15 @@ def semilinear_cache_stats() -> Dict[str, Dict[str, int]]:
     return {
         "simplify": _SIMPLIFY_MEMO.stats(),
         "subsumes": _SUBSUMES_MEMO.stats(),
+        "member_contexts": _MEMBER_CONTEXTS.stats(),
     }
 
 
 def clear_semilinear_caches() -> None:
-    """Reset the simplification and subsumption memo tables."""
+    """Reset the simplification/subsumption memos and membership contexts."""
     _SIMPLIFY_MEMO.clear()
     _SUBSUMES_MEMO.clear()
+    _MEMBER_CONTEXTS.clear()
 
 
 class LinearSet:
@@ -178,16 +183,42 @@ class LinearSet:
         yield from rec(0, self.offset)
 
     def contains(self, vector: IntVector) -> bool:
-        """Exact membership via integer feasibility of the defining equations."""
+        """Exact membership via integer feasibility of the defining equations.
+
+        The defining constraints — ``o_j = offset_j + sum lambda_i * g_i[j]``
+        with ``lambda_i >= 0`` — depend only on ``self``, so they live in a
+        cached :class:`~repro.logic.solver.SolverContext` asserted once per
+        (interned) linear set; each membership query only swaps the
+        ``o_j = v_j`` assumption atoms.  Subsumption asks this question for
+        many offsets against the same container, and the skeleton reuse is
+        what lets the solver's lemma/cache layers carry work across them.
+        """
         if vector.dimension != self.dimension:
             return False
         if not self.generators:
             return self.offset == vector
-        outputs = [LinearExpression.constant_expr(value) for value in vector]
-        membership = self.symbolic(outputs, tag="member")
-        from repro.logic.solver import check_sat
+        context = _MEMBER_CONTEXTS.get(self)
+        if context is None:
+            from repro.logic.solver import SolverContext
 
-        return check_sat(membership).is_sat
+            context = SolverContext()
+            names = [f"_lam_member_{i}" for i in range(len(self.generators))]
+            for coordinate in range(self.dimension):
+                expression = LinearExpression.constant_expr(self.offset[coordinate])
+                for name, generator in zip(names, self.generators):
+                    expression = expression + LinearExpression(
+                        {name: generator[coordinate]}, 0
+                    )
+                output = LinearExpression.variable(f"_member_o{coordinate}")
+                context.assert_formula(atom_eq(output, expression))
+            for name in names:
+                context.assert_formula(atom_ge(LinearExpression.variable(name), 0))
+            _MEMBER_CONTEXTS.put(self, context)
+        assumptions = [
+            atom_eq(LinearExpression.variable(f"_member_o{coordinate}"), int(value))
+            for coordinate, value in enumerate(vector)
+        ]
+        return context.check(assumptions).is_sat
 
     def project(self, mask: BoolVector) -> "LinearSet":
         """``projS``: zero out the coordinates where ``mask`` is false (§6.2)."""

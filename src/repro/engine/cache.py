@@ -42,6 +42,7 @@ from repro.gfa.builder import build_lia_equations
 from repro.gfa.equations import EquationSystem
 from repro.grammar.rtg import RegularTreeGrammar
 from repro.grammar.transforms import normalize_for_gfa
+from repro.logic.solver import clear_logic_caches, logic_cache_stats, runtime_counters
 from repro.semantics.examples import ExampleSet
 from repro.utils.intern import intern_stats
 
@@ -158,13 +159,19 @@ def get_cache() -> GfaCache:
 
 
 def clear_cache() -> None:
-    """Reset the GFA cache *and* the semi-linear simplification memos.
+    """Reset every process-wide memo the solving pipeline accumulates.
 
-    The intern tables (:mod:`repro.utils.intern`) are weak and self-pruning,
-    so they are deliberately left alone here.
+    Covers the GFA construction cache, the semi-linear simplification/
+    subsumption memos (plus the cached membership solver contexts), and the
+    logic core's cross-query result cache and learned-lemma store — the
+    complete set a long-lived ``solve_batch`` worker or ``serve`` process
+    must be able to drop to stay within the bounded-memory contract.  The
+    intern tables (:mod:`repro.utils.intern`) are weak and self-pruning, so
+    they are deliberately left alone here.
     """
     _DEFAULT_CACHE.clear()
     clear_semilinear_caches()
+    clear_logic_caches()
 
 
 def cache_stats() -> CacheStats:
@@ -175,12 +182,16 @@ def runtime_cache_stats() -> dict:
     """One snapshot of every process-wide memo/intern table.
 
     Combines the GFA construction cache (this module), the semi-linear
-    simplification/subsumption memos (:mod:`repro.domains.semilinear`), and
-    the hash-consing intern tables (:mod:`repro.utils.intern`) — the
-    ``repro-nay bench`` harness records this next to its timings.
+    simplification/subsumption memos (:mod:`repro.domains.semilinear`), the
+    hash-consing intern tables (:mod:`repro.utils.intern`), and the DPLL(T)
+    core's query cache / lemma store plus its cumulative work counters
+    (:mod:`repro.logic.solver`) — the ``repro-nay bench`` harness records
+    this next to its timings.
     """
     return {
         "gfa": _DEFAULT_CACHE.stats.as_dict(),
         "semilinear": semilinear_cache_stats(),
         "intern": intern_stats(),
+        "logic": logic_cache_stats(),
+        "logic_counters": runtime_counters(),
     }

@@ -11,15 +11,20 @@ unrealizability pipeline needs:
   semi-linear-set parameters ``lambda``);
 * model extraction, used by the CEGIS verifier to produce counterexamples.
 
-The solver is organised as a classic DPLL(T)-style layered design:
+The solver is organised as an incremental DPLL(T) layered design:
 
 ``terms``        linear expressions over named integer variables
 ``formulas``     Boolean formulas over linear atoms, with smart constructors
 ``rewrites``     NNF conversion, constant folding, substitution
-``simplex``      exact rational feasibility (two-phase simplex, Fractions)
-``diophantine``  GCD tests and integer equality elimination
-``ilp``          integer feasibility by branch-and-bound over the simplex
-``solver``       Boolean-structure search delegating conjunctions to ``ilp``
+``simplex``      exact rational feasibility (integer-scaled rows, incremental
+                 constraint addition for warm-started branch-and-bound)
+``diophantine``  GCD tests, integer equality elimination, gcd tightening
+``ilp``          integer feasibility: bound propagation, then warm-started
+                 branch-and-bound; minimized unsat cores on refutation
+``solver``       trail-based Boolean search with theory-lemma learning, a
+                 cross-query result cache, and push/pop ``SolverContext``
+``reference``    the pre-incremental stack, kept as a differential oracle
+                 and the perf-suite baseline
 """
 
 from repro.logic.terms import LinearExpression
@@ -42,7 +47,19 @@ from repro.logic.formulas import (
     atom_eq,
     atom_ne,
 )
-from repro.logic.solver import SatResult, SatStatus, check_sat, Model
+from repro.logic.solver import (
+    Model,
+    SatResult,
+    SatStatus,
+    SolverContext,
+    check_sat,
+    clear_logic_caches,
+    is_satisfiable,
+    is_valid,
+    logic_cache_stats,
+    record_queries,
+    runtime_counters,
+)
 
 __all__ = [
     "LinearExpression",
@@ -65,6 +82,13 @@ __all__ = [
     "atom_ne",
     "SatResult",
     "SatStatus",
+    "SolverContext",
     "check_sat",
+    "clear_logic_caches",
+    "is_satisfiable",
+    "is_valid",
+    "logic_cache_stats",
+    "record_queries",
+    "runtime_counters",
     "Model",
 ]

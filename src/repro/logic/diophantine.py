@@ -163,6 +163,29 @@ def lift_model(
     return lifted
 
 
+def tighten_inequality(inequality: LinearExpression) -> LinearExpression:
+    """Integer-strengthen ``expr <= 0`` by the gcd of its coefficients.
+
+    With ``g = gcd(a_i)``, the constraint ``sum a_i x_i + c <= 0`` holds over
+    the integers iff ``sum (a_i/g) x_i + ceil(c/g) <= 0`` does (the left sum
+    is always a multiple of ``g``).  The rounded cut is strictly tighter for
+    the LP relaxation whenever ``g`` does not divide ``c``, which lets the
+    branch-and-bound close strips like ``1 <= 2x <= 1`` without branching.
+    """
+    coefficients = inequality.items
+    if not coefficients:
+        return inequality
+    gcd = 0
+    for _, value in coefficients:
+        gcd = math.gcd(gcd, value)
+        if gcd == 1:
+            return inequality
+    constant = -((-inequality.constant) // gcd)  # ceil division
+    return LinearExpression(
+        {name: value // gcd for name, value in coefficients}, constant
+    )
+
+
 def gcd_test(equality: LinearExpression) -> Optional[bool]:
     """Quick integer-feasibility test for a single equality ``expr = 0``.
 

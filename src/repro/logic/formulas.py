@@ -97,6 +97,17 @@ class Atom(Formula):
     expression: LinearExpression
     comparison: Comparison
 
+    def __hash__(self) -> int:
+        # Cached: the solver interns atoms and keys caches on formulas, so
+        # the same nodes are hashed constantly (the generated dataclass
+        # hash would recompute the tuple hash every call).
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.expression, self.comparison))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def _collect_variables(self, accumulator: set) -> None:
         accumulator.update(self.expression.variables)
 
@@ -112,6 +123,15 @@ class Atom(Formula):
 
     def substitute(self, assignment: Mapping[str, LinearExpression]) -> Formula:
         return make_atom(self.expression.substitute(assignment), self.comparison)
+
+    def canonical_key(self) -> Tuple:
+        """A process-independent structural identity.
+
+        The DPLL(T) query cache and the lemma store key on this: two atoms
+        built in different worker processes (or pickled across a pool) with
+        the same expression and comparison produce the identical key.
+        """
+        return (self.expression.key(), self.comparison.value)
 
     def negated(self) -> Formula:
         """The complementary atom (kept atomic; no Not node needed)."""
@@ -134,6 +154,14 @@ class And(Formula):
 
     operands: Tuple[Formula, ...]
 
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(("and", self.operands))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def _collect_variables(self, accumulator: set) -> None:
         for operand in self.operands:
             operand._collect_variables(accumulator)
@@ -153,6 +181,14 @@ class Or(Formula):
     """Disjunction of sub-formulas."""
 
     operands: Tuple[Formula, ...]
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(("or", self.operands))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def _collect_variables(self, accumulator: set) -> None:
         for operand in self.operands:
@@ -310,8 +346,13 @@ def iff(lhs: Formula, rhs: Formula) -> Formula:
 
 
 def _dedupe(operands: Sequence[Formula]) -> list:
-    seen = []
+    # Order-preserving; formulas are immutable and hashable, so a set gives
+    # O(n) dedup (the old list scan was quadratic and showed up in solver
+    # normalization profiles).
+    seen = set()
+    unique = []
     for operand in operands:
         if operand not in seen:
-            seen.append(operand)
-    return seen
+            seen.add(operand)
+            unique.append(operand)
+    return unique

@@ -25,13 +25,26 @@ from repro.utils.errors import SolverError
 
 
 def to_nnf(formula: Formula) -> Formula:
-    """Return an equivalent formula without Not nodes."""
+    """Return an equivalent formula without Not nodes.
+
+    Identity-preserving: a subtree that contains no Not node comes back as
+    the *same object* (no rebuild), so repeatedly normalizing already-clean
+    formulas — every formula produced by the smart constructors — is a
+    cheap walk instead of a full copy.  The result is consequently not
+    re-flattened; the solver's trail search handles nested And/Or directly.
+    """
     if isinstance(formula, (BoolLit, Atom)):
         return formula
     if isinstance(formula, And):
-        return conjunction([to_nnf(operand) for operand in formula.operands])
+        operands = [to_nnf(operand) for operand in formula.operands]
+        if all(new is old for new, old in zip(operands, formula.operands)):
+            return formula
+        return conjunction(operands)
     if isinstance(formula, Or):
-        return disjunction([to_nnf(operand) for operand in formula.operands])
+        operands = [to_nnf(operand) for operand in formula.operands]
+        if all(new is old for new, old in zip(operands, formula.operands)):
+            return formula
+        return disjunction(operands)
     if isinstance(formula, Not):
         return _negate_nnf(formula.operand)
     raise SolverError(f"unknown formula node {type(formula).__name__}")

@@ -1,155 +1,349 @@
-"""Exact rational feasibility of linear inequality systems (Phase-I simplex).
+"""Exact rational feasibility over integer-scaled rows, with warm starts.
 
 This is the LP relaxation engine underneath the integer branch-and-bound
 procedure.  It answers one question: given constraints ``expr <= 0`` over
 free rational variables, is the system feasible, and if so produce one
 feasible point.
 
-The implementation is a textbook two-phase simplex restricted to Phase I
-(feasibility only), using ``fractions.Fraction`` for exact arithmetic and
-Bland's anti-cycling pivot rule, so it always terminates with an exact
-answer.
+Two things distinguish it from a textbook ``Fraction`` tableau:
+
+* **Integer-scaled rows.**  Every tableau row stores integer numerators plus
+  one positive integer denominator (``real[j] = num[j] / den``), and row
+  operations gcd-normalize once per row instead of reducing per cell the way
+  ``fractions.Fraction`` does.  On the tiny-but-numerous systems produced by
+  the unrealizability pipeline this removes the dominant constant factor of
+  the old per-cell implementation (kept in :mod:`repro.logic.reference`).
+
+* **Incremental constraint addition.**  :class:`SimplexTableau` keeps a
+  feasible basis between operations.  ``add_constraint`` rewrites the new
+  row in terms of the current basis; when the current point already
+  satisfies it, no pivot happens at all, otherwise a single artificial
+  variable is driven out with Bland-guarded pivots.  Branch-and-bound
+  ``clone()``\\ s the parent node's tableau and adds the one branching bound,
+  so children warm-start from the parent's feasible basis instead of
+  re-running Phase I from scratch.
+
+Between public operations the tableau holds **no artificial columns** and
+every right-hand side is non-negative — the invariant that makes cloning a
+plain list copy.
 """
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.logic.terms import LinearExpression
+from repro.utils.errors import SolverLimitError
 
 
 def feasible_point(
     constraints: Sequence[LinearExpression],
+    stats: Optional[Dict[str, int]] = None,
 ) -> Optional[Dict[str, Fraction]]:
     """Find a rational point satisfying ``expr <= 0`` for every constraint.
 
     Returns a mapping from variable name to :class:`fractions.Fraction`, or
-    ``None`` when the system is infeasible.  Variables not mentioned in any
-    constraint are simply absent from the returned mapping (any value works).
+    ``None`` when the system is infeasible.  ``stats`` (optional) receives
+    the pivot count under the ``"pivots"`` key.
     """
     variables = sorted({name for expr in constraints for name in expr.variables})
-    if not variables:
-        for expr in constraints:
-            if expr.constant > 0:
-                return None
-        return {}
-
-    # Split each free variable x into x = pos - neg with pos, neg >= 0, add a
-    # slack per constraint, and an artificial variable per row; the columns
-    # are laid out as [pos..., neg..., slack..., artificial...].
-    num_vars = len(variables)
-    num_rows = len(constraints)
-    var_index = {name: i for i, name in enumerate(variables)}
-    num_columns = 2 * num_vars + 2 * num_rows
-
-    rows: List[List[Fraction]] = []
-    rhs: List[Fraction] = []
+    tableau = SimplexTableau(variables, stats=stats)
     for expr in constraints:
-        row = [Fraction(0)] * num_columns
-        for name, coefficient in expr.coefficients.items():
-            row[var_index[name]] += Fraction(coefficient)
-            row[num_vars + var_index[name]] -= Fraction(coefficient)
-        # expr <= 0  <=>  sum coeff*x <= -constant
-        row[2 * num_vars + len(rows)] = Fraction(1)  # slack
-        bound = Fraction(-expr.constant)
-        if bound < 0:
-            row = [-value for value in row]
-            bound = -bound
-        artificial_column = 2 * num_vars + num_rows + len(rows)
-        row[artificial_column] = Fraction(1)
-        rows.append(row)
-        rhs.append(bound)
-
-    basis = [2 * num_vars + num_rows + i for i in range(num_rows)]
-
-    # Phase-I objective: minimise the sum of artificial variables.  Reduced
-    # costs for column j: c_j - sum of tableau column j over rows whose basic
-    # variable is artificial (cost 1).  Initially every basic variable is
-    # artificial, so the reduced-cost row starts as c_j - sum_i rows[i][j].
-    def column_cost(column: int) -> Fraction:
-        return Fraction(1) if column >= 2 * num_vars + num_rows else Fraction(0)
-
-    reduced = [
-        column_cost(j) - sum(rows[i][j] for i in range(num_rows))
-        for j in range(num_columns)
-    ]
-    objective = -sum(rhs, Fraction(0))
-
-    max_pivots = 8000 + 200 * num_columns
-    for _ in range(max_pivots):
-        entering = next((j for j in range(num_columns) if reduced[j] < 0), None)
-        if entering is None:
-            break
-        # Ratio test with Bland's rule on ties.
-        leaving_row = None
-        best_ratio: Optional[Fraction] = None
-        for i in range(num_rows):
-            coefficient = rows[i][entering]
-            if coefficient > 0:
-                ratio = rhs[i] / coefficient
-                if (
-                    best_ratio is None
-                    or ratio < best_ratio
-                    or (ratio == best_ratio and basis[i] < basis[leaving_row])
-                ):
-                    best_ratio = ratio
-                    leaving_row = i
-        if leaving_row is None:
-            # Unbounded Phase-I objective cannot happen (it is bounded below
-            # by 0); defensively treat as infeasible.
+        if not tableau.add_constraint(expr):
             return None
-        _pivot(rows, rhs, reduced, leaving_row, entering)
-        basis[leaving_row] = entering
-    else:  # pragma: no cover - defensive: Bland's rule prevents cycling
-        return None
-    del objective
+    return tableau.solution()
 
-    # At Phase-I optimality the system is feasible iff every artificial
-    # variable sits at value zero.
-    artificial_start = 2 * num_vars + num_rows
-    phase_one_value = sum(
-        (rhs[i] for i in range(num_rows) if basis[i] >= artificial_start),
-        Fraction(0),
+
+class SimplexTableau:
+    """A feasible Phase-I tableau supporting cloning and row addition.
+
+    Columns are laid out as ``[pos_0..pos_{v-1}, neg_0..neg_{v-1}, slacks...]``
+    (each free variable ``x`` is split ``x = pos - neg`` with both halves
+    non-negative); one slack column is appended per added constraint.
+    ``feasible`` turns False permanently once an added constraint is
+    inconsistent with the rows already present.
+    """
+
+    __slots__ = (
+        "variables",
+        "var_index",
+        "num_vars",
+        "ncols",
+        "rows",
+        "dens",
+        "rhs",
+        "basis",
+        "stats",
+        "feasible",
     )
-    if phase_one_value != 0:
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        stats: Optional[Dict[str, int]] = None,
+    ):
+        self.variables = tuple(variables)
+        self.var_index = {name: i for i, name in enumerate(self.variables)}
+        self.num_vars = len(self.variables)
+        self.ncols = 2 * self.num_vars
+        self.rows: List[List[int]] = []
+        self.dens: List[int] = []
+        self.rhs: List[int] = []
+        self.basis: List[int] = []
+        self.stats = stats if stats is not None else {}
+        self.stats.setdefault("pivots", 0)
+        self.feasible = True
+
+    # -- copying ---------------------------------------------------------------
+
+    def clone(self) -> "SimplexTableau":
+        """An independent copy sharing the (mutable) ``stats`` counter dict."""
+        copy = object.__new__(SimplexTableau)
+        copy.variables = self.variables
+        copy.var_index = self.var_index
+        copy.num_vars = self.num_vars
+        copy.ncols = self.ncols
+        copy.rows = [row[:] for row in self.rows]
+        copy.dens = self.dens[:]
+        copy.rhs = self.rhs[:]
+        copy.basis = self.basis[:]
+        copy.stats = self.stats
+        copy.feasible = self.feasible
+        return copy
+
+    # -- the one public mutation -----------------------------------------------
+
+    def add_constraint(self, expr: LinearExpression) -> bool:
+        """Add ``expr <= 0``; returns whether the system remains feasible.
+
+        The new row is rewritten over the current basis first; if the current
+        basic point already satisfies the constraint the slack enters the
+        basis with zero pivots (the warm-start fast path).  Otherwise one
+        artificial variable is introduced and driven out.
+        """
+        if not self.feasible:
+            return False
+        if not expr.variables:
+            if expr.constant > 0:
+                self.feasible = False
+            return self.feasible
+
+        # Dense row over the current columns: +c on pos, -c on neg.
+        row = [0] * self.ncols
+        for name, coefficient in expr.items:
+            index = self.var_index[name]
+            row[index] += coefficient
+            row[self.num_vars + index] -= coefficient
+        den = 1
+        rhs = -expr.constant
+
+        # Express the row over the current basis: subtract each basic row
+        # scaled by the new row's entry in that basis column.  Basis columns
+        # are unit columns, so a single pass eliminates them all.
+        for i, column in enumerate(self.basis):
+            factor = row[column]
+            if factor == 0:
+                continue
+            other_num = self.rows[i]
+            other_den = self.dens[i]
+            row = [
+                value * other_den - factor * other_value
+                for value, other_value in zip(row, other_num)
+            ]
+            rhs = rhs * other_den - factor * self.rhs[i]
+            den = den * other_den
+            row, rhs, den = _normalized(row, rhs, den)
+
+        # Append the slack column (coefficient +1, i.e. numerator = den).
+        slack_column = self.ncols
+        self._append_column()
+        row.append(den)
+
+        if rhs >= 0:
+            # The current point satisfies the constraint: slack goes basic.
+            self._append_row(row, rhs, den, slack_column)
+            return True
+
+        # Violated: negate the row so rhs > 0 and drive one artificial out.
+        row = [-value for value in row]
+        rhs = -rhs
+        artificial_column = self.ncols
+        self._append_column()
+        row.append(den)
+        self._append_row(row, rhs, den, artificial_column)
+        self.feasible = self._drive_out_artificial(len(self.rows) - 1)
+        return self.feasible
+
+    # -- accessors -------------------------------------------------------------
+
+    def solution(self) -> Dict[str, Fraction]:
+        """The current basic feasible point as exact fractions."""
+        positive = [Fraction(0)] * self.num_vars
+        negative = [Fraction(0)] * self.num_vars
+        for i, column in enumerate(self.basis):
+            if column < self.num_vars:
+                positive[column] = Fraction(self.rhs[i], self.dens[i])
+            elif column < 2 * self.num_vars:
+                negative[column - self.num_vars] = Fraction(self.rhs[i], self.dens[i])
+        return {
+            name: positive[index] - negative[index]
+            for name, index in self.var_index.items()
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _append_column(self) -> None:
+        for row in self.rows:
+            row.append(0)
+        self.ncols += 1
+
+    def _append_row(self, row: List[int], rhs: int, den: int, basic: int) -> None:
+        self.rows.append(row)
+        self.rhs.append(rhs)
+        self.dens.append(den)
+        self.basis.append(basic)
+
+    def _drive_out_artificial(self, artificial_row: int) -> bool:
+        """Minimize the artificial variable basic in ``artificial_row``.
+
+        The objective is a single basic variable, so the reduced cost of a
+        non-basic column ``j`` is just ``-T[r][j]``: Bland's entering rule is
+        "smallest ``j`` with a positive entry in row ``r``", and the loop
+        terminates by his theorem.  On success the artificial column (always
+        the last column) is removed again, restoring the no-artificials
+        invariant.
+        """
+        artificial_column = self.ncols - 1
+        rows = self.rows
+        max_pivots = 8000 + 200 * self.ncols
+        for _ in range(max_pivots):
+            r = self._row_of(artificial_column)
+            if r is None:
+                break  # the artificial left the basis; its value is 0
+            target = rows[r]
+            entering = None
+            for j in range(self.ncols - 1):  # never re-enter the artificial
+                if target[j] > 0:
+                    entering = j
+                    break
+            if entering is None:
+                # The artificial cannot decrease further.
+                if self.rhs[r] != 0:
+                    return False
+                self._pivot_out_zero_row(r, artificial_column)
+                break
+            leaving = self._ratio_test(entering)
+            self._pivot(leaving, entering)
+        else:  # pragma: no cover - Bland's rule prevents cycling
+            raise SolverLimitError("simplex exceeded its pivot budget")
+        self._remove_last_column()
+        return True
+
+    def _row_of(self, column: int) -> Optional[int]:
+        for i, basic in enumerate(self.basis):
+            if basic == column:
+                return i
         return None
 
-    point: Dict[str, Fraction] = {}
-    values = [Fraction(0)] * num_columns
-    for i, column in enumerate(basis):
-        values[column] = rhs[i]
-    for name, index in var_index.items():
-        point[name] = values[index] - values[num_vars + index]
-    return point
+    def _ratio_test(self, entering: int) -> int:
+        """The leaving row: minimum ``rhs/T[i][entering]`` over positive
+        entries, ties broken by smallest basis index (Bland)."""
+        best_row = -1
+        best_num = 0
+        best_den = 1
+        for i, row in enumerate(self.rows):
+            coefficient = row[entering]
+            if coefficient <= 0:
+                continue
+            # Compare rhs[i]/coefficient against the current best as a pair
+            # of integer cross products (row denominators cancel).
+            if (
+                best_row < 0
+                or self.rhs[i] * best_den < best_num * coefficient
+                or (
+                    self.rhs[i] * best_den == best_num * coefficient
+                    and self.basis[i] < self.basis[best_row]
+                )
+            ):
+                best_row = i
+                best_num = self.rhs[i]
+                best_den = coefficient
+        # A positive entry always exists: the entering column was chosen with
+        # target[entering] > 0 in the artificial's own row.
+        return best_row
 
-
-def _pivot(
-    rows: List[List[Fraction]],
-    rhs: List[Fraction],
-    reduced: List[Fraction],
-    pivot_row: int,
-    pivot_column: int,
-) -> None:
-    """In-place Gauss-Jordan pivot of the tableau and the reduced-cost row."""
-    pivot_value = rows[pivot_row][pivot_column]
-    inverse = Fraction(1) / pivot_value
-    rows[pivot_row] = [value * inverse for value in rows[pivot_row]]
-    rhs[pivot_row] = rhs[pivot_row] * inverse
-    for i in range(len(rows)):
-        if i == pivot_row:
-            continue
-        factor = rows[i][pivot_column]
-        if factor != 0:
-            rows[i] = [
-                value - factor * pivot_entry
-                for value, pivot_entry in zip(rows[i], rows[pivot_row])
+    def _pivot(self, pivot_row: int, pivot_column: int) -> None:
+        rows = self.rows
+        self.stats["pivots"] += 1
+        pivot = rows[pivot_row][pivot_column]
+        if pivot < 0:
+            rows[pivot_row] = [-value for value in rows[pivot_row]]
+            self.rhs[pivot_row] = -self.rhs[pivot_row]
+            pivot = -pivot
+        # Dividing the row by the (real) pivot keeps the numerators and swaps
+        # the denominator for the pivot numerator.
+        new_row, new_rhs, new_den = _normalized(
+            rows[pivot_row], self.rhs[pivot_row], pivot
+        )
+        rows[pivot_row] = new_row
+        self.rhs[pivot_row] = new_rhs
+        self.dens[pivot_row] = new_den
+        for i in range(len(rows)):
+            if i == pivot_row:
+                continue
+            factor = rows[i][pivot_column]
+            if factor == 0:
+                continue
+            merged = [
+                value * new_den - factor * pivot_value
+                for value, pivot_value in zip(rows[i], new_row)
             ]
-            rhs[i] = rhs[i] - factor * rhs[pivot_row]
-    factor = reduced[pivot_column]
-    if factor != 0:
-        for j in range(len(reduced)):
-            reduced[j] = reduced[j] - factor * rows[pivot_row][j]
+            merged_rhs = self.rhs[i] * new_den - factor * new_rhs
+            merged_den = self.dens[i] * new_den
+            rows[i], self.rhs[i], self.dens[i] = _normalized(
+                merged, merged_rhs, merged_den
+            )
+        self.basis[pivot_row] = pivot_column
+
+    def _pivot_out_zero_row(self, row_index: int, artificial_column: int) -> None:
+        """Remove a degenerate artificial basic at value zero.
+
+        Pivoting on any nonzero entry of a zero-rhs row leaves every other
+        right-hand side unchanged, so feasibility is preserved; a row with no
+        such entry is redundant and is deleted outright.
+        """
+        target = self.rows[row_index]
+        for j in range(self.ncols):
+            if j != artificial_column and target[j] != 0:
+                self._pivot(row_index, j)
+                return
+        del self.rows[row_index]
+        del self.rhs[row_index]
+        del self.dens[row_index]
+        del self.basis[row_index]
+
+    def _remove_last_column(self) -> None:
+        self.ncols -= 1
+        for row in self.rows:
+            row.pop()
+
+
+def _normalized(row: List[int], rhs: int, den: int):
+    """gcd-normalize one row (numerators, rhs, denominator) in one pass."""
+    g = den
+    for value in row:
+        if value:
+            g = math.gcd(g, value)
+            if g == 1:
+                return row, rhs, den
+    g = math.gcd(g, rhs)
+    if g > 1:
+        row = [value // g for value in row]
+        rhs //= g
+        den //= g
+    return row, rhs, den
 
 
 def satisfies(

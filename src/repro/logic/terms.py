@@ -15,7 +15,7 @@ from repro.utils.errors import SolverError
 class LinearExpression:
     """An immutable linear expression over named integer variables."""
 
-    __slots__ = ("_coefficients", "_constant")
+    __slots__ = ("_coefficients", "_constant", "_hash")
 
     def __init__(self, coefficients: Mapping[str, int] | None = None, constant: int = 0):
         cleaned: Dict[str, int] = {}
@@ -28,6 +28,7 @@ class LinearExpression:
             sorted(cleaned.items())
         )
         self._constant = int(constant)
+        self._hash: int | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -46,8 +47,22 @@ class LinearExpression:
         return dict(self._coefficients)
 
     @property
+    def items(self) -> Tuple[Tuple[str, int], ...]:
+        """The sorted ``(name, coefficient)`` pairs without a dict copy.
+
+        The solver's inner loops (simplex row construction, bound
+        propagation, cache keys) iterate coefficients millions of times;
+        this hands out the internal tuple directly.
+        """
+        return self._coefficients
+
+    @property
     def constant(self) -> int:
         return self._constant
+
+    def key(self) -> Tuple[Tuple[Tuple[str, int], ...], int]:
+        """A hashable structural identity (used for canonical atom keys)."""
+        return (self._coefficients, self._constant)
 
     @property
     def variables(self) -> Tuple[str, ...]:
@@ -131,7 +146,13 @@ class LinearExpression:
         )
 
     def __hash__(self) -> int:
-        return hash((self._coefficients, self._constant))
+        # Computed lazily and cached: the solver's interning tables and
+        # cache keys hash the same expressions over and over.
+        value = self._hash
+        if value is None:
+            value = hash((self._coefficients, self._constant))
+            self._hash = value
+        return value
 
     def __str__(self) -> str:
         parts = []

@@ -1,13 +1,23 @@
-"""The repeatable fixpoint perf harness behind ``repro-nay bench``.
+"""The repeatable perf harnesses behind ``repro-nay bench``.
 
-Every workload is measured for both fixpoint strategies (``worklist`` vs
-``dense``, see :mod:`repro.gfa.fixpoint`) *in the same run*, so the recorded
-speedups compare like with like on the same machine and interpreter state.
-The result is a versioned ``BENCH_fixpoint.json`` artifact — medians,
-iteration counts, and equations-evaluated counters per workload — giving
-future changes a perf trajectory to compare against (see DESIGN.md).
+Two suites live here, selected with ``--suite``:
 
-Workload groups:
+* ``fixpoint`` (default) — every workload measured for both fixpoint
+  strategies (``worklist`` vs ``dense``, see :mod:`repro.gfa.fixpoint`)
+  *in the same run*, written to ``BENCH_fixpoint.json``;
+* ``logic`` — the DPLL(T) core harness: records the **query streams of real
+  workloads** (the fig2 exact-Newton sweep, Table 1/2 benchmark checks) via
+  :func:`repro.logic.solver.record_queries` and replays each stream through
+  the incremental solver *and* the preserved pre-rewrite baseline
+  (:mod:`repro.logic.reference`) in the same run, writing queries/sec,
+  simplex pivots, lemma hits and cache hits to ``BENCH_logic.json``.
+  Verdict agreement between the two stacks is asserted before timing.
+
+Both artifacts are versioned; medians are compared like with like on the
+same machine and interpreter state, giving future changes a perf trajectory
+to compare against (see DESIGN.md).
+
+Fixpoint workload groups:
 
 * ``kleene``  — pure solver microbenchmark: Kleene iteration on synthetic
   chain systems over the Boolean semiring (the worst case for dense
@@ -36,22 +46,32 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import clear_cache, runtime_cache_stats
+from repro.engine.registry import create_engine
 from repro.gfa.equations import EquationSystem, Monomial, Polynomial
 from repro.gfa.fixpoint import DENSE, STRATEGIES, WORKLIST, FixpointStats
 from repro.gfa.kleene import solve_kleene
 from repro.gfa.semiring import BooleanSemiring, SemiLinearSemiring
 from repro.gfa.stratify import equation_strata
 from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.logic.formulas import Formula
+from repro.logic.reference import reference_check_sat
+from repro.logic.solver import check_sat, record_queries, runtime_counters
 from repro.unreal.approximate import solve_abstract_gfa
 from repro.unreal.lia import solve_lia_gfa
+from repro.suites import get_benchmark
 from repro.suites.scaling import chain_grammar, example_set, scaling_benchmark
+from repro.utils.errors import ReproError
 from repro.utils.vectors import IntVector
 
 #: Version of the BENCH_fixpoint.json schema.
 BENCH_SCHEMA_VERSION = 1
 
-#: Default artifact path (repo root when run from a checkout).
+#: Version of the BENCH_logic.json schema.
+LOGIC_BENCH_SCHEMA_VERSION = 1
+
+#: Default artifact paths (repo root when run from a checkout).
 DEFAULT_BENCH_PATH = "BENCH_fixpoint.json"
+DEFAULT_LOGIC_BENCH_PATH = "BENCH_logic.json"
 
 
 # ---------------------------------------------------------------------------
@@ -338,3 +358,306 @@ def write_report(report: Dict[str, object], path: str | Path) -> Path:
     target = Path(path)
     target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return target
+
+
+# ---------------------------------------------------------------------------
+# The logic (DPLL(T) core) suite
+# ---------------------------------------------------------------------------
+#
+# Each workload is a *captured query stream*: the exact sequence of formulas
+# a real pipeline run hands to the solver, recorded once (untimed) and then
+# replayed through the incremental core and the pre-rewrite reference stack.
+# Replaying identical formula sequences is what makes the recorded speedup an
+# apples-to-apples measure of the solver rewrite alone.
+
+
+class LogicWorkload:
+    """One named query-stream measurement."""
+
+    def __init__(self, name: str, group: str, capture: Callable[[], List[Formula]]):
+        self.name = name
+        self.group = group
+        self.capture = capture
+
+
+def _capture_fig2_stream(
+    points: Sequence[Tuple[int, int]]
+) -> List[Formula]:
+    """The solver queries of the fig2 exact-Newton scaling sweep.
+
+    Every cell runs the full stratified Newton solve (subsumption-based
+    simplification included), with cold caches per cell exactly like the
+    experiment runner; the recorded stream is the concatenation over the
+    ``|N| x |E|`` sweep.
+    """
+    sink: List[Formula] = []
+    with record_queries(sink):
+        for nonterminals, examples in points:
+            clear_cache()
+            entry = scaling_benchmark(nonterminals)
+            solve_lia_gfa(
+                entry.problem.grammar, example_set(examples), stratify=True
+            )
+    clear_cache()
+    return sink
+
+
+def _capture_check_stream(
+    benchmark_name: str, suite: Optional[str] = None
+) -> List[Formula]:
+    """The solver queries of one exact naySL benchmark check.
+
+    The Table 2 ``array_search`` family is the §7/§8 exact-Newton workload
+    whose CLIA verdict extraction dominates solver time; the Table 1
+    LimitedIf family exercises the 2^|E| comparison-abstraction queries.
+    ``suite`` disambiguates names that appear in several suites (``ite1``
+    exists in both LimitedPlus and LimitedIf).
+    """
+    benchmark = get_benchmark(benchmark_name, suite)
+    engine = create_engine("naySL")
+    clear_cache()
+    sink: List[Formula] = []
+    with record_queries(sink):
+        engine.check(benchmark.problem, benchmark.witness_examples)
+    clear_cache()
+    return sink
+
+
+def _capture_random_stream(count: int, seed: int = 0) -> List[Formula]:
+    """Seeded random QF-LIA formulas (small Boolean structure over 3 vars).
+
+    Every formula is *box-bounded* (``-8 <= v <= 8`` conjoined per
+    variable): the pre-rewrite baseline's branch-and-bound can take minutes
+    on unbounded random strips, and a benchmark that mostly measures one
+    pathological query would say nothing about throughput.
+    """
+    import random
+
+    from repro.logic.formulas import (
+        BoolLit,
+        atom_eq,
+        atom_ge,
+        atom_le,
+        atom_lt,
+        atom_ne,
+        conjunction,
+        disjunction,
+    )
+    from repro.logic.terms import LinearExpression
+
+    rng = random.Random(seed)
+    names = ["x", "y", "z"]
+    makers = (atom_le, atom_lt, atom_eq, atom_ne)
+    box = [
+        atom
+        for name in names
+        for atom in (
+            atom_ge(LinearExpression.variable(name), -8),
+            atom_le(LinearExpression.variable(name), 8),
+        )
+    ]
+
+    def random_atom() -> Formula:
+        expression = LinearExpression(
+            {name: rng.randint(-4, 4) for name in names}, rng.randint(-8, 8)
+        )
+        return rng.choice(makers)(expression, 0)
+
+    formulas: List[Formula] = []
+    while len(formulas) < count:
+        clauses = [
+            disjunction([random_atom() for _ in range(rng.randint(1, 3))])
+            for _ in range(rng.randint(1, 4))
+        ]
+        formula = conjunction(clauses + box)
+        if not isinstance(formula, BoolLit):
+            formulas.append(formula)
+    return formulas
+
+
+def default_logic_workloads(quick: bool = False) -> List[LogicWorkload]:
+    """The standard logic suite; ``quick`` shrinks it for CI smoke runs."""
+    fig2_points = (
+        [(8, 1), (14, 1), (8, 2), (14, 2), (8, 3), (14, 3)]
+        if quick
+        else [
+            (8, 1), (14, 1), (20, 1), (26, 1), (32, 1),
+            (8, 2), (14, 2), (20, 2), (26, 2), (32, 2),
+            (8, 3), (14, 3), (20, 3), (26, 3), (32, 3),
+        ]
+    )
+    workloads = [
+        LogicWorkload(
+            "fig2_newton_subsumption_sweep",
+            "fig2",
+            lambda points=tuple(fig2_points): _capture_fig2_stream(points),
+        ),
+        LogicWorkload(
+            "random_qflia_200",
+            "random",
+            lambda: _capture_random_stream(200),
+        ),
+    ]
+    table2 = ["array_search_8"] if quick else ["array_search_10", "array_search_13"]
+    for name in table2:
+        workloads.append(
+            LogicWorkload(
+                f"table2_clia_{name}",
+                "table2",
+                lambda name=name: _capture_check_stream(name),
+            )
+        )
+    if not quick:
+        workloads.append(
+            LogicWorkload(
+                "table1_limited_if_ite1",
+                "table1",
+                lambda: _capture_check_stream("ite1", suite="LimitedIf"),
+            )
+        )
+    return workloads
+
+
+#: Stat-counter keys reported per incremental replay.
+_LOGIC_STAT_KEYS = (
+    "theory_queries",
+    "theory_cache_hits",
+    "lemma_hits",
+    "lemmas_learned",
+    "simplex_pivots",
+    "bb_nodes",
+    "propagations",
+    "core_probes",
+)
+
+
+def _replay_incremental(stream: Sequence[Formula]) -> List[bool]:
+    return [check_sat(formula).is_sat for formula in stream]
+
+
+def _replay_reference(stream: Sequence[Formula]) -> List[bool]:
+    return [reference_check_sat(formula)[0] for formula in stream]
+
+
+def _measure_logic_workload(
+    workload: LogicWorkload, repetitions: int
+) -> Dict[str, object]:
+    stream = workload.capture()
+    row: Dict[str, object] = {
+        "name": workload.name,
+        "group": workload.group,
+        "queries": len(stream),
+    }
+
+    # Differential guard before timing: both stacks must agree on every
+    # query, otherwise the bench result would be comparing wrong answers.
+    clear_cache()
+    if _replay_incremental(stream) != _replay_reference(stream):
+        raise ReproError(
+            f"solver verdict mismatch replaying workload {workload.name!r}"
+        )
+
+    incremental_seconds: List[float] = []
+    reference_seconds: List[float] = []
+    stats: Dict[str, int] = {}
+    for _ in range(repetitions):
+        clear_cache()  # each repetition replays the stream from cold caches
+        before = runtime_counters()
+        started = time.perf_counter()
+        _replay_incremental(stream)
+        incremental_seconds.append(time.perf_counter() - started)
+        after = runtime_counters()
+        stats = {key: after[key] - before.get(key, 0) for key in _LOGIC_STAT_KEYS}
+
+        clear_cache()
+        started = time.perf_counter()
+        _replay_reference(stream)
+        reference_seconds.append(time.perf_counter() - started)
+
+    def leg(seconds: List[float]) -> Dict[str, object]:
+        median = statistics.median(seconds)
+        return {
+            "median_seconds": median,
+            "min_seconds": min(seconds),
+            "queries_per_second": (len(stream) / median) if median > 0 else None,
+            "repetitions": repetitions,
+        }
+
+    incremental = leg(incremental_seconds)
+    incremental["stats"] = stats
+    reference = leg(reference_seconds)
+    row["incremental"] = incremental
+    row["reference"] = reference
+    inc_median = incremental["median_seconds"]
+    row["speedup"] = (
+        reference["median_seconds"] / inc_median if inc_median > 0 else None
+    )
+    return row
+
+
+def run_logic_suite(
+    repetitions: int = 3,
+    quick: bool = False,
+    workloads: Optional[Sequence[LogicWorkload]] = None,
+) -> Dict[str, object]:
+    """Replay every logic workload through both solver stacks; report."""
+    chosen = (
+        list(workloads) if workloads is not None else default_logic_workloads(quick)
+    )
+    rows = [_measure_logic_workload(workload, repetitions) for workload in chosen]
+    report = {
+        "schema_version": LOGIC_BENCH_SCHEMA_VERSION,
+        "suite": "logic",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "workloads": rows,
+        "summary": _summarise_logic(rows),
+        "caches": runtime_cache_stats(),
+    }
+    return report
+
+
+def _summarise_logic(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    summary: Dict[str, object] = {}
+    groups = sorted({row["group"] for row in rows})
+    for group in groups:
+        speedups = [
+            row["speedup"]
+            for row in rows
+            if row["group"] == group and row.get("speedup") is not None
+        ]
+        if speedups:
+            summary[f"{group}_min_speedup"] = min(speedups)
+            summary[f"{group}_median_speedup"] = statistics.median(speedups)
+    all_speedups = [row["speedup"] for row in rows if row.get("speedup") is not None]
+    if all_speedups:
+        summary["overall_median_speedup"] = statistics.median(all_speedups)
+    return summary
+
+
+def render_logic_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the logic report."""
+    lines = [
+        f"{'workload':34s} {'queries':>7s} {'inc q/s':>9s} {'ref q/s':>9s} "
+        f"{'speedup':>8s} {'lemma':>6s} {'cache':>6s} {'pivots':>7s}"
+    ]
+    for row in report["workloads"]:
+        incremental = row["incremental"]
+        reference = row["reference"]
+        stats = incremental.get("stats", {})
+
+        def rate(cell):
+            value = cell.get("queries_per_second")
+            return f"{value:.0f}" if value else "-"
+
+        speedup = row.get("speedup")
+        lines.append(
+            f"{row['name']:34s} {row['queries']:7d} {rate(incremental):>9s} "
+            f"{rate(reference):>9s} {(f'{speedup:.1f}x' if speedup else '-'):>8s} "
+            f"{stats.get('lemma_hits', 0):6d} {stats.get('theory_cache_hits', 0):6d} "
+            f"{stats.get('simplex_pivots', 0):7d}"
+        )
+    for key, value in sorted(report["summary"].items()):
+        lines.append(f"  {key}: {value:.2f}")
+    return "\n".join(lines)

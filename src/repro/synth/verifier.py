@@ -14,8 +14,8 @@ from typing import Optional
 
 from repro.grammar.terms import Term
 from repro.logic.encoding import compile_integer_term
-from repro.logic.formulas import conjunction, negation
-from repro.logic.solver import check_sat
+from repro.logic.formulas import conjunction, disjunction, negation
+from repro.logic.solver import SolverContext
 from repro.logic.terms import LinearExpression
 from repro.semantics.examples import Example
 from repro.sygus.problem import SyGuSProblem
@@ -30,7 +30,17 @@ class VerificationResult:
 
 
 class Verifier:
-    """SMT-backed verification of candidate terms against the specification."""
+    """SMT-backed verification of candidate terms against the specification.
+
+    One verifier serves a whole CEGIS loop, so it keeps a single
+    :class:`SolverContext`: each candidate's violation formula is asserted
+    inside a push/pop scope, and the theory lemmas and cached conjunction
+    verdicts discovered for one candidate survive into the next iteration
+    (candidates share most of their spec structure).
+    """
+
+    def __init__(self) -> None:
+        self._context = SolverContext()
 
     def verify(self, problem: SyGuSProblem, candidate: Term) -> VerificationResult:
         """Check ``forall x. psi([[candidate]](x), x)``."""
@@ -44,9 +54,9 @@ class Verifier:
         for guard, expression in cases:
             spec_holds = problem.spec.instantiate_symbolic(inputs, expression)
             violations.append(conjunction([guard, negation(spec_holds)]))
-        from repro.logic.formulas import disjunction
-
-        result = check_sat(disjunction(violations))
+        with self._context.scope():
+            self._context.assert_formula(disjunction(violations))
+            result = self._context.check()
         if result.is_unsat:
             return VerificationResult(True, None)
         model = result.model or {}

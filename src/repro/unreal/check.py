@@ -16,7 +16,7 @@ import time
 from typing import Protocol, Sequence
 
 from repro.logic.formulas import Formula, conjunction
-from repro.logic.solver import check_sat
+from repro.logic.solver import SolverContext
 from repro.logic.terms import LinearExpression
 from repro.semantics.examples import ExampleSet
 from repro.sygus.spec import Specification
@@ -57,10 +57,20 @@ def check_unrealizable(
     exact: bool,
     abstraction_size: int = 0,
 ) -> CheckResult:
-    """Lines 3-5 of Alg. 1: decide the verdict from the abstraction."""
+    """Lines 3-5 of Alg. 1: decide the verdict from the abstraction.
+
+    The conjuncts of ``P`` go into a :class:`SolverContext` one by one — the
+    membership disjunction and each example's spec instance are normalized
+    independently, and the solver's cross-query cache/lemma stores carry
+    shared sub-conjunctions across the checks a CEGIS loop issues.
+    """
     start_time = time.monotonic()
-    property_formula = unrealizability_property(abstraction, spec, examples)
-    result = check_sat(property_formula)
+    outputs = output_variables(len(examples))
+    context = SolverContext()
+    context.assert_formula(abstraction.symbolic(outputs))
+    for index, example in enumerate(examples):
+        context.assert_formula(spec.instantiate(example, outputs[index]))
+    result = context.check()
     elapsed = time.monotonic() - start_time
     if result.is_unsat:
         verdict = Verdict.UNREALIZABLE
@@ -76,6 +86,7 @@ def check_unrealizable(
         if result.is_sat and result.model is not None
         else {}
     )
+    details["solver"] = dict(result.statistics)
     return CheckResult(
         verdict=verdict,
         examples=examples,

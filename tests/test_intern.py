@@ -159,8 +159,19 @@ class TestMemoTables:
             assert name in stats
             assert set(stats[name]) == {"live", "hits", "misses"}
         combined = runtime_cache_stats()
-        assert set(combined) == {"gfa", "semilinear", "intern"}
-        assert set(combined["semilinear"]) == {"simplify", "subsumes"}
+        assert set(combined) == {
+            "gfa",
+            "semilinear",
+            "intern",
+            "logic",
+            "logic_counters",
+        }
+        assert set(combined["semilinear"]) == {
+            "simplify",
+            "subsumes",
+            "member_contexts",
+        }
+        assert set(combined["logic"]) == {"query_cache", "formula_cache", "lemmas"}
 
     def test_interner_registry_is_shared(self):
         assert interner("IntVector") is interner("IntVector")
