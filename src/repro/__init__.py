@@ -32,7 +32,7 @@ from repro.api import (
     SolveResponse,
     solve,
 )
-from repro.baselines import NayHorn, NaySL, Nope
+from repro.baselines import NayFin, NayHorn, NayInt, NaySL, Nope
 from repro.engine import (
     ExperimentRunner,
     Task,
@@ -73,6 +73,8 @@ __all__ = [
     "NaySL",
     "NayHorn",
     "Nope",
+    "NayInt",
+    "NayFin",
     "UnrealizabilityEngine",
     "register_engine",
     "create_engine",

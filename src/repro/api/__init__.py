@@ -10,8 +10,9 @@ pieces (see DESIGN.md's api section):
   ``solve_batch`` / ``check`` / ``verify`` and the shared
   :func:`run_engine` execution core every consumer (CLI, experiments,
   benchmarks, HTTP) goes through;
-* :mod:`repro.api.portfolio` — race engines, first definitive verdict wins,
-  losers cancelled;
+* :mod:`repro.api.portfolio` — the multi-engine strategies: ``portfolio``
+  (race engines, first definitive verdict wins, losers cancelled) and
+  ``staged`` (cheap abstract domains first, escalate to exact on UNKNOWN);
 * :mod:`repro.api.service` — ``repro-nay serve``, a stdlib HTTP endpoint
   speaking the wire format.
 
@@ -27,12 +28,13 @@ Quickstart::
 
 from repro.api.facade import (
     PORTFOLIO_ENGINE,
+    STAGED_ENGINE,
     Solver,
     execute_request,
     run_engine,
     solve,
 )
-from repro.api.portfolio import solve_portfolio
+from repro.api.portfolio import solve_portfolio, solve_staged
 from repro.api.service import make_server, serve
 from repro.api.wire import (
     DEFINITIVE_VERDICTS,
@@ -48,12 +50,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFINITIVE_VERDICTS",
     "PORTFOLIO_ENGINE",
+    "STAGED_ENGINE",
     "SolveRequest",
     "SolveResponse",
     "WireFormatError",
     "Solver",
     "solve",
     "solve_portfolio",
+    "solve_staged",
     "execute_request",
     "run_engine",
     "error_response",

@@ -50,6 +50,14 @@ from repro.utils.errors import ReproError, SolverLimitError
 #: registered engines and returns the first definitive verdict.
 PORTFOLIO_ENGINE = "portfolio"
 
+#: The reserved engine name that runs engines cheap-to-expensive in-process,
+#: escalating to the exact engine only on non-definitive verdicts
+#: (see :func:`repro.api.portfolio.solve_staged`).
+STAGED_ENGINE = "staged"
+
+#: Both reserved multi-engine strategies.
+STRATEGY_ENGINES = (PORTFOLIO_ENGINE, STAGED_ENGINE)
+
 ProblemLike = Union[SyGuSProblem, Benchmark, SolveRequest, str, Path]
 
 
@@ -227,6 +235,10 @@ def execute_request(request: SolveRequest) -> SolveResponse:
             from repro.api.portfolio import solve_portfolio
 
             return solve_portfolio(request)
+        if request.engine == STAGED_ENGINE:
+            from repro.api.portfolio import solve_staged
+
+            return solve_staged(request)
         problem, benchmark = resolve_problem(request)
         examples = resolve_request_examples(request, problem, benchmark)
         kind = resolve_kind(request, examples)
@@ -430,8 +442,15 @@ class Solver:
         return check.verdict == "unrealizable"
 
     def available_engines(self) -> List[str]:
-        """Registry engines plus the reserved portfolio strategy."""
-        return list(engine_names()) + [PORTFOLIO_ENGINE]
+        """Registry engines plus the reserved portfolio/staged strategies.
+
+        >>> from repro.api import Solver
+        >>> engines = Solver().available_engines()
+        >>> [name for name in ("naySL", "nayInt", "portfolio", "staged")
+        ...  if name in engines]
+        ['naySL', 'nayInt', 'portfolio', 'staged']
+        """
+        return list(engine_names()) + list(STRATEGY_ENGINES)
 
 
 def solve(problem: ProblemLike, **overrides: Any) -> SolveResponse:

@@ -1,21 +1,32 @@
-"""Portfolio solving: race engines, keep the first definitive verdict.
+"""Portfolio solving: race engines, or escalate through staged tiers.
 
 The paper's evaluation (§8) shows no single engine dominating — exact naySL
 decides every LIA/CLIA instance but pays for big grammars, approximate
 nayHorn answers in milliseconds when its abstraction suffices, and NOPE
-trails by a constant factor.  The portfolio strategy turns that complementary
-strength into latency: every selected engine runs the same request on its own
-process, the first **definitive** verdict (``unrealizable``/``realizable``)
-wins, and the losers are cancelled outright (pending futures dropped, running
-worker processes terminated).
+trails by a constant factor.  Two strategies turn that complementary
+strength into latency:
 
-Requests cross the process boundary in wire form (``SolveRequest.to_json``)
-and outcomes come back the same way, so the racer exercises exactly the
-format ``repro-nay serve`` speaks.
+* ``engine="portfolio"`` (:func:`solve_portfolio`) — every selected engine
+  runs the same request on its own process, the first **definitive** verdict
+  (``unrealizable``/``realizable``) wins, and the losers are cancelled
+  outright (pending futures dropped, running worker processes terminated).
+* ``engine="staged"`` (:func:`solve_staged`) — engines run *in order of
+  cost*, in-process: the cheap abstract domains (``nayInt``, ``nayFin``)
+  first, escalating to ``nayHorn`` and finally exact ``naySL`` only while
+  the verdict stays non-definitive.  Same verdicts as the racing portfolio
+  (every definitive engine is sound, so whoever answers first agrees with
+  whoever would have answered later) at a fraction of the work: most
+  suite instances never reach an exact engine.  Per-stage counters flow
+  into ``SolveResponse.solver_stats`` (``staged_stages_run``,
+  ``staged_exact_calls``, ...) next to the aggregated logic-core counters.
+
+Portfolio requests cross the process boundary in wire form
+(``SolveRequest.to_json``) and outcomes come back the same way, so the racer
+exercises exactly the format ``repro-nay serve`` speaks.
 
 When no engine is definitive the best non-definitive outcome is reported
-(``unknown`` beats ``timeout`` beats ``error``), preserving soundness: a
-portfolio response never upgrades an approximate engine's ``unknown``.
+(``unknown`` beats ``timeout`` beats ``error``), preserving soundness:
+neither strategy ever upgrades an approximate engine's ``unknown``.
 """
 
 from __future__ import annotations
@@ -32,6 +43,17 @@ from repro.engine.registry import engine_names
 
 #: Preference order for the reported outcome when no engine is definitive.
 _LOSER_ORDER = {"unknown": 0, "timeout": 1, "error": 2}
+
+#: Cheap-to-expensive escalation order of the staged strategy.  Cheap
+#: abstract domains first (fixpoints over coarse lattices, little or no ILP
+#: work), the symbolic numeric abstraction next, the exact engine last.
+#: ``nope`` is deliberately absent: it computes the same answers as
+#: ``nayHorn`` with a modelled constant-factor overhead (§8.1).
+STAGED_DEFAULT_ORDER = ("nayInt", "nayFin", "nayHorn", "naySL")
+
+#: Engines whose runs the staged strategy counts as *exact-engine calls* in
+#: ``solver_stats`` — the quantity staging exists to minimise.
+EXACT_ENGINES = frozenset({"naySL"})
 
 
 def portfolio_engines(request: SolveRequest) -> List[str]:
@@ -142,6 +164,128 @@ def solve_portfolio(request: SolveRequest) -> SolveResponse:
             "race_seconds": round(race_seconds, 4),
             "finished": sorted(finished),
             "cancelled": sorted(set(engines) - set(finished)),
+        },
+    }
+    return response
+
+
+# ---------------------------------------------------------------------------
+# The staged strategy
+# ---------------------------------------------------------------------------
+
+
+def staged_engines(request: SolveRequest) -> List[str]:
+    """The escalation order a staged request runs: its pool, or the default.
+
+    An explicit ``engines`` list is honoured verbatim (and in order), so a
+    caller can stage any subset; otherwise the default cheap-to-expensive
+    order runs, restricted to engines actually registered.
+    """
+    if request.engines:
+        return list(request.engines)
+    registered = set(engine_names())
+    return [name for name in STAGED_DEFAULT_ORDER if name in registered]
+
+
+def solve_staged(request: SolveRequest) -> SolveResponse:
+    """Escalate through the engines in order; first definitive verdict wins.
+
+    Runs in-process (the cheap stages answer in milliseconds, so process
+    fan-out would cost more than it saves).  The problem and example set
+    are resolved **once** and shared by every stage — a staged request over
+    inline SyGuS text or a ``.sl`` path parses it a single time, not once
+    per leg.  Every stage receives the wall-clock budget *remaining* from
+    the request's ``timeout_seconds``; when the budget runs dry before a
+    definitive verdict the best non-definitive outcome seen so far is
+    reported, exactly like the racing portfolio's loser handling.
+    """
+    from repro.api.facade import (
+        resolve_kind,
+        resolve_problem,
+        resolve_request_examples,
+        run_engine,
+    )
+    from repro.utils.errors import ReproError
+
+    engines = staged_engines(request)
+    if not engines:
+        return error_response("staged portfolio has no engines to run", request)
+
+    try:
+        problem, benchmark = resolve_problem(request)
+        examples = resolve_request_examples(request, problem, benchmark)
+        kind = resolve_kind(request, examples)
+    except ReproError as error:
+        return error_response(str(error), request)
+    except Exception as error:  # noqa: BLE001 — degrade like execute_request
+        return error_response(
+            f"internal error: {type(error).__name__}: {error}", request
+        )
+
+    start = time.monotonic()
+    finished: Dict[str, SolveResponse] = {}
+    stages: List[Dict[str, object]] = []
+    solver_stats: Dict[str, int] = {}
+    winner: Optional[SolveResponse] = None
+    exact_calls = 0
+    for name in engines:
+        remaining = None
+        if request.timeout_seconds is not None:
+            remaining = request.timeout_seconds - (time.monotonic() - start)
+            if remaining <= 0:
+                break
+        try:
+            response = run_engine(
+                name,
+                kind,
+                problem,
+                examples,
+                timeout=remaining,
+                seed=request.seed,
+                max_iterations=request.max_iterations,
+            )
+        except ReproError as error:  # e.g. an unknown engine in the pool
+            response = error_response(str(error), request, engine=name)
+        except Exception as error:  # noqa: BLE001 — a bad leg must not kill the ladder
+            response = error_response(
+                f"internal error: {type(error).__name__}: {error}",
+                request,
+                engine=name,
+            )
+        finished[name] = response
+        exact_calls += 1 if name in EXACT_ENGINES else 0
+        for key, value in response.solver_stats.items():
+            solver_stats[key] = solver_stats.get(key, 0) + value
+        stages.append(
+            {
+                "engine": name,
+                "verdict": response.verdict,
+                "elapsed_seconds": response.elapsed_seconds,
+            }
+        )
+        if response.is_definitive:
+            winner = response
+            break
+
+    total_seconds = time.monotonic() - start
+    response = winner if winner is not None else _best_loser(finished, engines, request)
+    response.suite = benchmark.suite if benchmark is not None else response.suite
+    response.tags = dict(request.tags)
+    response.engines_raced = list(finished)
+    response.solver_stats = {
+        **solver_stats,
+        "staged_stages_run": len(stages),
+        "staged_exact_calls": exact_calls,
+        "staged_cheap_calls": len(stages) - exact_calls,
+    }
+    response.details = {
+        **response.details,
+        "staged": {
+            "winner": response.engine if winner is not None else None,
+            "order": list(engines),
+            "stages": stages,
+            "escalated_past": [entry["engine"] for entry in stages[:-1]],
+            "total_seconds": round(total_seconds, 4),
         },
     }
     return response

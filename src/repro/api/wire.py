@@ -22,6 +22,20 @@ The payloads are plain dataclasses over JSON-native values (no ``Term``,
 ``ExampleSet`` or solver objects), which also makes them picklable — the
 portfolio racer and the batch pool ship them across process boundaries
 verbatim.
+
+Round-trip example:
+
+    >>> request = SolveRequest(benchmark="plane1", engine="staged")
+    >>> SolveRequest.from_json(request.to_json()) == request
+    True
+    >>> SolveResponse.from_json({"schema_version": 1,
+    ...                          "verdict": "unknown"}).solver_stats
+    {}
+    >>> SolveResponse.from_json({"schema_version": 99})
+    Traceback (most recent call last):
+        ...
+    repro.utils.errors.WireFormatError: unsupported response schema_version \
+99 (this build speaks versions 1, 2)
 """
 
 from __future__ import annotations

@@ -8,7 +8,14 @@
   unrealizability to program reachability and then to Horn clauses; our
   reimplementation reproduces the extra encoding indirection and its cost.
 
-All three implement the :class:`repro.engine.base.UnrealizabilityEngine`
+Two further *domain engines* instantiate the §4.3 framework with the cheap
+pluggable abstractions of :mod:`repro.domains` (see
+:mod:`repro.baselines.nay_abstract`):
+
+* :class:`NayInt` — per-example interval boxes, solver-free check;
+* :class:`NayFin` — exact finite behavior sets, two-sided below the cap.
+
+All of them implement the :class:`repro.engine.base.UnrealizabilityEngine`
 protocol — ``solve(problem) -> CegisResult`` (the full CEGIS loop),
 ``check(problem, examples) -> CheckResult`` (one unrealizability check over a
 fixed example set), and ``configure(**knobs)`` — and register themselves in
@@ -19,5 +26,6 @@ fixed example set), and ``configure(**knobs)`` — and register themselves in
 from repro.baselines.nay_sl import NaySL
 from repro.baselines.nay_horn import NayHorn
 from repro.baselines.nope import Nope
+from repro.baselines.nay_abstract import NayAbstractDomain, NayFin, NayInt
 
-__all__ = ["NaySL", "NayHorn", "Nope"]
+__all__ = ["NayAbstractDomain", "NayFin", "NayHorn", "NayInt", "NaySL", "Nope"]

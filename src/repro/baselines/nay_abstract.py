@@ -1,0 +1,86 @@
+"""Domain engines: NAY configurations over the pluggable abstract domains.
+
+Each registered :class:`~repro.domains.base.AbstractDomain` becomes an
+engine through :class:`NayAbstractDomain`: ``check`` runs the generic
+abstract-GFA solver with that domain, ``solve`` runs Alg. 2's CEGIS loop
+with the domain check injected as the unrealizability checker (the same
+``NayConfig.checker`` seam NOPE uses).
+
+Two configurations are registered:
+
+* ``nayInt`` — the interval (box) domain.  Decides most LimitedPlus and
+  scaling instances in a few fixpoint iterations and **zero ILP calls**;
+  everything it cannot refute is ``UNKNOWN``.
+* ``nayFin`` — the example-powerset domain.  Exact while behavior sets stay
+  under the cap, so it is two-sided there (it can answer ``REALIZABLE`` on
+  the given examples, like the exact engines); past the cap it degrades to
+  sound-``UNREALIZABLE``-only.
+
+Both are raced by the default portfolio and form the cheap first stage of
+the ``staged`` strategy (:mod:`repro.api.portfolio`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.domains.registry import create_domain
+from repro.engine.base import EngineConfigMixin
+from repro.engine.registry import register_engine
+from repro.semantics.examples import ExampleSet
+from repro.sygus.problem import SyGuSProblem
+from repro.unreal.approximate import check_examples_abstract
+from repro.unreal.cegis import NayConfig, NaySolver
+from repro.unreal.result import CegisResult, CheckResult
+
+
+@dataclass
+class NayAbstractDomain(EngineConfigMixin):
+    """The shared engine shape: one abstract domain, CEGIS via injection."""
+
+    seed: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+    max_iterations: int = 40
+    #: Registry name of the abstract domain the checker instantiates
+    #: (fresh per check — domains may carry per-check exactness state).
+    domain: str = "numeric"
+
+    @property
+    def name(self) -> str:
+        return self.registry_name  # type: ignore[attr-defined]
+
+    def check(self, problem: SyGuSProblem, examples: ExampleSet) -> CheckResult:
+        return check_examples_abstract(
+            problem, examples, domain=create_domain(self.domain)
+        )
+
+    def solve(
+        self, problem: SyGuSProblem, initial_examples: Optional[ExampleSet] = None
+    ) -> CegisResult:
+        solver = NaySolver(
+            NayConfig(
+                mode="abstract",
+                seed=self.seed,
+                timeout_seconds=self.timeout_seconds,
+                max_iterations=self.max_iterations,
+                checker=self.check,
+            )
+        )
+        return solver.solve(problem, initial_examples)
+
+
+@register_engine("nayInt")
+@dataclass
+class NayInt(NayAbstractDomain):
+    """NAY over per-example integer boxes (no ILP calls in the check)."""
+
+    domain: str = "interval"
+
+
+@register_engine("nayFin")
+@dataclass
+class NayFin(NayAbstractDomain):
+    """NAY over exact finite behavior sets (two-sided below the cap)."""
+
+    domain: str = "powerset"

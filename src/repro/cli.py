@@ -7,12 +7,15 @@ Subcommands:
   benchmark's witness example set with a chosen engine (``--examples N``
   resizes the set deterministically);
 * ``batch <dir>``           — solve every ``.sl`` file under a directory,
-  optionally on a process pool (``--workers``) and/or with the engine
-  portfolio (``--tool portfolio``);
+  optionally on a process pool (``--workers``) and/or with a multi-engine
+  strategy (``--tool portfolio`` races, ``--tool staged`` escalates
+  cheap-to-expensive);
 * ``serve``                 — start the JSON HTTP endpoint
   (``POST /solve``, ``GET /engines``, ``GET /healthz``);
 * ``list``                  — list the benchmark suites;
-* ``engines``               — list the registered engines (+ portfolio);
+* ``engines``               — list the registered engines (+ the portfolio
+  and staged strategies);
+* ``domains``               — list the registered abstract domains;
 * ``experiments <name>``    — shorthand for ``python -m repro.experiments``;
 * ``bench``                 — run the fixpoint perf harness (worklist vs
   dense strategies) and write the versioned ``BENCH_fixpoint.json`` artifact.
@@ -32,8 +35,9 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro import experiments
-from repro.api import PORTFOLIO_ENGINE, SolveResponse, Solver
+from repro.api import PORTFOLIO_ENGINE, STAGED_ENGINE, SolveResponse, Solver
 from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
+from repro.domains.registry import domain_names
 from repro.engine.registry import engine_names
 from repro.semantics.examples import ExampleSet
 from repro.suites import all_benchmarks
@@ -95,7 +99,7 @@ def _emit(response: SolveResponse, as_json: bool) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     engines = engine_names()
-    tools = engines + [PORTFOLIO_ENGINE]
+    tools = engines + [PORTFOLIO_ENGINE, STAGED_ENGINE]
     parser = argparse.ArgumentParser(prog="repro-nay", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -129,6 +133,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     subparsers.add_parser("list", help="list all benchmarks")
     subparsers.add_parser("engines", help="list the registered engines")
+    subparsers.add_parser("domains", help="list the registered abstract domains")
 
     experiment = subparsers.add_parser("experiments", help="regenerate tables/figures")
     experiment.add_argument("name", choices=sorted(experiments.EXPERIMENTS) + ["all"])
@@ -198,6 +203,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "engines":
         for name in tools:
+            print(name)
+        return 0
+
+    if arguments.command == "domains":
+        for name in domain_names():
             print(name)
         return 0
 

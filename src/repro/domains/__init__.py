@@ -1,18 +1,63 @@
 """Abstract domains used by the grammar-flow-analysis framework.
 
+Exact domains (the §5/§6 machinery):
+
 * :mod:`repro.domains.semilinear` — semi-linear sets (§5.3), the exact domain
   for integer-valued nonterminals;
 * :mod:`repro.domains.boolvectors` — finite sets of Boolean vectors (§6.2),
   the exact domain for Boolean-valued nonterminals;
 * :mod:`repro.domains.clia` — the multi-sorted abstract semantics of CLIA
-  operators over the two domains above (§6.2), including ``LessThan#`` and
-  ``IfThenElse#``;
-* :mod:`repro.domains.numeric` — approximate numeric domains (intervals,
-  congruences, and their product) used by the Horn-clause/Kleene approximate
-  mode described in §4.3.
+  operators over the two domains above (§6.2).
+
+Pluggable approximate domains (the §4.3 framework — see
+:mod:`repro.domains.base` for the :class:`AbstractDomain` protocol and
+:mod:`repro.domains.registry` for name-based resolution):
+
+* :mod:`repro.domains.numeric` — the interval and congruence value types;
+* :mod:`repro.domains.product` — ``"numeric"``, the interval x congruence
+  reduced product (the default, behind NayHorn/NOPE);
+* :mod:`repro.domains.interval` — ``"interval"``, per-example boxes with a
+  solver-free concretization check (the ``nayInt`` engine);
+* :mod:`repro.domains.powerset` — ``"powerset"``, exact finite behavior
+  sets (the ``nayFin`` engine);
+* :mod:`repro.domains.combinators` — ``"product"``, the generic
+  reduced-product combinator.
 """
 
+# Exact value types first: the approximate modules below (and modules that
+# import us mid-cycle, e.g. repro.unreal.lia) depend on them.
 from repro.domains.semilinear import LinearSet, SemiLinearSet
 from repro.domains.boolvectors import BoolVectorSet
 
-__all__ = ["LinearSet", "SemiLinearSet", "BoolVectorSet"]
+from repro.domains.base import AbstractDomain, ExampleVectorDomain
+from repro.domains.registry import (
+    create_domain,
+    domain_names,
+    register_domain,
+    resolve_domain,
+)
+
+# Built-in domain implementations (registration side effects).
+from repro.domains.interval import Box, IntervalDomain
+from repro.domains.powerset import ExamplePowersetDomain, VectorSet
+from repro.domains.product import NumericProductDomain
+from repro.domains.combinators import PairValue, ReducedProductDomain
+
+__all__ = [
+    "AbstractDomain",
+    "BoolVectorSet",
+    "Box",
+    "ExamplePowersetDomain",
+    "ExampleVectorDomain",
+    "IntervalDomain",
+    "LinearSet",
+    "NumericProductDomain",
+    "PairValue",
+    "ReducedProductDomain",
+    "SemiLinearSet",
+    "VectorSet",
+    "create_domain",
+    "domain_names",
+    "register_domain",
+    "resolve_domain",
+]

@@ -72,6 +72,18 @@ class BoolVectorSet:
             self._vectors | other._vectors, max(self._dimension, other._dimension)
         )
 
+    def intersect(self, other: "BoolVectorSet") -> "BoolVectorSet":
+        """Set intersection: the reduction step of product domains.
+
+        Two sound abstractions of the same Boolean nonterminal each
+        over-approximate the reachable truth-vector set, so their
+        intersection is still an over-approximation — and at least as
+        precise as either side.
+        """
+        return BoolVectorSet(
+            self._vectors & other._vectors, max(self._dimension, other._dimension)
+        )
+
     def leq(self, other: "BoolVectorSet") -> bool:
         return self._vectors <= other._vectors
 

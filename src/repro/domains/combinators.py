@@ -1,0 +1,199 @@
+"""Domain combinators: the generic reduced product.
+
+:class:`ReducedProductDomain` runs two :class:`~repro.domains.base.
+ExampleVectorDomain` abstractions side by side over the same grammar and
+*reduces* between them wherever the shared representation allows:
+
+* comparisons — each component produces a set of reachable truth vectors;
+  the product takes their **intersection**, so a guard refuted by either
+  component is refuted in the product (this is where a coarse-but-different
+  pair beats either member);
+* emptiness — a pair with one empty component is normalized to the pair of
+  bottoms (the concretization of a product is the intersection of the
+  component concretizations, so one empty side empties the value);
+* the check — ``UNREALIZABLE`` if either component refutes, ``REALIZABLE``
+  only if an *exact* component claims it, ``UNKNOWN`` otherwise.
+
+Registered as ``"product"`` with the component names as knobs::
+
+    create_domain("product")                                  # interval x powerset
+    create_domain("product", left="interval", right="numeric")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.domains.base import ExampleVectorDomain
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.registry import register_domain
+from repro.semantics.examples import ExampleSet
+from repro.sygus.spec import Specification
+from repro.unreal.result import CheckResult, Verdict
+from repro.utils.errors import SemanticsError
+from repro.utils.vectors import IntVector
+
+
+@dataclass(frozen=True)
+class PairValue:
+    """An integer-sorted value of the reduced product: one value per component."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@register_domain("product")
+class ReducedProductDomain(ExampleVectorDomain):
+    """Reduced product of two example-vector domains."""
+
+    def __init__(self, left: str = "interval", right: str = "powerset"):
+        from repro.domains.registry import resolve_domain
+
+        self.left = resolve_domain(left)
+        self.right = resolve_domain(right)
+        if not isinstance(self.left, ExampleVectorDomain) or not isinstance(
+            self.right, ExampleVectorDomain
+        ):
+            raise SemanticsError(
+                "the reduced product combines ExampleVectorDomain components"
+            )
+        #: Set by :meth:`pre_check` when the right component bowed out for
+        #: this check (e.g. the powerset domain past its example budget).
+        #: The product then runs on the left component alone — degrading
+        #: one member must not discard the other member's refutation power.
+        self._right_inert = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.left.name}*{self.right.name}"
+
+    # -- reduction -------------------------------------------------------------
+
+    def _reduce(self, value: PairValue, dimension: int) -> PairValue:
+        if self._right_inert:
+            return value
+        left_empty = getattr(value.left, "is_empty", lambda: False)()
+        right_empty = getattr(value.right, "is_empty", lambda: False)()
+        if left_empty != right_empty:
+            return PairValue(
+                self.left.int_bottom(dimension), self.right.int_bottom(dimension)
+            )
+        return value
+
+    @staticmethod
+    def _dimension(value: PairValue) -> int:
+        return getattr(value.left, "dimension", 0)
+
+    # -- integer-sort hooks ----------------------------------------------------
+
+    def int_bottom(self, dimension: int) -> PairValue:
+        return PairValue(
+            self.left.int_bottom(dimension),
+            None if self._right_inert else self.right.int_bottom(dimension),
+        )
+
+    def int_join(self, left: PairValue, right: PairValue) -> PairValue:
+        return PairValue(
+            self.left.int_join(left.left, right.left),
+            None
+            if self._right_inert
+            else self.right.int_join(left.right, right.right),
+        )
+
+    def int_widen(self, previous: PairValue, current: PairValue) -> PairValue:
+        return PairValue(
+            self.left.int_widen(previous.left, current.left),
+            None
+            if self._right_inert
+            else self.right.int_widen(previous.right, current.right),
+        )
+
+    def int_equal(self, left: PairValue, right: PairValue) -> bool:
+        if not self.left.int_equal(left.left, right.left):
+            return False
+        return self._right_inert or self.right.int_equal(left.right, right.right)
+
+    def from_vector(self, vector: IntVector) -> PairValue:
+        return PairValue(
+            self.left.from_vector(vector),
+            None if self._right_inert else self.right.from_vector(vector),
+        )
+
+    def int_add(self, left: PairValue, right: PairValue) -> PairValue:
+        value = PairValue(
+            self.left.int_add(left.left, right.left),
+            None
+            if self._right_inert
+            else self.right.int_add(left.right, right.right),
+        )
+        return self._reduce(value, self._dimension(value))
+
+    def ite(
+        self,
+        guards: BoolVectorSet,
+        then_value: PairValue,
+        else_value: PairValue,
+        dimension: int,
+    ) -> PairValue:
+        value = PairValue(
+            self.left.ite(guards, then_value.left, else_value.left, dimension),
+            None
+            if self._right_inert
+            else self.right.ite(guards, then_value.right, else_value.right, dimension),
+        )
+        return self._reduce(value, dimension)
+
+    def compare(
+        self, name: str, left: PairValue, right: PairValue, dimension: int
+    ) -> BoolVectorSet:
+        truth = self.left.compare(name, left.left, right.left, dimension)
+        if self._right_inert:
+            return truth
+        return truth.intersect(
+            self.right.compare(name, left.right, right.right, dimension)
+        )
+
+    # -- the check -------------------------------------------------------------
+
+    def pre_check(self, examples: ExampleSet) -> Optional[CheckResult]:
+        """Bail out only when *every* component bails.
+
+        A component that bows out (the powerset domain past its example
+        budget) is marked inert for this check and skipped by every hook,
+        so the surviving component keeps its full refutation power — the
+        product must never be weaker than its own members.
+        """
+        left_out = self.left.pre_check(examples)
+        right_out = self.right.pre_check(examples)
+        if left_out is not None and right_out is not None:
+            return right_out
+        if left_out is not None:
+            # Swap so the surviving component drives; the pair then runs
+            # single-sided with the survivor on the left.
+            self.left, self.right = self.right, self.left
+            self._right_inert = True
+        elif right_out is not None:
+            self._right_inert = True
+        return None
+
+    def check(
+        self, start_value: PairValue, spec: Specification, examples: ExampleSet
+    ) -> CheckResult:
+        left = self.left.check(start_value.left, spec, examples)
+        if left.verdict == Verdict.UNREALIZABLE or self._right_inert:
+            left.details["component"] = self.left.name
+            if self._right_inert:
+                left.details["inert_component"] = True
+            return left
+        right = self.right.check(start_value.right, spec, examples)
+        right.details["component"] = self.right.name
+        if right.verdict in (Verdict.UNREALIZABLE, Verdict.REALIZABLE):
+            return right
+        if left.verdict == Verdict.REALIZABLE:
+            left.details["component"] = self.left.name
+            return left
+        return right

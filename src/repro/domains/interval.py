@@ -1,0 +1,332 @@
+"""The interval (box) domain: per-example integer ranges with widening.
+
+The cheapest useful abstraction of the GFA semantics: every integer-sorted
+nonterminal maps to one :class:`~repro.domains.numeric.Interval` per example
+(a *box*), joined and widened component-wise.  Boxes decide most
+LimitedPlus/scaling instances — a Plus-budgeted grammar can only reach a
+bounded band of outputs, and when the specification's demanded output falls
+outside the band for some example the problem is unrealizable — and they do
+so **without any ILP call**: the concretization check reduces to deciding a
+one-variable QF-LIA formula per example, which
+:func:`satisfiable_on_interval` does by evaluating the formula at the finite
+set of threshold points of its atoms.
+
+The truth-value analysis of comparisons between intervals
+(:func:`component_truth_values`) lives here because it is interval logic;
+the ``numeric`` reduced product reuses it for its interval component.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Set, Tuple
+
+from repro.domains.base import ExampleVectorDomain, masked_ite_join
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.numeric import Interval
+from repro.domains.registry import register_domain
+from repro.logic.formulas import And, Atom, BoolLit, Formula, Not, Or
+from repro.logic.terms import LinearExpression
+from repro.semantics.examples import ExampleSet
+from repro.sygus.spec import Specification
+from repro.unreal.result import CheckResult, Verdict
+from repro.utils.errors import SemanticsError
+from repro.utils.vectors import BoolVector, IntVector
+
+
+@dataclass(frozen=True)
+class Box:
+    """A product of intervals, one per example component."""
+
+    intervals: Tuple[Interval, ...]
+
+    @staticmethod
+    def bottom(dimension: int) -> "Box":
+        return Box(tuple(Interval.empty() for _ in range(dimension)))
+
+    @staticmethod
+    def constant(vector: IntVector) -> "Box":
+        return Box(tuple(Interval.constant(value) for value in vector))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.intervals)
+
+    def is_empty(self) -> bool:
+        return any(interval.is_empty() for interval in self.intervals)
+
+    def join(self, other: "Box") -> "Box":
+        return Box(tuple(a.join(b) for a, b in zip(self.intervals, other.intervals)))
+
+    def widen(self, other: "Box") -> "Box":
+        return Box(tuple(a.widen(b) for a, b in zip(self.intervals, other.intervals)))
+
+    def add(self, other: "Box") -> "Box":
+        return Box(tuple(a.add(b) for a, b in zip(self.intervals, other.intervals)))
+
+    def leq(self, other: "Box") -> bool:
+        return all(a.leq(b) for a, b in zip(self.intervals, other.intervals))
+
+    def select(self, mask: BoolVector, other: "Box") -> "Box":
+        """Per-component choice: keep ``self`` where the mask is true."""
+        return Box(
+            tuple(
+                a if keep else b
+                for a, b, keep in zip(self.intervals, other.intervals, mask)
+            )
+        )
+
+    def contains(self, vector: IntVector) -> bool:
+        return all(
+            interval.contains(value)
+            for interval, value in zip(self.intervals, vector)
+        )
+
+    def symbolic(self, outputs: Sequence[LinearExpression]) -> Formula:
+        """gamma_hat as a QF-LIA formula (for interoperability; unused by
+        the domain's own check, which never builds solver queries)."""
+        from repro.logic.formulas import conjunction
+
+        return conjunction(
+            [
+                self.intervals[index].symbolic(output)
+                for index, output in enumerate(outputs)
+            ]
+        )
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(interval) for interval in self.intervals) + ">"
+
+
+# ---------------------------------------------------------------------------
+# Interval truth-value analysis of comparisons
+# ---------------------------------------------------------------------------
+
+
+def component_truth_values(name: str, left: Interval, right: Interval) -> List[bool]:
+    """Possible truth values of ``left <cmp> right`` from interval bounds."""
+
+    def lower(interval: Interval) -> float:
+        return float("-inf") if interval.low is None else interval.low
+
+    def upper(interval: Interval) -> float:
+        return float("inf") if interval.high is None else interval.high
+
+    outcomes: Set[bool] = set()
+    if name == "LessThan":
+        if lower(left) < upper(right):
+            outcomes.add(True)
+        if upper(left) >= lower(right):
+            outcomes.add(False)
+    elif name == "LessEq":
+        if lower(left) <= upper(right):
+            outcomes.add(True)
+        if upper(left) > lower(right):
+            outcomes.add(False)
+    elif name == "GreaterThan":
+        if upper(left) > lower(right):
+            outcomes.add(True)
+        if lower(left) <= upper(right):
+            outcomes.add(False)
+    elif name == "GreaterEq":
+        if upper(left) >= lower(right):
+            outcomes.add(True)
+        if lower(left) < upper(right):
+            outcomes.add(False)
+    else:  # Equal
+        if lower(left) <= upper(right) and lower(right) <= upper(left):
+            outcomes.add(True)
+        if not (lower(left) == upper(left) == lower(right) == upper(right)):
+            outcomes.add(False)
+    return sorted(outcomes)
+
+
+def interval_comparison(
+    name: str,
+    left_intervals: Sequence[Interval],
+    right_intervals: Sequence[Interval],
+    dimension: int,
+) -> BoolVectorSet:
+    """``<cmp>#`` over interval components: the set of reachable truth vectors."""
+    per_component = [
+        component_truth_values(name, left_intervals[index], right_intervals[index])
+        for index in range(dimension)
+    ]
+    results: List[List[bool]] = [[]]
+    for component in per_component:
+        results = [prefix + [value] for prefix in results for value in component]
+    return BoolVectorSet([BoolVector(bits) for bits in results], dimension)
+
+
+# ---------------------------------------------------------------------------
+# One-variable QF-LIA decision by threshold enumeration
+# ---------------------------------------------------------------------------
+
+
+def _collect_thresholds(
+    formula: Formula, variable: str, thresholds: Set[int]
+) -> bool:
+    """Gather the integer threshold points of every atom mentioning ``variable``.
+
+    Returns False when the formula mentions any *other* variable (the direct
+    decision procedure then refuses, staying sound by answering "maybe
+    satisfiable").
+    """
+    if isinstance(formula, BoolLit):
+        return True
+    if isinstance(formula, Atom):
+        coefficients = dict(formula.expression.items)
+        coefficient = coefficients.pop(variable, 0)
+        if coefficients:
+            return False
+        if coefficient != 0:
+            boundary = Fraction(-formula.expression.constant, coefficient)
+            thresholds.add(math.floor(boundary))
+            thresholds.add(math.ceil(boundary))
+        return True
+    if isinstance(formula, Not):
+        return _collect_thresholds(formula.operand, variable, thresholds)
+    if isinstance(formula, (And, Or)):
+        return all(
+            _collect_thresholds(operand, variable, thresholds)
+            for operand in formula.operands
+        )
+    return False
+
+
+def satisfiable_on_interval(
+    formula: Formula, variable: str, interval: Interval
+) -> bool:
+    """Decide ``exists v in interval. formula[variable := v]`` without a solver.
+
+    A one-variable QF-LIA formula is piecewise-constant between the
+    thresholds of its atoms (``a*v + b <cmp> 0`` changes truth value only
+    around ``-b/a``), so evaluating it at every threshold, the points one
+    off either side, the interval endpoints, and one representative beyond
+    the extreme thresholds decides satisfiability exactly.
+
+    Over-approximates (returns True) when the formula mentions variables
+    other than ``variable`` — the caller then reports ``UNKNOWN`` rather
+    than risking an unsound refutation.
+    """
+    if interval.is_empty():
+        return False
+    thresholds: Set[int] = set()
+    if not _collect_thresholds(formula, variable, thresholds):
+        return True  # not a one-variable formula; cannot refute directly
+    candidates: Set[int] = set()
+
+    def consider(value: int) -> None:
+        if interval.contains(value):
+            candidates.add(value)
+
+    for threshold in thresholds:
+        for delta in (-1, 0, 1):
+            consider(threshold + delta)
+    if interval.low is not None:
+        consider(interval.low)
+    if interval.high is not None:
+        consider(interval.high)
+    ordered = sorted(thresholds)
+    if interval.low is None:
+        consider((ordered[0] - 2) if ordered else (interval.high or 0))
+    if interval.high is None:
+        consider((ordered[-1] + 2) if ordered else (interval.low or 0))
+    if not candidates:
+        # A non-empty finite interval strictly between two thresholds: any
+        # point of the interval is representative.
+        assert interval.low is not None
+        candidates.add(interval.low)
+    return any(formula.evaluate({variable: value}) for value in candidates)
+
+
+# ---------------------------------------------------------------------------
+# The domain
+# ---------------------------------------------------------------------------
+
+
+@register_domain("interval")
+class IntervalDomain(ExampleVectorDomain):
+    """Per-example integer boxes with standard interval widening.
+
+    Sound and deliberately coarse: the fixpoint usually converges in a
+    handful of iterations and the check is solver-free, which makes this
+    the first stage of the staged portfolio — LimitedPlus/scaling instances
+    whose output band excludes a demanded output are dispatched in
+    microseconds, everything else escalates.
+    """
+
+    def int_bottom(self, dimension: int) -> Box:
+        return Box.bottom(dimension)
+
+    def int_join(self, left: Box, right: Box) -> Box:
+        return left.join(right)
+
+    def int_widen(self, previous: Box, current: Box) -> Box:
+        return previous.widen(current)
+
+    def int_equal(self, left: Box, right: Box) -> bool:
+        return left.leq(right) and right.leq(left)
+
+    def from_vector(self, vector: IntVector) -> Box:
+        return Box.constant(vector)
+
+    def int_add(self, left: Box, right: Box) -> Box:
+        return left.add(right)
+
+    def ite(
+        self,
+        guards: BoolVectorSet,
+        then_value: Box,
+        else_value: Box,
+        dimension: int,
+    ) -> Box:
+        return masked_ite_join(
+            guards,
+            lambda guard: then_value.select(guard, else_value),
+            Box.bottom(dimension),
+            lambda left, right: left.join(right),
+        )
+
+    def compare(
+        self, name: str, left: Box, right: Box, dimension: int
+    ) -> BoolVectorSet:
+        if left.is_empty() or right.is_empty():
+            return BoolVectorSet.empty(dimension)
+        return interval_comparison(name, left.intervals, right.intervals, dimension)
+
+    def check(
+        self, start_value: Box, spec: Specification, examples: ExampleSet
+    ) -> CheckResult:
+        """Per-example refutation: the box factorizes, so ``P`` of Thm. 4.5
+        is satisfiable iff each example's one-variable instance is."""
+        if not isinstance(start_value, Box):
+            raise SemanticsError("the start nonterminal must be integer-sorted")
+        if start_value.is_empty():
+            return CheckResult(
+                verdict=Verdict.UNREALIZABLE,
+                examples=examples,
+                details={"reason": "start symbol derives no terms on these examples"},
+            )
+        output = LinearExpression.variable("__interval_out")
+        for index, example in enumerate(examples):
+            instance = spec.instantiate(example, output)
+            if not satisfiable_on_interval(
+                instance, "__interval_out", start_value.intervals[index]
+            ):
+                return CheckResult(
+                    verdict=Verdict.UNREALIZABLE,
+                    examples=examples,
+                    details={
+                        "reason": "interval refutation",
+                        "example_index": index,
+                        "interval": str(start_value.intervals[index]),
+                    },
+                )
+        return CheckResult(
+            verdict=Verdict.UNKNOWN,
+            examples=examples,
+            details={"box": str(start_value)},
+        )

@@ -1,0 +1,88 @@
+"""The numeric reduced-product domain (intervals x congruences).
+
+This is the abstraction the repo has always used for the NayHorn/NOPE
+Spacer substitutes (see DESIGN.md): integer-sorted nonterminals map to a
+:class:`~repro.domains.numeric.ProductValue` — one interval and one
+congruence per example component — and the concretization check of Alg. 1
+goes through the symbolic route (``gamma_hat`` as a QF-LIA formula handed to
+the DPLL(T) core).  Historically the transfer functions lived inline in
+:mod:`repro.unreal.approximate`; they now live here behind the
+:class:`~repro.domains.base.AbstractDomain` seam, registered as
+``"numeric"`` (the default domain of ``check_examples_abstract``, so
+``nayHorn``/``nope`` behavior is unchanged).
+"""
+
+from __future__ import annotations
+
+from repro.domains.base import ExampleVectorDomain, masked_ite_join
+from repro.domains.boolvectors import BoolVectorSet
+from repro.domains.interval import interval_comparison
+from repro.domains.numeric import ProductValue
+from repro.domains.registry import register_domain
+from repro.semantics.examples import ExampleSet
+from repro.sygus.spec import Specification
+from repro.unreal.result import CheckResult
+from repro.utils.errors import SemanticsError
+from repro.utils.vectors import IntVector
+
+
+@register_domain("numeric")
+class NumericProductDomain(ExampleVectorDomain):
+    """Reduced product of intervals and congruences per example component.
+
+    The congruence half captures the "every term is a multiple of ``3x``"
+    invariants of the paper's running example; the interval half powers the
+    comparison analysis.  Sound but not exact (Thm. 4.5(1)): the check can
+    answer ``UNREALIZABLE`` or ``UNKNOWN``, never ``REALIZABLE``.
+    """
+
+    def int_bottom(self, dimension: int) -> ProductValue:
+        return ProductValue.bottom(dimension)
+
+    def int_join(self, left: ProductValue, right: ProductValue) -> ProductValue:
+        return left.join(right)
+
+    def int_widen(self, previous: ProductValue, current: ProductValue) -> ProductValue:
+        return previous.widen(current)
+
+    def int_equal(self, left: ProductValue, right: ProductValue) -> bool:
+        return left.leq(right) and right.leq(left)
+
+    def from_vector(self, vector: IntVector) -> ProductValue:
+        return ProductValue.constant(vector)
+
+    def int_add(self, left: ProductValue, right: ProductValue) -> ProductValue:
+        return left.add(right)
+
+    def ite(
+        self,
+        guards: BoolVectorSet,
+        then_value: ProductValue,
+        else_value: ProductValue,
+        dimension: int,
+    ) -> ProductValue:
+        assert isinstance(then_value, ProductValue)
+        assert isinstance(else_value, ProductValue)
+        return masked_ite_join(
+            guards,
+            lambda guard: then_value.select(guard, else_value),
+            ProductValue.bottom(dimension),
+            lambda left, right: left.join(right),
+        )
+
+    def compare(
+        self, name: str, left: ProductValue, right: ProductValue, dimension: int
+    ) -> BoolVectorSet:
+        if left.is_empty() or right.is_empty():
+            return BoolVectorSet.empty(dimension)
+        return interval_comparison(name, left.intervals, right.intervals, dimension)
+
+    def check(
+        self, start_value: ProductValue, spec: Specification, examples: ExampleSet
+    ) -> CheckResult:
+        """The symbolic route: ``gamma_hat(start) AND psi`` to the QF-LIA core."""
+        from repro.unreal.check import check_unrealizable
+
+        if not isinstance(start_value, ProductValue):
+            raise SemanticsError("the start nonterminal must be integer-sorted")
+        return check_unrealizable(start_value, spec, examples, exact=False)

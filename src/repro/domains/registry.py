@@ -1,0 +1,107 @@
+"""Decorator-based registry of abstract domains, mirroring the engine registry.
+
+Domains register themselves at class-definition time::
+
+    @register_domain("interval")
+    class IntervalDomain(ExampleVectorDomain):
+        ...
+
+and every consumer resolves them by name through :func:`create_domain` — the
+generic abstract-GFA solver (:mod:`repro.unreal.approximate`), the domain
+engines (``nayInt``, ``nayFin``), and the tests share this one lookup path,
+so adding a new abstraction is a one-file change: define the domain class,
+decorate it, import its module from :mod:`repro.domains`.
+
+The registry stores classes, not instances: :func:`create_domain` builds a
+fresh domain per call, passing knobs straight to the constructor.  Domains
+may be *stateful per check* (the example-powerset domain records whether it
+ever widened to TOP during a solve, which gates its exactness claim), which
+is why sharing instances across checks would be wrong.
+
+Runnable example::
+
+    >>> from repro.domains.registry import create_domain, domain_names
+    >>> sorted(domain_names())
+    ['interval', 'numeric', 'powerset', 'product']
+    >>> create_domain("interval").name
+    'interval'
+    >>> create_domain("no-such-domain")
+    Traceback (most recent call last):
+        ...
+    repro.utils.errors.UnknownDomainError: unknown abstract domain \
+'no-such-domain'; registered domains: interval, numeric, powerset, product
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, TypeVar, Union
+
+from repro.utils.errors import ReproError, UnknownDomainError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.domains.base import AbstractDomain
+
+DomainClass = TypeVar("DomainClass", bound=type)
+
+#: Either a registry name or an already-built domain instance; every API that
+#: takes a domain accepts both (instances pass through untouched).
+DomainLike = Union[str, "AbstractDomain"]
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_domain(name: str) -> Callable[[DomainClass], DomainClass]:
+    """Class decorator adding the domain to the registry under ``name``."""
+
+    def decorator(cls: DomainClass) -> DomainClass:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ReproError(
+                f"domain name {name!r} already registered by {existing.__name__}"
+            )
+        _REGISTRY[name] = cls
+        cls.registry_name = name  # type: ignore[attr-defined]
+        return cls
+
+    return decorator
+
+
+def _ensure_builtin_domains() -> None:
+    """Import the built-in domain modules so their decorators have run."""
+    import repro.domains.combinators  # noqa: F401  (registration side effect)
+    import repro.domains.interval  # noqa: F401
+    import repro.domains.powerset  # noqa: F401
+    import repro.domains.product  # noqa: F401
+
+
+def domain_names() -> List[str]:
+    """The registered domain names, in registration order."""
+    _ensure_builtin_domains()
+    return list(_REGISTRY)
+
+
+def get_domain_class(name: str) -> type:
+    _ensure_builtin_domains()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise UnknownDomainError(
+            f"unknown abstract domain {name!r}; registered domains: {known}"
+        ) from None
+
+
+def create_domain(name: str, **knobs: object) -> "AbstractDomain":
+    """Instantiate the domain registered under ``name`` with the given knobs."""
+    return get_domain_class(name)(**knobs)
+
+
+def resolve_domain(domain: DomainLike) -> "AbstractDomain":
+    """Accept a registry name or a ready instance; return an instance.
+
+    Fresh instances are built from names on every call because domains may
+    carry per-check state (see the module docstring).
+    """
+    if isinstance(domain, str):
+        return create_domain(domain)
+    return domain

@@ -16,6 +16,21 @@ The registry stores classes, not instances: :func:`create_engine` builds a
 fresh engine per call, passing knobs straight to the dataclass constructor.
 Unknown knobs fail with ``TypeError`` from the constructor; unknown names
 fail with :class:`UnknownEngineError` listing the available engines.
+
+Runnable example:
+
+    >>> from repro.engine.registry import create_engine, engine_names
+    >>> sorted(engine_names())
+    ['nayFin', 'nayHorn', 'nayInt', 'naySL', 'nope']
+    >>> create_engine("naySL", seed=7).seed
+    7
+    >>> create_engine("naySL").check  # doctest: +ELLIPSIS
+    <bound method NaySL.check of NaySL(...)>
+
+(The reserved multi-engine strategies ``"portfolio"`` and ``"staged"`` are
+*not* registry entries — :mod:`repro.api.facade` dispatches them before the
+registry is consulted; :meth:`repro.api.Solver.available_engines` lists
+both views.)
 """
 
 from __future__ import annotations

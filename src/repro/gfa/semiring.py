@@ -7,6 +7,16 @@ semi-linear-set domain of §5.3 behind this interface (Prop. 5.8 states it is
 a commutative, idempotent, omega-continuous semiring); the interface also
 makes the Newton solver unit-testable on simpler semirings (e.g. the Boolean
 semiring or the "formal language of Parikh vectors" semiring used in tests).
+
+This is the *exact* half of the GFA abstraction seam.  The approximate half
+is :class:`repro.domains.base.AbstractDomain`: where a semiring supplies one
+``extend`` operation that every production is compiled into (which is what
+Newton differentiates), an abstract domain supplies a direct per-production
+``transfer`` plus widening — the right shape for lattices like intervals
+that have no meaningful multiplication.  The two seams meet in
+:mod:`repro.unreal`: the exact checkers solve semiring equation systems
+with Newton/Kleene, the approximate checker runs chaotic iteration over a
+registered domain (``docs/architecture/domains.md`` has the full picture).
 """
 
 from __future__ import annotations

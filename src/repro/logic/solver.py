@@ -366,7 +366,12 @@ def record_queries(sink: List[Formula]):
     try:
         yield sink
     finally:
-        _RECORDERS.remove(sink)
+        # Remove by identity, not equality: two active captures with equal
+        # contents (e.g. both still empty) must not unregister each other.
+        for index in range(len(_RECORDERS) - 1, -1, -1):
+            if _RECORDERS[index] is sink:
+                del _RECORDERS[index]
+                break
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,12 @@ Fixpoint workload groups:
   extend / star / simplify);
 * ``solve``   — end-to-end ``Solver.solve`` through the public api facade on
   a scaling benchmark (worklist strategy only; the facade always runs the
-  default strategy).
+  default strategy);
+* ``domains`` — the pluggable domain engines (``nayInt``, ``nayFin``) and
+  the ``staged`` strategy checking a fixed benchmark slate through the api
+  facade (worklist only).  The ``evaluations`` column records how many of
+  the slate's instances the engine decided, so a precision regression in a
+  cheap domain shows up in the artifact next to its timing.
 
 Fairness: the process-wide memo tables (GFA cache, simplification memos) are
 cleared before *every* timed repetition, so neither strategy warms the cache
@@ -200,6 +205,32 @@ def _solver_workload() -> Workload:
     return Workload("solve_end_to_end_chain14", "solve", run, strategies=(WORKLIST,))
 
 
+#: Benchmark slate the ``domains`` workloads check (cheap-domain-friendly
+#: instances plus one that forces escalation).
+DOMAIN_BENCH_SLATE = ("plane1", "guard1", "mpg_guard1", "max2")
+
+
+def _domain_engine_workload(engine_name: str) -> Workload:
+    from repro.api import Solver
+
+    def run(strategy: str) -> FixpointStats:
+        del strategy
+        solver = Solver(engine=engine_name, timeout_seconds=120.0)
+        decided = 0
+        for benchmark in DOMAIN_BENCH_SLATE:
+            response = solver.check(benchmark)
+            assert response.error is None, response.error
+            assert response.verdict != "realizable", (
+                f"{engine_name} claimed realizable on {benchmark}"
+            )
+            decided += response.verdict == "unrealizable"
+        return FixpointStats(WORKLIST, 0, decided)
+
+    return Workload(
+        f"domains_{engine_name}", "domains", run, strategies=(WORKLIST,)
+    )
+
+
 def default_workloads(quick: bool = False) -> List[Workload]:
     """The standard suite; ``quick`` shrinks the sweep for CI smoke runs."""
     kleene_sizes = [64] if quick else [64, 256, 1024]
@@ -243,6 +274,8 @@ def default_workloads(quick: bool = False) -> List[Workload]:
             )
         )
     workloads.append(_solver_workload())
+    for engine_name in ("nayInt", "nayFin", "staged"):
+        workloads.append(_domain_engine_workload(engine_name))
     return workloads
 
 

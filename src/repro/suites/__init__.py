@@ -27,7 +27,12 @@ from repro.suites.limited_plus import limited_plus_suite
 from repro.suites.limited_if import limited_if_suite
 from repro.suites.limited_const import limited_const_suite
 from repro.suites.scaling import scaling_suite
-from repro.suites.registry import all_benchmarks, benchmarks_by_suite, get_benchmark
+from repro.suites.registry import (
+    all_benchmarks,
+    benchmark_examples,
+    benchmarks_by_suite,
+    get_benchmark,
+)
 
 __all__ = [
     "Benchmark",
@@ -36,6 +41,7 @@ __all__ = [
     "limited_const_suite",
     "scaling_suite",
     "all_benchmarks",
+    "benchmark_examples",
     "benchmarks_by_suite",
     "get_benchmark",
 ]

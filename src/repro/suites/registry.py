@@ -32,6 +32,24 @@ def all_benchmarks(include_scaling: bool = False) -> List[Benchmark]:
     return collected
 
 
+def benchmark_examples(benchmark: Benchmark, fallback_count: int = 1):
+    """The example set a deterministic sweep runs a benchmark on.
+
+    The recorded witness examples when the benchmark has them (93 of the
+    141 suite benchmarks do), otherwise a seeded deterministic set of
+    ``fallback_count`` examples over the problem's variables — the shape
+    the differential soundness tests and the capability matrix use, so
+    "all 141 benchmarks" means the same thing everywhere.
+    """
+    from repro.semantics.examples import ExampleSet
+
+    if benchmark.witness_examples is not None:
+        return benchmark.witness_examples
+    return ExampleSet().resized(
+        benchmark.problem.variables, fallback_count, seed=0
+    )
+
+
 def get_benchmark(name: str, suite: Optional[str] = None) -> Benchmark:
     """Look a benchmark up by name (optionally disambiguated by suite)."""
     matches = [

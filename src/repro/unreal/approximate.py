@@ -1,27 +1,29 @@
-"""The approximate instantiation of the framework (§4.3).
+"""The approximate instantiation of the framework (§4.3), domain-generic.
 
 The paper's generic recipe for arbitrary SyGuS problems is: pick any abstract
 domain, solve the GFA equations with Kleene iteration (adding a widening
 operator when the domain has infinite ascending chains), and run Alg. 1's
 final check.  The result is sound but incomplete — ``UNREALIZABLE`` answers
-are trustworthy, everything else is ``UNKNOWN``.
+are trustworthy; everything else is ``UNKNOWN`` unless the domain stayed
+exact (in which case ``REALIZABLE`` is also trustworthy, Thm. 4.5(2)).
 
-This module instantiates that recipe with the reduced product of intervals
-and congruences per example component (:mod:`repro.domains.numeric`) for
-integer nonterminals and exact Boolean-vector sets for Boolean nonterminals.
-It is the engine behind the NayHorn and NOPE substitutes
-(:mod:`repro.baselines`): Spacer-style constrained-Horn-clause solving is not
-available offline, and DESIGN.md documents this substitution.
+This module owns the *solver*: generic chaotic iteration with widening over
+any :class:`~repro.domains.base.AbstractDomain`, resolved by registry name
+(:mod:`repro.domains.registry`).  The abstractions themselves live in
+:mod:`repro.domains` — ``"numeric"`` (the interval x congruence reduced
+product, default, and the engine behind the NayHorn/NOPE Spacer substitutes;
+see DESIGN.md), ``"interval"`` (plain boxes, solver-free check),
+``"powerset"`` (exact finite behavior sets), and ``"product"`` (the generic
+reduced-product combinator).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict
 
-from repro.domains.boolvectors import BoolVectorSet
-from repro.domains.numeric import Interval, Congruence, ProductValue
+from repro.domains.registry import DomainLike, resolve_domain
 from repro.engine.cache import get_cache
 from repro.gfa.fixpoint import (
     DENSE,
@@ -32,28 +34,28 @@ from repro.gfa.fixpoint import (
     solve_dense,
     solve_worklist,
 )
-from repro.grammar.alphabet import Sort
 from repro.grammar.analysis import productive_nonterminals
-from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
-from repro.unreal.check import check_unrealizable
 from repro.unreal.result import CheckResult, Verdict
-from repro.utils.errors import SemanticsError, SolverLimitError
-from repro.utils.vectors import BoolVector, IntVector
+from repro.utils.errors import SolverLimitError
 
-AbstractValue = Union[ProductValue, BoolVectorSet]
+#: The abstraction used when no domain is requested: the interval x
+#: congruence reduced product the repo has always shipped.
+DEFAULT_DOMAIN = "numeric"
 
 
 @dataclass
 class AbstractSolution:
     """Fixpoint of the approximate GFA problem."""
 
-    start_value: ProductValue
-    values: Dict[Nonterminal, AbstractValue]
+    start_value: object
+    values: Dict[Nonterminal, object]
     iterations: int
     solve_seconds: float
     evaluations: int = 0
+    domain: str = DEFAULT_DOMAIN
 
 
 def solve_abstract_gfa(
@@ -62,30 +64,34 @@ def solve_abstract_gfa(
     widening_delay: int = 6,
     max_iterations: int = 500,
     strategy: str = WORKLIST,
-) -> AbstractSolution:
-    """Chaotic iteration with widening over the product domain.
+    domain: DomainLike = DEFAULT_DOMAIN,
+):
+    """Chaotic iteration with widening over a pluggable abstract domain.
 
-    The default worklist strategy only re-evaluates a nonterminal when one of
-    the nonterminals its productions mention changed; ``"dense"`` sweeps every
+    ``domain`` is a registry name or a ready
+    :class:`~repro.domains.base.AbstractDomain` instance.  The default
+    worklist strategy only re-evaluates a nonterminal when one of the
+    nonterminals its productions mention changed; ``"dense"`` sweeps every
     nonterminal every round (debug fallback / perf baseline).
     """
     check_strategy(strategy)
+    abstraction = resolve_domain(domain)
     normalized = get_cache().normalized(grammar)
     dimension = len(examples)
-    initial: Dict[Nonterminal, AbstractValue] = {}
-    for nonterminal in normalized.nonterminals:
-        if nonterminal.sort == Sort.BOOL:
-            initial[nonterminal] = BoolVectorSet.empty(dimension)
-        else:
-            initial[nonterminal] = ProductValue.bottom(dimension)
+    initial: Dict[Nonterminal, object] = {
+        nonterminal: abstraction.bottom(nonterminal.sort, dimension)
+        for nonterminal in normalized.nonterminals
+    }
 
     def step(nonterminal, values, visit):
         accumulated = values[nonterminal]
         for production in normalized.productions_of(nonterminal):
-            result = _apply_production(production, values, examples)
-            accumulated = _join(accumulated, result)
-        if visit > widening_delay and isinstance(accumulated, ProductValue):
-            accumulated = values[nonterminal].widen(accumulated)  # type: ignore[union-attr]
+            result = abstraction.transfer(
+                production, [values[arg] for arg in production.args], examples
+            )
+            accumulated = abstraction.join(accumulated, result)
+        if visit > widening_delay:
+            accumulated = abstraction.widen(values[nonterminal], accumulated)
         return accumulated
 
     keys = list(normalized.nonterminals)
@@ -93,7 +99,7 @@ def solve_abstract_gfa(
     try:
         if strategy == DENSE:
             values, stats = solve_dense(
-                keys, initial, step, _equal, max_iterations=max_iterations
+                keys, initial, step, abstraction.equal, max_iterations=max_iterations
             )
         else:
             dependencies = {
@@ -108,18 +114,20 @@ def solve_abstract_gfa(
                 keys,
                 initial,
                 step,
-                _equal,
+                abstraction.equal,
                 invert_dependencies(dependencies),
                 max_visits=max_iterations,
             )
     except FixpointDivergenceError as error:
         raise SolverLimitError("abstract fixpoint iteration did not converge") from error
     elapsed = time.monotonic() - start_time
-    start_value = values[normalized.start]
-    if not isinstance(start_value, ProductValue):
-        raise SemanticsError("the start nonterminal must be integer-sorted")
     return AbstractSolution(
-        start_value, values, stats.iterations, elapsed, stats.evaluations
+        values[normalized.start],
+        values,
+        stats.iterations,
+        elapsed,
+        stats.evaluations,
+        domain=abstraction.name,
     )
 
 
@@ -127,8 +135,15 @@ def check_examples_abstract(
     problem: SyGuSProblem,
     examples: ExampleSet,
     strategy: str = WORKLIST,
+    domain: DomainLike = DEFAULT_DOMAIN,
 ) -> CheckResult:
-    """Alg. 1 with the approximate domain: sound, never claims REALIZABLE."""
+    """Alg. 1 with an approximate domain: sound ``UNREALIZABLE`` answers.
+
+    ``REALIZABLE`` (on the given examples) is only ever returned by domains
+    that certify exactness for the whole solve (the powerset domain below
+    its cap); inexact domains answer ``UNKNOWN`` instead.
+    """
+    abstraction = resolve_domain(domain)
     if len(examples) == 0:
         productive = productive_nonterminals(problem.grammar)
         verdict = (
@@ -137,138 +152,26 @@ def check_examples_abstract(
             else Verdict.UNREALIZABLE
         )
         return CheckResult(verdict=verdict, examples=examples)
-    solution = solve_abstract_gfa(problem.grammar, examples, strategy=strategy)
-    result = check_unrealizable(
-        solution.start_value,
-        problem.spec,
-        examples,
-        exact=False,
+    early = abstraction.pre_check(examples)
+    if early is not None:
+        return early
+    solution = solve_abstract_gfa(
+        problem.grammar, examples, strategy=strategy, domain=abstraction
     )
+    result = abstraction.check(solution.start_value, problem.spec, examples)
     result.details["iterations"] = solution.iterations
     result.details["gfa_seconds"] = solution.solve_seconds
     result.details["gfa_evaluations"] = solution.evaluations
+    result.details["domain"] = abstraction.name
     return result
 
 
-# ---------------------------------------------------------------------------
-# Abstract transformers over the product domain
-# ---------------------------------------------------------------------------
+def _equal(left: object, right: object) -> bool:
+    """Backward-compatible equality over the default numeric domain's values.
 
+    Kept for the fixpoint tests that cross-check strategies; new code should
+    use the domain's own ``equal``.
+    """
+    from repro.domains.product import NumericProductDomain
 
-def _apply_production(
-    production: Production,
-    values: Dict[Nonterminal, AbstractValue],
-    examples: ExampleSet,
-) -> AbstractValue:
-    name = production.symbol.name
-    payload = production.symbol.payload
-    dimension = len(examples)
-    args = [values[arg] for arg in production.args]
-
-    if name == "Num":
-        return ProductValue.constant(IntVector.constant(int(payload), dimension))
-    if name == "Var":
-        return ProductValue.constant(examples.projection(str(payload)))
-    if name == "NegVar":
-        return ProductValue.constant(-examples.projection(str(payload)))
-    if name == "BoolConst":
-        return BoolVectorSet.singleton(BoolVector.constant(bool(payload), dimension))
-    if name == "Pass":
-        return args[0]
-    if name == "Plus":
-        result = args[0]
-        for arg in args[1:]:
-            result = result.add(arg)  # type: ignore[union-attr]
-        return result
-    if name == "IfThenElse":
-        guards, then_value, else_value = args
-        assert isinstance(guards, BoolVectorSet)
-        assert isinstance(then_value, ProductValue) and isinstance(else_value, ProductValue)
-        result = ProductValue.bottom(dimension)
-        for guard in guards:
-            result = result.join(then_value.select(guard, else_value))
-        return result
-    if name == "And":
-        return args[0].conjoin(args[1])  # type: ignore[union-attr]
-    if name == "Or":
-        return args[0].disjoin(args[1])  # type: ignore[union-attr]
-    if name == "Not":
-        return args[0].negate()  # type: ignore[union-attr]
-    if name in ("LessThan", "LessEq", "GreaterThan", "GreaterEq", "Equal"):
-        left, right = args
-        assert isinstance(left, ProductValue) and isinstance(right, ProductValue)
-        return _abstract_comparison(name, left, right, dimension)
-    raise SemanticsError(f"no approximate transformer for operator {name}")
-
-
-def _abstract_comparison(
-    name: str, left: ProductValue, right: ProductValue, dimension: int
-) -> BoolVectorSet:
-    """Which truth-value vectors can the comparison take?  (interval reasoning)"""
-    if left.is_empty() or right.is_empty():
-        return BoolVectorSet.empty(dimension)
-    per_component = []
-    for index in range(dimension):
-        per_component.append(
-            _component_truth_values(
-                name, left.intervals[index], right.intervals[index]
-            )
-        )
-    vectors = [BoolVector(())] if dimension == 0 else None
-    results = [[]]
-    for component in per_component:
-        results = [prefix + [value] for prefix in results for value in component]
-    return BoolVectorSet([BoolVector(bits) for bits in results], dimension)
-
-
-def _component_truth_values(name: str, left: Interval, right: Interval) -> list:
-    """Possible truth values of ``left <cmp> right`` from interval bounds."""
-    def lower(interval: Interval) -> float:
-        return float("-inf") if interval.low is None else interval.low
-
-    def upper(interval: Interval) -> float:
-        return float("inf") if interval.high is None else interval.high
-
-    outcomes = set()
-    if name == "LessThan":
-        if lower(left) < upper(right):
-            outcomes.add(True)
-        if upper(left) >= lower(right):
-            outcomes.add(False)
-    elif name == "LessEq":
-        if lower(left) <= upper(right):
-            outcomes.add(True)
-        if upper(left) > lower(right):
-            outcomes.add(False)
-    elif name == "GreaterThan":
-        if upper(left) > lower(right):
-            outcomes.add(True)
-        if lower(left) <= upper(right):
-            outcomes.add(False)
-    elif name == "GreaterEq":
-        if upper(left) >= lower(right):
-            outcomes.add(True)
-        if lower(left) < upper(right):
-            outcomes.add(False)
-    else:  # Equal
-        if lower(left) <= upper(right) and lower(right) <= upper(left):
-            outcomes.add(True)
-        if not (
-            lower(left) == upper(left) == lower(right) == upper(right)
-        ):
-            outcomes.add(False)
-    return sorted(outcomes)
-
-
-def _join(left: AbstractValue, right: AbstractValue) -> AbstractValue:
-    if isinstance(left, ProductValue) and isinstance(right, ProductValue):
-        return left.join(right)
-    if isinstance(left, BoolVectorSet) and isinstance(right, BoolVectorSet):
-        return left.combine(right)
-    raise SemanticsError("cannot join values of different sorts")
-
-
-def _equal(left: AbstractValue, right: AbstractValue) -> bool:
-    if isinstance(left, ProductValue) and isinstance(right, ProductValue):
-        return left.leq(right) and right.leq(left)
-    return left == right
+    return NumericProductDomain().equal(left, right)

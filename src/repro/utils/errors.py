@@ -51,6 +51,14 @@ class SolverLimitError(SolverError):
     """
 
 
+class UnknownDomainError(ReproError):
+    """Raised when an abstract-domain name is not present in the registry.
+
+    The analogue of :class:`repro.engine.registry.UnknownEngineError` for
+    :mod:`repro.domains.registry`.
+    """
+
+
 class SyGuSParseError(ReproError):
     """Raised when a SyGuS-IF input cannot be parsed."""
 

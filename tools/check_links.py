@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Check intra-repo Markdown links for dangling targets.
+
+Scans the documentation surface (README.md, DESIGN.md, CHANGES.md,
+PAPER.md, PAPERS.md, and everything under docs/) for inline Markdown links
+``[text](target)`` and fails when a *relative* target does not resolve to a
+file or directory in the repository.  External links (``http(s)://``,
+``mailto:``) are ignored — this guard is about repo self-consistency, not
+the internet.  Fragments are checked for Markdown targets: ``page.md#anchor``
+must match a heading in ``page.md`` (GitHub slugging rules, approximately).
+
+Usage::
+
+    python tools/check_links.py [root]
+
+Exit status is the number of dangling links (0 = healthy), so CI can run it
+directly.  Stdlib only, like everything else in this repo.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline Markdown links; deliberately simple (no reference-style links are
+#: used in this repo) but careful to stop at the first closing parenthesis.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, for anchor checking.
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def documentation_files(root: Path) -> List[Path]:
+    files = [
+        root / name
+        for name in ("README.md", "DESIGN.md", "CHANGES.md", "PAPER.md", "PAPERS.md")
+        if (root / name).exists()
+    ]
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug, close enough for this repo's docs."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    return [github_slug(match) for match in HEADING_PATTERN.findall(path.read_text())]
+
+
+def check_file(path: Path, root: Path) -> Iterable[Tuple[Path, str, str]]:
+    """Yield ``(source, target, reason)`` for every dangling link in one file."""
+    for target in LINK_PATTERN.findall(path.read_text()):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-file anchor
+            if fragment and github_slug(fragment) not in heading_slugs(path):
+                yield path, target, "no such heading in this file"
+            continue
+        resolved = (path.parent / base).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            yield path, target, "escapes the repository"
+            continue
+        if not resolved.exists():
+            yield path, target, "no such file or directory"
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                yield path, target, f"no heading #{fragment} in {base}"
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    dangling = []
+    files = documentation_files(root)
+    for path in files:
+        dangling.extend(check_file(path, root))
+    for source, target, reason in dangling:
+        print(f"{source.relative_to(root)}: ({target}) -> {reason}")
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{len(dangling)} dangling link(s)"
+    )
+    return len(dangling)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
