@@ -206,6 +206,19 @@ def run_engine(
         key: value - counters_before.get(key, 0)
         for key, value in runtime_counters().items()
     }
+    # Domains surface their effective knobs (e.g. the powerset example cap)
+    # through details["domain_stats"]; fold the integer entries into
+    # solver_stats so clients see them next to the logic-core counters.
+    if isinstance(details, dict):
+        domain_stats = details.pop("domain_stats", None)
+        if isinstance(domain_stats, dict):
+            solver_stats.update(
+                {
+                    key: value
+                    for key, value in domain_stats.items()
+                    if isinstance(value, int)
+                }
+            )
 
     return SolveResponse(
         verdict=verdict.value,

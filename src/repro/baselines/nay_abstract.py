@@ -23,7 +23,7 @@ the ``staged`` strategy (:mod:`repro.api.portfolio`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.domains.registry import create_domain
 from repro.engine.base import EngineConfigMixin
@@ -50,9 +50,15 @@ class NayAbstractDomain(EngineConfigMixin):
     def name(self) -> str:
         return self.registry_name  # type: ignore[attr-defined]
 
+    def domain_knobs(self) -> Dict[str, object]:
+        """Constructor knobs forwarded to ``create_domain`` (engine-specific)."""
+        return {}
+
     def check(self, problem: SyGuSProblem, examples: ExampleSet) -> CheckResult:
         return check_examples_abstract(
-            problem, examples, domain=create_domain(self.domain)
+            problem,
+            examples,
+            domain=create_domain(self.domain, **self.domain_knobs()),
         )
 
     def solve(
@@ -81,6 +87,22 @@ class NayInt(NayAbstractDomain):
 @register_engine("nayFin")
 @dataclass
 class NayFin(NayAbstractDomain):
-    """NAY over exact finite behavior sets (two-sided below the cap)."""
+    """NAY over exact finite behavior sets (two-sided below the cap).
+
+    ``cap`` and ``max_examples`` pass through to
+    ``powerset(cap=..., max_examples=...)``: the former bounds the behavior
+    sets (widening to TOP), the latter the example count the domain attempts
+    before bailing out ``UNKNOWN``.  ``None`` keeps the domain defaults.
+    """
 
     domain: str = "powerset"
+    cap: Optional[int] = None
+    max_examples: Optional[int] = None
+
+    def domain_knobs(self) -> Dict[str, object]:
+        knobs: Dict[str, object] = {}
+        if self.cap is not None:
+            knobs["cap"] = int(self.cap)
+        if self.max_examples is not None:
+            knobs["max_examples"] = int(self.max_examples)
+        return knobs

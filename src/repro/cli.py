@@ -17,8 +17,9 @@ Subcommands:
   and staged strategies);
 * ``domains``               — list the registered abstract domains;
 * ``experiments <name>``    — shorthand for ``python -m repro.experiments``;
-* ``bench``                 — run the fixpoint perf harness (worklist vs
-  dense strategies) and write the versioned ``BENCH_fixpoint.json`` artifact.
+* ``bench``                 — run a perf harness (``--suite fixpoint``,
+  ``logic``, ``domains`` or ``all``) and write its versioned
+  ``BENCH_*.json`` artifact.
 
 ``solve``, ``check`` and ``batch`` accept ``--json`` to emit the versioned
 wire format (:mod:`repro.api.wire`) instead of text.  All solving resolves
@@ -147,11 +148,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=["fixpoint", "logic", "all"],
+        choices=["fixpoint", "logic", "domains", "all"],
         default="fixpoint",
         help="fixpoint: worklist-vs-dense strategies (BENCH_fixpoint.json); "
         "logic: incremental DPLL(T) core vs the pre-rewrite solver "
-        "(BENCH_logic.json); all: both",
+        "(BENCH_logic.json); domains: the columnar evaluation core over an "
+        "example-count sweep (BENCH_domains.json); all: every suite",
     )
     bench.add_argument(
         "--repeat", type=int, default=3, help="timed repetitions per measurement"
@@ -215,7 +217,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro import perf
 
         suites = (
-            ["fixpoint", "logic"] if arguments.suite == "all" else [arguments.suite]
+            ["fixpoint", "logic", "domains"]
+            if arguments.suite == "all"
+            else [arguments.suite]
         )
         if arguments.out is not None and len(suites) > 1:
             print("--out requires a single --suite", file=sys.stderr)
@@ -227,6 +231,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 print(perf.render_report(report))
                 default_path = perf.DEFAULT_BENCH_PATH
+            elif suite == "domains":
+                report = perf.run_domains_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_domains_report(report))
+                default_path = perf.DEFAULT_DOMAINS_BENCH_PATH
             else:
                 report = perf.run_logic_suite(
                     repetitions=arguments.repeat, quick=arguments.quick

@@ -5,6 +5,12 @@ in ``B^d``; the abstraction of a Boolean nonterminal is the *set* of vectors
 its terms can produce (§6.2).  The domain is finite (at most ``2^d``
 elements), which is what makes the iterative algorithms SolveBool (§6.3) and
 SolveMutual (§6.4) terminate.
+
+The pairwise transfers (``And#``/``Or#``/``Not#``) run over the vectors'
+*packed* representation: each interned :class:`BoolVector` caches its bits
+as one Python int, so an element-wise conjunction over a ``d``-example pair
+is a single ``&`` instead of a ``d``-step loop, and results are deduplicated
+as ints before any vector object is interned.
 """
 
 from __future__ import annotations
@@ -41,6 +47,14 @@ class BoolVectorSet:
     def top(dimension: int) -> "BoolVectorSet":
         """All 2^dimension vectors (used by the approximate mode)."""
         return BoolVectorSet(BoolVector.enumerate_all(dimension), dimension)
+
+    @staticmethod
+    def from_packed(bit_patterns: Iterable[int], dimension: int) -> "BoolVectorSet":
+        """Build from deduplicated packed bit patterns (transfer results)."""
+        return BoolVectorSet(
+            [BoolVector.from_packed(bits, dimension) for bits in bit_patterns],
+            dimension,
+        )
 
     # -- accessors -----------------------------------------------------------
 
@@ -89,19 +103,26 @@ class BoolVectorSet:
 
     def negate(self) -> "BoolVectorSet":
         """``Not#``: element-wise negation of every vector."""
-        return BoolVectorSet({~vector for vector in self._vectors}, self._dimension)
+        full = (1 << self._dimension) - 1
+        return BoolVectorSet.from_packed(
+            {~vector.bits & full for vector in self._vectors}, self._dimension
+        )
 
     def conjoin(self, other: "BoolVectorSet") -> "BoolVectorSet":
-        """``And#``: element-wise conjunction over all pairs."""
-        return BoolVectorSet(
-            {left & right for left in self._vectors for right in other._vectors},
+        """``And#``: element-wise conjunction over all pairs (packed)."""
+        left_bits = [vector.bits for vector in self._vectors]
+        right_bits = [vector.bits for vector in other._vectors]
+        return BoolVectorSet.from_packed(
+            {a & b for a in left_bits for b in right_bits},
             max(self._dimension, other._dimension),
         )
 
     def disjoin(self, other: "BoolVectorSet") -> "BoolVectorSet":
-        """``Or#``: element-wise disjunction over all pairs."""
-        return BoolVectorSet(
-            {left | right for left in self._vectors for right in other._vectors},
+        """``Or#``: element-wise disjunction over all pairs (packed)."""
+        left_bits = [vector.bits for vector in self._vectors]
+        right_bits = [vector.bits for vector in other._vectors]
+        return BoolVectorSet.from_packed(
+            {a | b for a in left_bits for b in right_bits},
             max(self._dimension, other._dimension),
         )
 

@@ -11,6 +11,17 @@ one-variable QF-LIA formula per example, which
 :func:`satisfiable_on_interval` does by evaluating the formula at the finite
 set of threshold points of its atoms.
 
+A :class:`Box` is stored struct-of-arrays: one column of lower bounds and
+one of upper bounds (±inf encodes an unbounded end, an empty component is
+normalised to ``(+inf, -inf)`` so that the column ``min``/``max`` sweeps of
+``join`` are correct without per-component branching).  The columns are
+owned by the :mod:`repro.utils.columns` backend the box was built under —
+whole-box ``join``/``widen``/``add``/``leq``/``select``/``contains`` are
+single sweeps, and the per-component :class:`Interval` tuple is materialised
+only on demand (``.intervals``, pickling, printing).  Bounds beyond the
+numpy backend's exact float64 integer range fall back to the pure-Python
+ops, so results are bit-identical across backends.
+
 The truth-value analysis of comparisons between intervals
 (:func:`component_truth_values`) lives here because it is interval logic;
 the ``numeric`` reduced product reuses it for its interval component.
@@ -19,70 +30,167 @@ the ``numeric`` reduced product reuses it for its interval component.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.domains.base import ExampleVectorDomain, masked_ite_join
 from repro.domains.boolvectors import BoolVectorSet
 from repro.domains.numeric import Interval
 from repro.domains.registry import register_domain
-from repro.logic.formulas import And, Atom, BoolLit, Formula, Not, Or
+from repro.logic.formulas import And, Atom, BoolLit, Comparison, Formula, Not, Or
 from repro.logic.terms import LinearExpression
 from repro.semantics.examples import ExampleSet
 from repro.sygus.spec import Specification
 from repro.unreal.result import CheckResult, Verdict
+from repro.utils.columns import (
+    NEG_INF,
+    POS_INF,
+    PYTHON_OPS,
+    Bound,
+    ColumnOps,
+    ColumnOverflowError,
+    active_ops,
+)
 from repro.utils.errors import SemanticsError
 from repro.utils.vectors import BoolVector, IntVector
 
 
-@dataclass(frozen=True)
-class Box:
-    """A product of intervals, one per example component."""
+def _interval_bounds(
+    intervals: Sequence[Interval],
+) -> Tuple[Tuple[Bound, ...], Tuple[Bound, ...]]:
+    """Canonical bound tuples, empties normalised to ``(+inf, -inf)``."""
+    lo: List[Bound] = []
+    hi: List[Bound] = []
+    for interval in intervals:
+        if interval.is_empty():
+            lo.append(POS_INF)
+            hi.append(NEG_INF)
+        else:
+            lo.append(NEG_INF if interval.low is None else interval.low)
+            hi.append(POS_INF if interval.high is None else interval.high)
+    return tuple(lo), tuple(hi)
 
-    intervals: Tuple[Interval, ...]
+
+def _bounds_interval(low: Bound, high: Bound) -> Interval:
+    if low > high:
+        return Interval.empty()
+    return Interval(
+        None if low == NEG_INF else int(low),
+        None if high == POS_INF else int(high),
+    )
+
+
+class Box:
+    """A product of intervals, one per example component (struct-of-arrays)."""
+
+    __slots__ = ("_lo", "_hi", "_ops", "_dimension", "_intervals", "__weakref__")
+
+    def __init__(self, intervals: Sequence[Interval]):
+        intervals = tuple(intervals)
+        lo, hi = _interval_bounds(intervals)
+        ops = active_ops()
+        try:
+            self._lo = ops.bound_column(lo)
+            self._hi = ops.bound_column(hi)
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            self._lo = lo
+            self._hi = hi
+        self._ops = ops
+        self._dimension = len(intervals)
+        self._intervals = intervals
+
+    @classmethod
+    def _from_columns(cls, lo, hi, ops: ColumnOps, dimension: int) -> "Box":
+        box = object.__new__(cls)
+        box._lo = lo
+        box._hi = hi
+        box._ops = ops
+        box._dimension = dimension
+        box._intervals = None
+        return box
 
     @staticmethod
     def bottom(dimension: int) -> "Box":
-        return Box(tuple(Interval.empty() for _ in range(dimension)))
+        ops = active_ops()
+        return Box._from_columns(
+            ops.bound_column((POS_INF,) * dimension),
+            ops.bound_column((NEG_INF,) * dimension),
+            ops,
+            dimension,
+        )
 
     @staticmethod
     def constant(vector: IntVector) -> "Box":
-        return Box(tuple(Interval.constant(value) for value in vector))
+        bounds = tuple(vector.values)
+        ops = active_ops()
+        try:
+            lo = ops.bound_column(bounds)
+            hi = ops.bound_column(bounds)
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            lo = hi = bounds
+        return Box._from_columns(lo, hi, ops, len(bounds))
 
     @property
     def dimension(self) -> int:
-        return len(self.intervals)
+        return self._dimension
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The per-component intervals (materialised once, on demand)."""
+        if self._intervals is None:
+            lo = self._ops.bound_tuple(self._lo)
+            hi = self._ops.bound_tuple(self._hi)
+            self._intervals = tuple(map(_bounds_interval, lo, hi))
+        return self._intervals
+
+    def _aligned(self, other: "Box"):
+        """Both boxes' columns under one ops (mixed backends meet on python)."""
+        if self._ops is other._ops:
+            return self._ops, self._lo, self._hi, other._lo, other._hi
+        a_lo, a_hi = _interval_bounds(self.intervals)
+        b_lo, b_hi = _interval_bounds(other.intervals)
+        return PYTHON_OPS, a_lo, a_hi, b_lo, b_hi
 
     def is_empty(self) -> bool:
-        return any(interval.is_empty() for interval in self.intervals)
+        return self._ops.iv_any_empty(self._lo, self._hi)
 
     def join(self, other: "Box") -> "Box":
-        return Box(tuple(a.join(b) for a, b in zip(self.intervals, other.intervals)))
+        ops, a_lo, a_hi, b_lo, b_hi = self._aligned(other)
+        lo, hi = ops.iv_join(a_lo, a_hi, b_lo, b_hi)
+        return Box._from_columns(lo, hi, ops, self._dimension)
 
     def widen(self, other: "Box") -> "Box":
-        return Box(tuple(a.widen(b) for a, b in zip(self.intervals, other.intervals)))
+        ops, a_lo, a_hi, b_lo, b_hi = self._aligned(other)
+        lo, hi = ops.iv_widen(a_lo, a_hi, b_lo, b_hi)
+        return Box._from_columns(lo, hi, ops, self._dimension)
 
     def add(self, other: "Box") -> "Box":
-        return Box(tuple(a.add(b) for a, b in zip(self.intervals, other.intervals)))
+        ops, a_lo, a_hi, b_lo, b_hi = self._aligned(other)
+        lo, hi = ops.iv_add(a_lo, a_hi, b_lo, b_hi)
+        return Box._from_columns(lo, hi, ops, self._dimension)
 
     def leq(self, other: "Box") -> bool:
-        return all(a.leq(b) for a, b in zip(self.intervals, other.intervals))
+        ops, a_lo, a_hi, b_lo, b_hi = self._aligned(other)
+        return ops.iv_leq(a_lo, a_hi, b_lo, b_hi)
 
     def select(self, mask: BoolVector, other: "Box") -> "Box":
         """Per-component choice: keep ``self`` where the mask is true."""
-        return Box(
-            tuple(
-                a if keep else b
-                for a, b, keep in zip(self.intervals, other.intervals, mask)
-            )
-        )
+        ops, a_lo, a_hi, b_lo, b_hi = self._aligned(other)
+        keep = mask.column(ops) if ops is not PYTHON_OPS else mask.values
+        lo, hi = ops.iv_select(keep, a_lo, a_hi, b_lo, b_hi)
+        return Box._from_columns(lo, hi, ops, self._dimension)
 
     def contains(self, vector: IntVector) -> bool:
-        return all(
-            interval.contains(value)
-            for interval, value in zip(self.intervals, vector)
-        )
+        ops = self._ops
+        try:
+            values = ops.bound_column(vector.values)
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            lo, hi = _interval_bounds(self.intervals)
+            return ops.iv_contains(lo, hi, vector.values)
+        return ops.iv_contains(self._lo, self._hi, values)
 
     def symbolic(self, outputs: Sequence[LinearExpression]) -> Formula:
         """gamma_hat as a QF-LIA formula (for interoperability; unused by
@@ -96,8 +204,22 @@ class Box:
             ]
         )
 
+    def __reduce__(self):
+        return (Box, (self.intervals,))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Box) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(("Box", self.intervals))
+
     def __str__(self) -> str:
         return "<" + ", ".join(str(interval) for interval in self.intervals) + ">"
+
+    def __repr__(self) -> str:
+        return f"Box(intervals={self.intervals!r})"
 
 
 # ---------------------------------------------------------------------------
@@ -107,40 +229,35 @@ class Box:
 
 def component_truth_values(name: str, left: Interval, right: Interval) -> List[bool]:
     """Possible truth values of ``left <cmp> right`` from interval bounds."""
-
-    def lower(interval: Interval) -> float:
-        return float("-inf") if interval.low is None else interval.low
-
-    def upper(interval: Interval) -> float:
-        return float("inf") if interval.high is None else interval.high
-
+    (a_lo,), (a_hi,) = _interval_bounds([left])
+    (b_lo,), (b_hi,) = _interval_bounds([right])
+    can_true, can_false = PYTHON_OPS.iv_compare_masks(
+        name, (a_lo,), (a_hi,), (b_lo,), (b_hi,)
+    )
     outcomes: Set[bool] = set()
-    if name == "LessThan":
-        if lower(left) < upper(right):
-            outcomes.add(True)
-        if upper(left) >= lower(right):
-            outcomes.add(False)
-    elif name == "LessEq":
-        if lower(left) <= upper(right):
-            outcomes.add(True)
-        if upper(left) > lower(right):
-            outcomes.add(False)
-    elif name == "GreaterThan":
-        if upper(left) > lower(right):
-            outcomes.add(True)
-        if lower(left) <= upper(right):
-            outcomes.add(False)
-    elif name == "GreaterEq":
-        if upper(left) >= lower(right):
-            outcomes.add(True)
-        if lower(left) < upper(right):
-            outcomes.add(False)
-    else:  # Equal
-        if lower(left) <= upper(right) and lower(right) <= upper(left):
-            outcomes.add(True)
-        if not (lower(left) == upper(left) == lower(right) == upper(right)):
-            outcomes.add(False)
+    if can_true[0]:
+        outcomes.add(True)
+    if can_false[0]:
+        outcomes.add(False)
     return sorted(outcomes)
+
+
+def _truth_vectors_from_masks(
+    can_true: Sequence[bool], can_false: Sequence[bool], dimension: int
+) -> BoolVectorSet:
+    """Cartesian product of per-component outcomes, as packed bit patterns."""
+    packed: List[int] = [0]
+    for index in range(dimension):
+        bit = 1 << index
+        if can_true[index] and can_false[index]:
+            packed.extend([bits | bit for bits in packed])
+        elif can_true[index]:
+            packed = [bits | bit for bits in packed]
+        elif not can_false[index]:
+            return BoolVectorSet.empty(dimension)
+    return BoolVectorSet(
+        [BoolVector.from_packed(bits, dimension) for bits in packed], dimension
+    )
 
 
 def interval_comparison(
@@ -150,14 +267,19 @@ def interval_comparison(
     dimension: int,
 ) -> BoolVectorSet:
     """``<cmp>#`` over interval components: the set of reachable truth vectors."""
-    per_component = [
-        component_truth_values(name, left_intervals[index], right_intervals[index])
-        for index in range(dimension)
-    ]
-    results: List[List[bool]] = [[]]
-    for component in per_component:
-        results = [prefix + [value] for prefix in results for value in component]
-    return BoolVectorSet([BoolVector(bits) for bits in results], dimension)
+    a_lo, a_hi = _interval_bounds(left_intervals)
+    b_lo, b_hi = _interval_bounds(right_intervals)
+    can_true, can_false = PYTHON_OPS.iv_compare_masks(name, a_lo, a_hi, b_lo, b_hi)
+    return _truth_vectors_from_masks(can_true, can_false, dimension)
+
+
+def _box_comparison(name: str, left: Box, right: Box, dimension: int) -> BoolVectorSet:
+    """The whole-box comparison: both masks in one column sweep each."""
+    ops, a_lo, a_hi, b_lo, b_hi = left._aligned(right)
+    can_true, can_false = ops.iv_compare_masks(name, a_lo, a_hi, b_lo, b_hi)
+    return _truth_vectors_from_masks(
+        ops.bool_tuple(can_true), ops.bool_tuple(can_false), dimension
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +318,50 @@ def _collect_thresholds(
     return False
 
 
+def _evaluate_on_candidates(
+    formula: Formula, variable: str, values: IntVector
+) -> BoolVector:
+    """Evaluate a one-variable formula on every candidate point at once.
+
+    One traversal of the formula computes a truth vector over all candidate
+    values through the columnar vector ops — instead of one full traversal
+    per candidate via ``formula.evaluate``.  Callers must have established
+    (via :func:`_collect_thresholds`) that ``variable`` is the only variable.
+    """
+    dimension = len(values)
+    if isinstance(formula, BoolLit):
+        return BoolVector.constant(formula.value, dimension)
+    if isinstance(formula, Atom):
+        coefficient = dict(formula.expression.items).get(variable, 0)
+        column = values.scale(coefficient) + IntVector.constant(
+            formula.expression.constant, dimension
+        )
+        zero = IntVector.zero(dimension)
+        if formula.comparison == Comparison.LE:
+            return ~zero.less_than(column)
+        if formula.comparison == Comparison.LT:
+            return column.less_than(zero)
+        if formula.comparison == Comparison.EQ:
+            return column.equal_to(zero)
+        return ~column.equal_to(zero)
+    if isinstance(formula, Not):
+        return ~_evaluate_on_candidates(formula.operand, variable, values)
+    if isinstance(formula, (And, Or)):
+        operands = [
+            _evaluate_on_candidates(operand, variable, values)
+            for operand in formula.operands
+        ]
+        result = operands[0]
+        if isinstance(formula, And):
+            for operand in operands[1:]:
+                result = result & operand
+        else:
+            for operand in operands[1:]:
+                result = result | operand
+        return result
+    raise SemanticsError(f"cannot evaluate formula node {type(formula).__name__}")
+
+
 def satisfiable_on_interval(
     formula: Formula, variable: str, interval: Interval
 ) -> bool:
@@ -205,7 +371,8 @@ def satisfiable_on_interval(
     thresholds of its atoms (``a*v + b <cmp> 0`` changes truth value only
     around ``-b/a``), so evaluating it at every threshold, the points one
     off either side, the interval endpoints, and one representative beyond
-    the extreme thresholds decides satisfiability exactly.
+    the extreme thresholds decides satisfiability exactly.  All candidate
+    points are evaluated in one batched sweep.
 
     Over-approximates (returns True) when the formula mentions variables
     other than ``variable`` — the caller then reports ``UNKNOWN`` rather
@@ -239,7 +406,10 @@ def satisfiable_on_interval(
         # point of the interval is representative.
         assert interval.low is not None
         candidates.add(interval.low)
-    return any(formula.evaluate({variable: value}) for value in candidates)
+    outcomes = _evaluate_on_candidates(
+        formula, variable, IntVector(sorted(candidates))
+    )
+    return any(outcomes.values)
 
 
 # ---------------------------------------------------------------------------
@@ -295,7 +465,7 @@ class IntervalDomain(ExampleVectorDomain):
     ) -> BoolVectorSet:
         if left.is_empty() or right.is_empty():
             return BoolVectorSet.empty(dimension)
-        return interval_comparison(name, left.intervals, right.intervals, dimension)
+        return _box_comparison(name, left, right, dimension)
 
     def check(
         self, start_value: Box, spec: Specification, examples: ExampleSet
@@ -311,10 +481,11 @@ class IntervalDomain(ExampleVectorDomain):
                 details={"reason": "start symbol derives no terms on these examples"},
             )
         output = LinearExpression.variable("__interval_out")
+        intervals = start_value.intervals
         for index, example in enumerate(examples):
             instance = spec.instantiate(example, output)
             if not satisfiable_on_interval(
-                instance, "__interval_out", start_value.intervals[index]
+                instance, "__interval_out", intervals[index]
             ):
                 return CheckResult(
                     verdict=Verdict.UNREALIZABLE,
@@ -322,7 +493,7 @@ class IntervalDomain(ExampleVectorDomain):
                     details={
                         "reason": "interval refutation",
                         "example_index": index,
-                        "interval": str(start_value.intervals[index]),
+                        "interval": str(intervals[index]),
                     },
                 )
         return CheckResult(

@@ -31,6 +31,7 @@ from repro.domains.registry import register_domain
 from repro.semantics.examples import ExampleSet
 from repro.sygus.spec import Specification
 from repro.unreal.result import CheckResult, Verdict
+from repro.utils.columns import PYTHON_OPS, ColumnOverflowError, active_ops
 from repro.utils.errors import SemanticsError
 from repro.utils.vectors import BoolVector, IntVector
 
@@ -130,9 +131,16 @@ class ExamplePowersetDomain(ExampleVectorDomain):
             return VectorSet.bottom(left.dimension or right.dimension)
         if left.is_top or right.is_top:
             return self._top(left.dimension or right.dimension)
+        left_rows = [vector.values for vector in left.vectors]
+        right_rows = [vector.values for vector in right.vectors]
+        ops = active_ops()
+        try:
+            sums = ops.pairwise_sums(left_rows, right_rows)
+        except ColumnOverflowError:
+            sums = PYTHON_OPS.pairwise_sums(left_rows, right_rows)
+        # Deduplicated as canonical tuples above; intern once per distinct row.
         return self._capped(
-            frozenset(a + b for a in left.vectors for b in right.vectors),
-            left.dimension,
+            frozenset(IntVector._wrap(row) for row in sums), left.dimension
         )
 
     def ite(
@@ -146,13 +154,21 @@ class ExamplePowersetDomain(ExampleVectorDomain):
             return VectorSet.bottom(dimension)
         if then_value.is_top or else_value.is_top:
             return self._top(dimension)
-        combined = frozenset(
-            then.mask(guard) + other.mask(~guard)
-            for guard in guards
-            for then in then_value.vectors
-            for other in else_value.vectors
+        then_rows = [vector.values for vector in then_value.vectors]
+        else_rows = [vector.values for vector in else_value.vectors]
+        combined = set()
+        ops = active_ops()
+        for guard in guards:
+            try:
+                spliced = ops.pairwise_select(guard.values, then_rows, else_rows)
+            except ColumnOverflowError:
+                spliced = PYTHON_OPS.pairwise_select(
+                    guard.values, then_rows, else_rows
+                )
+            combined.update(spliced)
+        return self._capped(
+            frozenset(IntVector._wrap(row) for row in combined), dimension
         )
-        return self._capped(combined, dimension)
 
     def compare(
         self, name: str, left: VectorSet, right: VectorSet, dimension: int
@@ -162,16 +178,25 @@ class ExamplePowersetDomain(ExampleVectorDomain):
         if left.is_top or right.is_top:
             self.lost_exactness = True
             return BoolVectorSet.top(dimension)
+        left_rows = [vector.values for vector in left.vectors]
+        right_rows = [vector.values for vector in right.vectors]
+        ops = active_ops()
+        try:
+            outcomes = ops.pairwise_compare(name, left_rows, right_rows)
+        except ColumnOverflowError:
+            outcomes = PYTHON_OPS.pairwise_compare(name, left_rows, right_rows)
         return BoolVectorSet(
-            {
-                _compare_vectors(name, a, b)
-                for a in left.vectors
-                for b in right.vectors
-            },
-            dimension,
+            {BoolVector._wrap(row) for row in outcomes}, dimension
         )
 
     # -- the check -------------------------------------------------------------
+
+    def _domain_stats(self) -> dict:
+        """Effective knobs, surfaced into ``solver_stats`` by the facade."""
+        return {
+            "powerset_max_examples": self.max_examples,
+            "powerset_cap": self.cap,
+        }
 
     def pre_check(self, examples: ExampleSet) -> Optional[CheckResult]:
         if len(examples) > self.max_examples:
@@ -181,6 +206,7 @@ class ExamplePowersetDomain(ExampleVectorDomain):
                 details={
                     "reason": "example set exceeds the powerset budget",
                     "max_examples": self.max_examples,
+                    "domain_stats": self._domain_stats(),
                 },
             )
         return None
@@ -193,6 +219,7 @@ class ExamplePowersetDomain(ExampleVectorDomain):
         details = {
             "behaviors": "TOP" if start_value.is_top else len(start_value),
             "exact": not self.lost_exactness,
+            "domain_stats": self._domain_stats(),
         }
         if start_value.is_top:
             return CheckResult(
@@ -224,15 +251,3 @@ class ExamplePowersetDomain(ExampleVectorDomain):
         )
 
 
-def _compare_vectors(name: str, left: IntVector, right: IntVector) -> BoolVector:
-    if name == "LessThan":
-        return left.less_than(right)
-    if name == "LessEq":
-        return ~right.less_than(left)
-    if name == "GreaterThan":
-        return right.less_than(left)
-    if name == "GreaterEq":
-        return ~left.less_than(right)
-    if name == "Equal":
-        return BoolVector(a == b for a, b in zip(left, right))
-    raise SemanticsError(f"unknown comparison {name}")

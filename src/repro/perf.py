@@ -1,6 +1,6 @@
 """The repeatable perf harnesses behind ``repro-nay bench``.
 
-Two suites live here, selected with ``--suite``:
+Three suites live here, selected with ``--suite``:
 
 * ``fixpoint`` (default) — every workload measured for both fixpoint
   strategies (``worklist`` vs ``dense``, see :mod:`repro.gfa.fixpoint`)
@@ -12,6 +12,15 @@ Two suites live here, selected with ``--suite``:
   (:mod:`repro.logic.reference`) in the same run, writing queries/sec,
   simplex pivots, lemma hits and cache hits to ``BENCH_logic.json``.
   Verdict agreement between the two stacks is asserted before timing.
+* ``domains`` — the columnar evaluation core harness: an example-count
+  sweep (|E| = 10 → 5000) over the batched-evaluation hot paths, each
+  measured through up to three legs in the same run — ``reference`` (the
+  frozen pre-columnar twins in :mod:`repro.semantics.reference` and
+  :mod:`repro.domains.reference`), ``python`` (the columnar code on the
+  pure-Python backend) and ``numpy`` (the same code on the numpy backend,
+  absent when numpy is not installed).  Result agreement across legs is
+  asserted before timing; ``examples_per_sec`` and leg-vs-leg speedups go
+  to ``BENCH_domains.json``.
 
 Both artifacts are versioned; medians are compared like with like on the
 same machine and interpreter state, giving future changes a perf trajectory
@@ -57,14 +66,26 @@ from repro.gfa.fixpoint import DENSE, STRATEGIES, WORKLIST, FixpointStats
 from repro.gfa.kleene import solve_kleene
 from repro.gfa.semiring import BooleanSemiring, SemiLinearSemiring
 from repro.gfa.stratify import equation_strata
+from repro.domains.reference import ReferenceIntervalDomain
+from repro.domains.registry import create_domain
 from repro.domains.semilinear import LinearSet, SemiLinearSet
+from repro.grammar import alphabet as alph
+from repro.grammar.terms import Term
 from repro.logic.formulas import Formula
 from repro.logic.reference import reference_check_sat
 from repro.logic.solver import check_sat, record_queries, runtime_counters
-from repro.unreal.approximate import solve_abstract_gfa
+from repro.semantics.evaluator import EvalMemo, evaluate
+from repro.semantics.reference import reference_evaluate
+from repro.unreal.approximate import check_examples_abstract, solve_abstract_gfa
 from repro.unreal.lia import solve_lia_gfa
 from repro.suites import get_benchmark
-from repro.suites.scaling import chain_grammar, example_set, scaling_benchmark
+from repro.suites.scaling import (
+    chain_grammar,
+    example_set,
+    large_example_set,
+    scaling_benchmark,
+)
+from repro.utils.columns import NUMPY_OPS, use_backend
 from repro.utils.errors import ReproError
 from repro.utils.vectors import IntVector
 
@@ -74,9 +95,13 @@ BENCH_SCHEMA_VERSION = 1
 #: Version of the BENCH_logic.json schema.
 LOGIC_BENCH_SCHEMA_VERSION = 1
 
+#: Version of the BENCH_domains.json schema (see docs/bench-artifacts.md).
+DOMAINS_BENCH_SCHEMA_VERSION = 1
+
 #: Default artifact paths (repo root when run from a checkout).
 DEFAULT_BENCH_PATH = "BENCH_fixpoint.json"
 DEFAULT_LOGIC_BENCH_PATH = "BENCH_logic.json"
+DEFAULT_DOMAINS_BENCH_PATH = "BENCH_domains.json"
 
 
 # ---------------------------------------------------------------------------
@@ -693,4 +718,322 @@ def render_logic_report(report: Dict[str, object]) -> str:
         )
     for key, value in sorted(report["summary"].items()):
         lines.append(f"  {key}: {value:.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The domains suite: the columnar evaluation core, |E| sweep
+# ---------------------------------------------------------------------------
+
+#: The example-count sweep.  1000 is the gate point (see docs), 5000 shows
+#: whether the speedup keeps growing; 10/16 cover the small-|E| regime where
+#: the pure-Python fallback must not have regressed.
+DOMAINS_EXAMPLE_COUNTS: Tuple[int, ...] = (10, 16, 100, 1000, 5000)
+DOMAINS_QUICK_COUNTS: Tuple[int, ...] = (16, 1000)
+
+#: |E| at or below this bound is the "small example set" regime: the python
+#: leg there is gated against the reference leg (slowdown <= 1.1x).
+DOMAINS_SMALL_EXAMPLES = 16
+
+
+def domains_backend_legs() -> List[str]:
+    """The measurable legs on this interpreter: numpy only when installed."""
+    legs = ["reference", "python"]
+    if NUMPY_OPS is not None:
+        legs.append("numpy")
+    return legs
+
+
+def evaluate_slate(depth: int = 16) -> List[Term]:
+    """A CLIA term slate whose members share subterms aggressively.
+
+    Each step extends the running ``Plus`` chain ``acc`` and derives a
+    ``Minus`` / ``LessThan`` / ``IfThenElse`` / ``Equal`` cluster from it, so
+    consecutive slate entries overlap in all but their top few nodes — the
+    shape the enumerator produces, and the one the per-call memo of
+    :func:`repro.semantics.evaluator.evaluate` is built for.  The reference
+    leg re-walks every shared subterm per term, like the pre-change
+    evaluator did.
+    """
+    x = Term(alph.var("x"))
+    one = Term(alph.num(1))
+    terms: List[Term] = []
+    acc = x
+    for index in range(depth):
+        acc = Term(alph.plus(2), (acc, one if index % 2 else x))
+        shifted = Term(alph.minus(), (acc, x))
+        guard = Term(alph.less_than(), (shifted, acc))
+        bounded = Term(alph.if_then_else(), (guard, shifted, acc))
+        terms.append(bounded)
+        terms.append(Term(alph.equal(), (bounded, acc)))
+    return terms
+
+
+def _domains_leg(
+    seconds: List[float], examples_count: int, repetitions: int
+) -> Dict[str, object]:
+    median = statistics.median(seconds)
+    return {
+        "median_seconds": median,
+        "min_seconds": min(seconds),
+        # Throughput normalised by |E| alone: how many examples per second
+        # this workload processes end-to-end at this |E|.
+        "examples_per_sec": (examples_count / median) if median > 0 else None,
+        "repetitions": repetitions,
+    }
+
+
+def _attach_domain_ratios(row: Dict[str, object]) -> None:
+    def median_of(leg: str) -> Optional[float]:
+        cell = row.get(leg)
+        if isinstance(cell, dict):
+            return cell["median_seconds"]  # type: ignore[return-value]
+        return None
+
+    reference = median_of("reference")
+    python = median_of("python")
+    numpy = median_of("numpy")
+    row["python_vs_reference"] = (reference / python) if reference and python else None
+    row["numpy_vs_reference"] = (reference / numpy) if reference and numpy else None
+    row["numpy_vs_python"] = (python / numpy) if python and numpy else None
+
+
+def _time_leg(run: Callable[[], object], repetitions: int) -> List[float]:
+    seconds = []
+    for _ in range(repetitions):
+        clear_cache()  # cold GFA/simplification caches for every repetition
+        started = time.perf_counter()
+        run()
+        seconds.append(time.perf_counter() - started)
+    return seconds
+
+
+def _measure_evaluate_row(
+    examples_count: int, repetitions: int, legs: Sequence[str]
+) -> Dict[str, object]:
+    terms = evaluate_slate()
+    examples = large_example_set(examples_count)
+
+    # Differential guard before timing: every leg must produce the same
+    # vector for every slate term (vectors are interned, so == is cheap).
+    expected = [reference_evaluate(term, examples) for term in terms]
+    for backend in legs:
+        if backend == "reference":
+            continue
+        with use_backend(backend):
+            memo: EvalMemo = {}
+            actual = [evaluate(term, examples, memo) for term in terms]
+        if actual != expected:
+            raise ReproError(
+                f"evaluate mismatch on the {backend} backend at |E|={examples_count}"
+            )
+
+    def run_reference() -> None:
+        for term in terms:
+            reference_evaluate(term, examples)
+
+    def run_batched() -> None:
+        memo: EvalMemo = {}
+        for term in terms:
+            evaluate(term, examples, memo)
+
+    row: Dict[str, object] = {
+        "name": f"evaluate_e{examples_count}",
+        "group": "evaluate",
+        "examples": examples_count,
+        "terms": len(terms),
+    }
+    for leg in legs:
+        if leg == "reference":
+            seconds = _time_leg(run_reference, repetitions)
+        else:
+            with use_backend(leg):
+                seconds = _time_leg(run_batched, repetitions)
+        row[leg] = _domains_leg(seconds, examples_count, repetitions)
+    _attach_domain_ratios(row)
+    return row
+
+
+def _measure_interval_row(
+    examples_count: int, repetitions: int, legs: Sequence[str]
+) -> Dict[str, object]:
+    grammar = chain_grammar(12)
+    examples = example_set(examples_count)
+
+    def solve(leg: str):
+        if leg == "reference":
+            return solve_abstract_gfa(
+                grammar, examples, domain=ReferenceIntervalDomain()
+            )
+        with use_backend(leg):
+            return solve_abstract_gfa(grammar, examples, domain="interval")
+
+    # Differential guard: the fixpoint's start value must agree across legs.
+    clear_cache()
+    baseline = solve("reference").start_value.intervals
+    for leg in legs:
+        if leg == "reference":
+            continue
+        clear_cache()
+        if solve(leg).start_value.intervals != baseline:
+            raise ReproError(
+                f"interval fixpoint mismatch on the {leg} leg at |E|={examples_count}"
+            )
+
+    row: Dict[str, object] = {
+        "name": f"interval_gfa_e{examples_count}",
+        "group": "interval",
+        "examples": examples_count,
+    }
+    for leg in legs:
+        seconds = _time_leg(lambda: solve(leg), repetitions)
+        row[leg] = _domains_leg(seconds, examples_count, repetitions)
+    _attach_domain_ratios(row)
+    return row
+
+
+def _measure_powerset_row(
+    examples_count: int, repetitions: int, legs: Sequence[str]
+) -> Dict[str, object]:
+    # No frozen twin here: the pre-change powerset transfers were the same
+    # per-pair Python loops the python backend runs, so the python leg *is*
+    # the baseline and the row carries backend legs only.
+    benchmark = scaling_benchmark(8)
+    examples = example_set(examples_count)
+    backend_legs = [leg for leg in legs if leg != "reference"]
+
+    def check(leg: str):
+        with use_backend(leg):
+            return check_examples_abstract(
+                benchmark.problem,
+                examples,
+                domain=create_domain(
+                    "powerset", cap=64, max_examples=examples_count
+                ),
+            )
+
+    clear_cache()
+    baseline_verdict = check(backend_legs[0]).verdict
+    for leg in backend_legs[1:]:
+        clear_cache()
+        if check(leg).verdict is not baseline_verdict:
+            raise ReproError(
+                f"powerset verdict mismatch on the {leg} leg at |E|={examples_count}"
+            )
+
+    row: Dict[str, object] = {
+        "name": f"powerset_e{examples_count}",
+        "group": "powerset",
+        "examples": examples_count,
+    }
+    for leg in backend_legs:
+        seconds = _time_leg(lambda: check(leg), repetitions)
+        row[leg] = _domains_leg(seconds, examples_count, repetitions)
+    _attach_domain_ratios(row)
+    return row
+
+
+def run_domains_suite(
+    repetitions: int = 3,
+    quick: bool = False,
+    example_counts: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Sweep the columnar hot paths over |E|; compare legs; report."""
+    counts = (
+        tuple(example_counts)
+        if example_counts is not None
+        else (DOMAINS_QUICK_COUNTS if quick else DOMAINS_EXAMPLE_COUNTS)
+    )
+    legs = domains_backend_legs()
+    rows: List[Dict[str, object]] = []
+    for measure in (
+        _measure_evaluate_row,
+        _measure_interval_row,
+        _measure_powerset_row,
+    ):
+        for count in counts:
+            rows.append(measure(count, repetitions, legs))
+    return {
+        "schema_version": DOMAINS_BENCH_SCHEMA_VERSION,
+        "suite": "domains",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "legs": legs,
+        "numpy_available": NUMPY_OPS is not None,
+        "workloads": rows,
+        "summary": _summarise_domains(rows),
+    }
+
+
+def _summarise_domains(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Roll-ups including the two gates CI checks (docs/bench-artifacts.md).
+
+    * ``gate_numpy_speedup_e1000`` — the *minimum* numpy-vs-reference
+      speedup over the ``evaluate`` and ``interval`` groups at |E| = 1000;
+      the acceptance bar is >= 5x.  Absent when numpy is not installed.
+    * ``gate_python_small_e_slowdown`` — the *maximum* python-vs-reference
+      slowdown at |E| <= DOMAINS_SMALL_EXAMPLES over the same groups; the
+      bar is <= 1.1x (the fallback must not regress small example sets).
+    """
+    summary: Dict[str, object] = {}
+    gate_groups = ("evaluate", "interval")
+    gate_speedups = [
+        row["numpy_vs_reference"]
+        for row in rows
+        if row["group"] in gate_groups
+        and row["examples"] == 1000
+        and row.get("numpy_vs_reference") is not None
+    ]
+    if gate_speedups:
+        summary["gate_numpy_speedup_e1000"] = min(gate_speedups)
+    small_slowdowns = [
+        1.0 / row["python_vs_reference"]
+        for row in rows
+        if row["group"] in gate_groups
+        and row["examples"] <= DOMAINS_SMALL_EXAMPLES
+        and row.get("python_vs_reference")
+    ]
+    if small_slowdowns:
+        summary["gate_python_small_e_slowdown"] = max(small_slowdowns)
+    for group in sorted({row["group"] for row in rows}):
+        for ratio in ("numpy_vs_python", "numpy_vs_reference"):
+            values = [
+                row[ratio]
+                for row in rows
+                if row["group"] == group and row.get(ratio) is not None
+            ]
+            if values:
+                summary[f"{group}_{ratio}_median"] = statistics.median(values)
+    return summary
+
+
+def render_domains_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the domains report."""
+    lines = [
+        f"{'workload':22s} {'|E|':>6s} {'ref ex/s':>10s} {'py ex/s':>10s} "
+        f"{'np ex/s':>10s} {'np/ref':>7s} {'np/py':>7s}"
+    ]
+
+    def rate(row: Dict[str, object], leg: str) -> str:
+        cell = row.get(leg)
+        if not isinstance(cell, dict):
+            return "-"
+        value = cell.get("examples_per_sec")
+        return f"{value:.0f}" if value else "-"
+
+    def ratio(row: Dict[str, object], key: str) -> str:
+        value = row.get(key)
+        return f"{value:.1f}x" if value else "-"
+
+    for row in report["workloads"]:
+        lines.append(
+            f"{row['name']:22s} {row['examples']:6d} {rate(row, 'reference'):>10s} "
+            f"{rate(row, 'python'):>10s} {rate(row, 'numpy'):>10s} "
+            f"{ratio(row, 'numpy_vs_reference'):>7s} "
+            f"{ratio(row, 'numpy_vs_python'):>7s}"
+        )
+    for key, value in sorted(report["summary"].items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            lines.append(f"  {key}: {value:.2f}")
     return "\n".join(lines)

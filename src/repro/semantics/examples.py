@@ -49,6 +49,10 @@ class ExampleSet:
 
     def __init__(self, examples: Iterable[Example] = ()):
         self._examples: Tuple[Example, ...] = ()
+        # Per-variable projection vectors, built lazily on first request.
+        # The copy-on-write constructors below always pair a fresh (empty)
+        # cache with the final ``_examples`` tuple, so entries never go stale.
+        self._projections: Dict[str, IntVector] = {}
         for example in examples:
             self._examples = self._append(self._examples, example)
 
@@ -185,8 +189,19 @@ class ExampleSet:
         return ExampleSet(Example.of(assignment) for assignment in assignments)
 
     def projection(self, variable: str) -> IntVector:
-        """``mu_E(variable)``: the vector of the variable's values across E."""
-        return IntVector(example.value(variable) for example in self._examples)
+        """``mu_E(variable)``: the vector of the variable's values across E.
+
+        Cached per variable: the batched evaluator asks for the same
+        projection once per ``Var``/``NegVar`` leaf of every term, so the
+        column is materialised exactly once per example set.
+        """
+        cached = self._projections.get(variable)
+        if cached is None:
+            cached = IntVector(
+                example.value(variable) for example in self._examples
+            )
+            self._projections[variable] = cached
+        return cached
 
     def constant(self, value: int) -> IntVector:
         """The vector ``<value, ..., value>`` of dimension |E|."""

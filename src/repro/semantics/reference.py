@@ -1,0 +1,114 @@
+"""Frozen pre-columnar evaluator, kept as a differential/bench baseline.
+
+This is the recursive, per-element implementation of ``[[e]]_E`` exactly as
+it stood before the columnar evaluation core: one Python-level loop per
+vector operation, no memoisation, no backend dispatch.  It exists for two
+consumers and must not be "optimised":
+
+* the differential property tests, which check the batched
+  :func:`repro.semantics.evaluator.evaluate` (under every backend) against
+  this implementation and against the scalar ``evaluate_on_example`` oracle;
+* the ``reference`` leg of the domains perf suite, which anchors the
+  ``examples_per_sec`` speedup ratios in ``BENCH_domains.json`` to the
+  pre-change cost profile.
+
+The pattern follows :mod:`repro.logic.reference` from the solver rebuild:
+a deliberately simple twin that answers "did the fast path change any
+answer?" without depending on any of the machinery under test.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.grammar.terms import Term
+from repro.semantics.examples import ExampleSet
+from repro.utils.errors import SemanticsError
+from repro.utils.vectors import BoolVector, IntVector
+
+VectorValue = Union[IntVector, BoolVector]
+
+
+def _add(left: IntVector, right: IntVector) -> IntVector:
+    return IntVector(a + b for a, b in zip(left.values, right.values))
+
+
+def _sub(left: IntVector, right: IntVector) -> IntVector:
+    return IntVector(a - b for a, b in zip(left.values, right.values))
+
+
+def _neg(vector: IntVector) -> IntVector:
+    return IntVector(-a for a in vector.values)
+
+
+def _mask(vector: IntVector, keep: BoolVector) -> IntVector:
+    return IntVector(a if b else 0 for a, b in zip(vector.values, keep.values))
+
+
+def _lt(left: IntVector, right: IntVector) -> BoolVector:
+    return BoolVector(a < b for a, b in zip(left.values, right.values))
+
+
+def _not(vector: BoolVector) -> BoolVector:
+    return BoolVector(not a for a in vector.values)
+
+
+def _and(left: BoolVector, right: BoolVector) -> BoolVector:
+    return BoolVector(a and b for a, b in zip(left.values, right.values))
+
+
+def _or(left: BoolVector, right: BoolVector) -> BoolVector:
+    return BoolVector(a or b for a, b in zip(left.values, right.values))
+
+
+def reference_evaluate(term: Term, examples: ExampleSet) -> VectorValue:
+    """Per-element recursive ``[[e]]_E`` (the pre-columnar implementation)."""
+    dimension = len(examples)
+    name = term.symbol.name
+    if name == "Num":
+        return IntVector.constant(int(term.symbol.payload), dimension)  # type: ignore[arg-type]
+    if name == "BoolConst":
+        return BoolVector.constant(bool(term.symbol.payload), dimension)
+    if name == "Var":
+        return IntVector(
+            example.value(str(term.symbol.payload)) for example in examples
+        )
+    if name == "NegVar":
+        return IntVector(
+            -example.value(str(term.symbol.payload)) for example in examples
+        )
+    if name == "Pass":
+        return reference_evaluate(term.children[0], examples)
+
+    children = [reference_evaluate(child, examples) for child in term.children]
+    if name == "Plus":
+        result = children[0]
+        for child in children[1:]:
+            result = _add(result, child)
+        return result
+    if name == "Minus":
+        return _sub(children[0], children[1])
+    if name == "IfThenElse":
+        guard, then_value, else_value = children
+        assert isinstance(guard, BoolVector)
+        assert isinstance(then_value, IntVector) and isinstance(else_value, IntVector)
+        return _add(_mask(then_value, guard), _mask(else_value, _not(guard)))
+    if name == "And":
+        return _and(children[0], children[1])
+    if name == "Or":
+        return _or(children[0], children[1])
+    if name == "Not":
+        return _not(children[0])
+    if name in ("LessThan", "LessEq", "GreaterThan", "GreaterEq", "Equal"):
+        left, right = children
+        assert isinstance(left, IntVector) and isinstance(right, IntVector)
+        if name == "LessThan":
+            return _lt(left, right)
+        if name == "LessEq":
+            return _not(_lt(right, left))
+        if name == "GreaterThan":
+            return _lt(right, left)
+        if name == "GreaterEq":
+            return _not(_lt(left, right))
+        return BoolVector(a == b for a, b in zip(left.values, right.values))
+    raise SemanticsError(f"cannot evaluate symbol {name}")

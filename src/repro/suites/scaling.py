@@ -12,7 +12,8 @@ grammars cannot meet.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import random
+from typing import List, Optional, Tuple
 
 from repro.grammar import alphabet as alph
 from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
@@ -52,6 +53,38 @@ def chain_grammar(length: int, name: str = "chain") -> RegularTreeGrammar:
 def example_set(size: int) -> ExampleSet:
     """The example sets used for the scaling sweeps: x = 1, 2, 3, ..."""
     return ExampleSet(Example.of({"x": value}) for value in range(1, size + 1))
+
+
+def large_example_set(
+    count: int,
+    variables: Tuple[str, ...] = ("x",),
+    seed: int = 0,
+    low: int = -1_000_000,
+    high: int = 1_000_000,
+) -> ExampleSet:
+    """A deterministic pseudo-random example set of *exactly* ``count``.
+
+    ``example_set`` enumerates ``x = 1..n``, which keeps interval bounds
+    artificially tidy; the columnar perf suite and the differential tests
+    want *unstructured* inputs at sizes up to a few thousand.  The values
+    are drawn from ``random.Random(seed)``; duplicate assignments are
+    re-drawn (``ExampleSet`` is duplicate-free), so the same ``(count,
+    variables, seed, low, high)`` always yields the same set and a longer
+    set extends a shorter one prefix-for-prefix.
+    """
+    rng = random.Random(seed)
+    seen = set()
+    examples = []
+    while len(examples) < count:
+        assignment = {name: rng.randint(low, high) for name in variables}
+        key = tuple(sorted(assignment.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        examples.append(Example.of(assignment))
+    result = ExampleSet(examples)
+    assert len(result) == count
+    return result
 
 
 def scaling_benchmark(num_nonterminals: int) -> Benchmark:

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.grammar.alphabet import Sort
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.grammar.terms import Term
-from repro.semantics.evaluator import evaluate
+from repro.semantics.evaluator import EvalMemo, evaluate
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.utils.errors import SemanticsError
@@ -70,6 +70,9 @@ class EnumerativeSynthesizer:
         }
         seen_signatures: Dict[Nonterminal, set] = {nt: set() for nt in grammar.nonterminals}
         explored = 0
+        # One evaluation memo for the whole enumeration: every kept term is a
+        # child of later candidates, so its vector is computed exactly once.
+        memo: EvalMemo = {}
 
         for size in range(1, self.max_size + 1):
             for nonterminal in grammar.nonterminals:
@@ -86,6 +89,7 @@ class EnumerativeSynthesizer:
                             [()],
                             new_terms,
                             examples,
+                            memo,
                         )
                         continue
                     remaining = size - 1
@@ -109,7 +113,7 @@ class EnumerativeSynthesizer:
                                 for existing in combos
                                 for choice in choices
                             ]
-                        self._emit(production.symbol, combos, new_terms, examples)
+                        self._emit(production.symbol, combos, new_terms, examples, memo)
                 # Observational-equivalence pruning per nonterminal.
                 kept: List[Tuple[Term, tuple]] = []
                 for term, signature in new_terms:
@@ -143,11 +147,15 @@ class EnumerativeSynthesizer:
         child_tuples: List[Tuple[Term, ...]],
         sink: List[Tuple[Term, tuple]],
         examples: ExampleSet,
+        memo: EvalMemo,
     ) -> None:
         for children in child_tuples:
             term = Term(symbol, tuple(children))
             try:
-                signature = tuple(evaluate(term, examples))
+                # Shared subterms hit the memo instead of being re-evaluated
+                # for every enclosing candidate; the canonical value tuple
+                # stays the observational signature.
+                signature = evaluate(term, examples, memo).values
             except SemanticsError:
                 continue
             sink.append((term, signature))

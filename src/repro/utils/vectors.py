@@ -13,12 +13,26 @@ some live vector already holds returns that existing instance, so equality of
 vectors is usually a pointer comparison and their hashes are computed exactly
 once.  The structural ``__eq__`` fallback stays in place for the (benign)
 race window documented in the intern module.
+
+Component-wise operations are routed through the active
+:mod:`repro.utils.columns` backend: the canonical representation (intern key,
+pickle payload, ``values`` property) stays a plain tuple, while each vector
+lazily caches the backend column built from it, keyed on the ops object so a
+mid-process backend switch never mixes representations.  Values outside the
+numpy backend's exact integer range fall back to the pure-Python ops for
+that operation — results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
+from repro.utils.columns import (
+    PYTHON_OPS,
+    ColumnOps,
+    ColumnOverflowError,
+    active_ops,
+)
 from repro.utils.intern import interner
 
 _INT_VECTORS = interner("IntVector")
@@ -28,16 +42,23 @@ _BOOL_VECTORS = interner("BoolVector")
 class IntVector:
     """An immutable, interned vector of Python integers."""
 
-    __slots__ = ("_values", "_hash", "__weakref__")
+    __slots__ = ("_values", "_hash", "_column", "_column_ops", "__weakref__")
 
     def __new__(cls, values: Iterable[int]):
         parts: Tuple[int, ...] = tuple(int(v) for v in values)
+        return cls._wrap(parts)
+
+    @classmethod
+    def _wrap(cls, parts: Tuple[int, ...]) -> "IntVector":
+        """Intern an already-canonical tuple (backend results skip ``int()``)."""
         cached = _INT_VECTORS.get(parts)
         if cached is not None:
             return cached
         self = object.__new__(cls)
         self._values = parts
         self._hash = hash(parts)
+        self._column = None
+        self._column_ops = None
         return _INT_VECTORS.add(parts, self)
 
     def __reduce__(self):
@@ -62,6 +83,17 @@ class IntVector:
     def values(self) -> Tuple[int, ...]:
         return self._values
 
+    def column(self, ops: Optional[ColumnOps] = None):
+        """The backend column for this vector, built once per backend."""
+        if ops is None:
+            ops = active_ops()
+        if self._column_ops is ops:
+            return self._column
+        column = ops.int_column(self._values)
+        self._column = column
+        self._column_ops = ops
+        return column
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -73,32 +105,83 @@ class IntVector:
 
     def __add__(self, other: "IntVector") -> "IntVector":
         self._check_dimension(other)
-        return IntVector(a + b for a, b in zip(self._values, other._values))
+        ops = active_ops()
+        try:
+            column = ops.add(self.column(ops), other.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.add(self._values, other._values)
+        return IntVector._wrap(ops.int_tuple(column))
 
     def __sub__(self, other: "IntVector") -> "IntVector":
         self._check_dimension(other)
-        return IntVector(a - b for a, b in zip(self._values, other._values))
+        ops = active_ops()
+        try:
+            column = ops.sub(self.column(ops), other.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.sub(self._values, other._values)
+        return IntVector._wrap(ops.int_tuple(column))
 
     def __neg__(self) -> "IntVector":
-        return IntVector(-a for a in self._values)
+        ops = active_ops()
+        try:
+            column = ops.neg(self.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.neg(self._values)
+        return IntVector._wrap(ops.int_tuple(column))
 
     def scale(self, factor: int) -> "IntVector":
         """Return the vector multiplied component-wise by an integer factor."""
-        return IntVector(factor * a for a in self._values)
+        ops = active_ops()
+        try:
+            column = ops.scale(self.column(ops), factor)
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.scale(self._values, factor)
+        return IntVector._wrap(ops.int_tuple(column))
 
     def is_zero(self) -> bool:
-        return all(a == 0 for a in self._values)
+        try:
+            ops = active_ops()
+            return ops.is_zero(self.column(ops))
+        except ColumnOverflowError:
+            return PYTHON_OPS.is_zero(self._values)
 
     def mask(self, keep: "BoolVector") -> "IntVector":
         """Zero out the components where ``keep`` is false (proj_Z, §6.1)."""
         if len(keep) != len(self._values):
             raise ValueError("mask dimension mismatch")
-        return IntVector(a if b else 0 for a, b in zip(self._values, keep))
+        ops = active_ops()
+        try:
+            column = ops.mask(self.column(ops), keep.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.mask(self._values, keep._values)
+        return IntVector._wrap(ops.int_tuple(column))
 
     def less_than(self, other: "IntVector") -> "BoolVector":
         """Component-wise strict comparison, as used by LessThan (§6.1)."""
         self._check_dimension(other)
-        return BoolVector(a < b for a, b in zip(self._values, other._values))
+        ops = active_ops()
+        try:
+            column = ops.lt(self.column(ops), other.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.lt(self._values, other._values)
+        return BoolVector._wrap(ops.bool_tuple(column))
+
+    def equal_to(self, other: "IntVector") -> "BoolVector":
+        """Component-wise equality, as used by Equal (§6.1)."""
+        self._check_dimension(other)
+        ops = active_ops()
+        try:
+            column = ops.eq(self.column(ops), other.column(ops))
+        except ColumnOverflowError:
+            ops = PYTHON_OPS
+            column = ops.eq(self._values, other._values)
+        return BoolVector._wrap(ops.bool_tuple(column))
 
     def _check_dimension(self, other: "IntVector") -> None:
         if len(other._values) != len(self._values):
@@ -121,10 +204,14 @@ class IntVector:
 class BoolVector:
     """An immutable, interned vector of booleans."""
 
-    __slots__ = ("_values", "_hash", "__weakref__")
+    __slots__ = ("_values", "_hash", "_bits", "_column", "_column_ops", "__weakref__")
 
     def __new__(cls, values: Iterable[bool]):
         parts: Tuple[bool, ...] = tuple(bool(v) for v in values)
+        return cls._wrap(parts)
+
+    @classmethod
+    def _wrap(cls, parts: Tuple[bool, ...]) -> "BoolVector":
         cached = _BOOL_VECTORS.get(parts)
         if cached is not None:
             return cached
@@ -133,6 +220,9 @@ class BoolVector:
         # Tag the hash so (True, False) and the IntVector (1, 0) do not
         # collide in dictionaries holding both kinds of vector.
         self._hash = hash(("BoolVector", parts))
+        self._bits = None
+        self._column = None
+        self._column_ops = None
         return _BOOL_VECTORS.add(parts, self)
 
     def __reduce__(self):
@@ -151,10 +241,20 @@ class BoolVector:
         return BoolVector.constant(False, dimension)
 
     @staticmethod
+    def from_packed(bits: int, dimension: int) -> "BoolVector":
+        """The vector whose component ``i`` is bit ``i`` of ``bits``."""
+        vector = BoolVector._wrap(
+            tuple(bool((bits >> i) & 1) for i in range(dimension))
+        )
+        if vector._bits is None:
+            vector._bits = bits
+        return vector
+
+    @staticmethod
     def enumerate_all(dimension: int) -> Iterator["BoolVector"]:
         """Yield all 2^dimension Boolean vectors in a deterministic order."""
         for bits in range(1 << dimension):
-            yield BoolVector(bool((bits >> i) & 1) for i in range(dimension))
+            yield BoolVector.from_packed(bits, dimension)
 
     @property
     def dimension(self) -> int:
@@ -163,6 +263,29 @@ class BoolVector:
     @property
     def values(self) -> Tuple[bool, ...]:
         return self._values
+
+    @property
+    def bits(self) -> int:
+        """This vector packed little-endian into one Python int (cached).
+
+        The packed form gives the Boolean-vector set operations of
+        :mod:`repro.domains.boolvectors` single-int bitwise sweeps instead of
+        per-component loops.
+        """
+        if self._bits is None:
+            self._bits = PYTHON_OPS.pack_bits(self._values)
+        return self._bits
+
+    def column(self, ops: Optional[ColumnOps] = None):
+        """The backend column for this vector, built once per backend."""
+        if ops is None:
+            ops = active_ops()
+        if self._column_ops is ops:
+            return self._column
+        column = ops.bool_column(self._values)
+        self._column = column
+        self._column_ops = ops
+        return column
 
     def __len__(self) -> int:
         return len(self._values)
@@ -174,15 +297,16 @@ class BoolVector:
         return self._values[index]
 
     def __invert__(self) -> "BoolVector":
-        return BoolVector(not a for a in self._values)
+        full = (1 << len(self._values)) - 1
+        return BoolVector.from_packed(~self.bits & full, len(self._values))
 
     def __and__(self, other: "BoolVector") -> "BoolVector":
         self._check_dimension(other)
-        return BoolVector(a and b for a, b in zip(self._values, other._values))
+        return BoolVector.from_packed(self.bits & other.bits, len(self._values))
 
     def __or__(self, other: "BoolVector") -> "BoolVector":
         self._check_dimension(other)
-        return BoolVector(a or b for a, b in zip(self._values, other._values))
+        return BoolVector.from_packed(self.bits | other.bits, len(self._values))
 
     def _check_dimension(self, other: "BoolVector") -> None:
         if len(other._values) != len(self._values):

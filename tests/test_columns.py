@@ -1,0 +1,385 @@
+"""Differential tests for the columnar evaluation core.
+
+The contract of :mod:`repro.utils.columns` is that every backend computes
+*bit-identical* results: the numpy accelerator may only change speed, never
+an answer.  These tests enforce the contract three ways —
+
+* randomized CLIA terms evaluated through every backend and through the
+  frozen recursive baseline (:mod:`repro.semantics.reference`), all checked
+  against the scalar per-example oracle ``evaluate_on_example``;
+* the struct-of-arrays :class:`~repro.domains.interval.Box` exercised
+  against the frozen per-component :class:`~repro.domains.reference`
+  twins, operation by operation and through a whole abstract-GFA solve;
+* the row-batch helpers behind the powerset domain compared across
+  backends, including the overflow fallback.
+
+Interned-identity and pickle round-trips are covered at the end: columnar
+results must re-enter the same weak intern tables as scalar ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.interval import Box, IntervalDomain
+from repro.domains.reference import ReferenceBox, ReferenceIntervalDomain
+from repro.grammar import alphabet as alph
+from repro.grammar.terms import Term
+from repro.semantics.evaluator import evaluate, evaluate_on_example
+from repro.semantics.reference import reference_evaluate
+from repro.suites.scaling import chain_grammar, example_set, large_example_set
+from repro.unreal.approximate import solve_abstract_gfa
+from repro.utils.columns import (
+    NUMPY_OPS,
+    PYTHON_OPS,
+    ColumnOverflowError,
+    active_ops,
+    backend_names,
+    resolve_ops,
+    use_backend,
+)
+from repro.utils.vectors import BoolVector, IntVector
+
+BACKENDS = backend_names()
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+# ---------------------------------------------------------------------------
+# Random CLIA terms
+# ---------------------------------------------------------------------------
+
+_VARIABLES = ("x", "y")
+
+
+def _random_int_term(rng: random.Random, depth: int) -> Term:
+    if depth == 0 or rng.random() < 0.3:
+        kind = rng.randrange(3)
+        if kind == 0:
+            return Term(alph.num(rng.randint(-5, 5)))
+        if kind == 1:
+            return Term(alph.var(rng.choice(_VARIABLES)))
+        return Term(alph.neg_var(rng.choice(_VARIABLES)))
+    kind = rng.randrange(3)
+    if kind == 0:
+        return Term(
+            alph.plus(2),
+            (_random_int_term(rng, depth - 1), _random_int_term(rng, depth - 1)),
+        )
+    if kind == 1:
+        return Term(
+            alph.minus(),
+            (_random_int_term(rng, depth - 1), _random_int_term(rng, depth - 1)),
+        )
+    return Term(
+        alph.if_then_else(),
+        (
+            _random_bool_term(rng, depth - 1),
+            _random_int_term(rng, depth - 1),
+            _random_int_term(rng, depth - 1),
+        ),
+    )
+
+
+_COMPARISONS = (
+    alph.less_than,
+    alph.less_eq,
+    alph.greater_than,
+    alph.greater_eq,
+    alph.equal,
+)
+
+
+def _random_bool_term(rng: random.Random, depth: int) -> Term:
+    if depth == 0 or rng.random() < 0.2:
+        return Term(alph.bool_const(rng.random() < 0.5))
+    kind = rng.randrange(4)
+    if kind == 0:
+        return Term(
+            rng.choice(_COMPARISONS)(),
+            (_random_int_term(rng, depth - 1), _random_int_term(rng, depth - 1)),
+        )
+    if kind == 1:
+        return Term(alph.not_(), (_random_bool_term(rng, depth - 1),))
+    symbol = alph.and_() if kind == 2 else alph.or_()
+    return Term(
+        symbol,
+        (_random_bool_term(rng, depth - 1), _random_bool_term(rng, depth - 1)),
+    )
+
+
+def _random_examples(rng: random.Random, count: int):
+    from repro.semantics.examples import Example, ExampleSet
+
+    seen = set()
+    examples = []
+    while len(examples) < count:
+        assignment = {name: rng.randint(-50, 50) for name in _VARIABLES}
+        key = tuple(sorted(assignment.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        examples.append(Example.of(assignment))
+    return ExampleSet(examples)
+
+
+class TestDifferentialEvaluate:
+    """evaluate == reference_evaluate == the scalar oracle, on all backends."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_randomized_terms_agree_everywhere(self, seed):
+        rng = random.Random(seed)
+        examples = _random_examples(rng, rng.randint(1, 9))
+        term = (
+            _random_int_term(rng, 4)
+            if rng.random() < 0.7
+            else _random_bool_term(rng, 4)
+        )
+        oracle = tuple(
+            evaluate_on_example(term, example.as_dict()) for example in examples
+        )
+        assert reference_evaluate(term, examples).values == oracle
+        for backend in BACKENDS:
+            with use_backend(backend):
+                assert evaluate(term, examples).values == oracle, backend
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_backends_intern_the_same_objects(self, seed):
+        rng = random.Random(seed)
+        examples = _random_examples(rng, rng.randint(1, 6))
+        term = _random_int_term(rng, 4)
+        results = []
+        for backend in BACKENDS:
+            with use_backend(backend):
+                results.append(evaluate(term, examples))
+        for other in results[1:]:
+            # Hash-consing: equal vectors ARE the same interned object.
+            assert other is results[0]
+
+    def test_memo_shares_work_across_terms(self):
+        examples = example_set(5)
+        x = Term(alph.var("x"))
+        double = Term(alph.plus(2), (x, x))
+        triple = Term(alph.plus(2), (double, x))
+        memo = {}
+        evaluate(double, examples, memo)
+        assert double in memo and x in memo
+        evaluate(triple, examples, memo)
+        assert memo[triple].values == (3, 6, 9, 12, 15)
+
+
+# ---------------------------------------------------------------------------
+# Interval boxes: SoA vs the frozen per-component twin
+# ---------------------------------------------------------------------------
+
+
+def _random_vectors(rng: random.Random, dimension: int, count: int):
+    return [
+        IntVector([rng.randint(-30, 30) for _ in range(dimension)])
+        for _ in range(count)
+    ]
+
+
+class TestDifferentialBox:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_box_lattice_operations_match_reference(self, seed):
+        rng = random.Random(seed)
+        dimension = rng.randint(1, 7)
+        vectors = _random_vectors(rng, dimension, 4)
+        mask = BoolVector([rng.random() < 0.5 for _ in range(dimension)])
+        for backend in BACKENDS:
+            with use_backend(backend):
+                boxes = [Box.constant(vector) for vector in vectors]
+                refs = [ReferenceBox.constant(vector) for vector in vectors]
+                joined = boxes[0].join(boxes[1])
+                ref_joined = refs[0].join(refs[1])
+                assert joined.intervals == ref_joined.intervals
+                added = joined.add(boxes[2])
+                ref_added = ref_joined.add(refs[2])
+                assert added.intervals == ref_added.intervals
+                widened = joined.widen(added)
+                assert widened.intervals == ref_joined.widen(ref_added).intervals
+                selected = added.select(mask, boxes[3])
+                assert (
+                    selected.intervals
+                    == ref_added.select(mask, refs[3]).intervals
+                )
+                assert joined.leq(widened) == ref_joined.leq(
+                    ref_joined.widen(ref_added)
+                )
+                assert added.contains(vectors[0]) == ref_added.contains(
+                    vectors[0]
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_comparisons_match_reference(self, seed):
+        rng = random.Random(seed)
+        dimension = rng.randint(1, 4)
+        left_vectors = _random_vectors(rng, dimension, 2)
+        right_vectors = _random_vectors(rng, dimension, 2)
+        for backend in BACKENDS:
+            with use_backend(backend):
+                domain = IntervalDomain()
+                reference = ReferenceIntervalDomain()
+                left = Box.constant(left_vectors[0]).join(
+                    Box.constant(left_vectors[1])
+                )
+                right = Box.constant(right_vectors[0]).join(
+                    Box.constant(right_vectors[1])
+                )
+                ref_left = ReferenceBox.constant(left_vectors[0]).join(
+                    ReferenceBox.constant(left_vectors[1])
+                )
+                ref_right = ReferenceBox.constant(right_vectors[0]).join(
+                    ReferenceBox.constant(right_vectors[1])
+                )
+                for name in (
+                    "LessThan",
+                    "LessEq",
+                    "GreaterThan",
+                    "GreaterEq",
+                    "Equal",
+                ):
+                    assert domain.compare(
+                        name, left, right, dimension
+                    ) == reference.compare(name, ref_left, ref_right, dimension)
+
+    @pytest.mark.parametrize("examples_count", [3, 9, 33])
+    def test_gfa_fixpoint_matches_reference_domain(self, examples_count):
+        grammar = chain_grammar(4)
+        examples = example_set(examples_count)
+        baseline = solve_abstract_gfa(
+            grammar, examples, domain=ReferenceIntervalDomain()
+        )
+        for backend in BACKENDS:
+            with use_backend(backend):
+                solution = solve_abstract_gfa(grammar, examples, domain="interval")
+            assert (
+                solution.start_value.intervals == baseline.start_value.intervals
+            ), backend
+
+
+# ---------------------------------------------------------------------------
+# Row batches (powerset helpers) across backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(NUMPY_OPS is None, reason="numpy backend not installed")
+class TestRowBatchBackends:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_pairwise_helpers_agree(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 5)
+        rows_a = [
+            tuple(rng.randint(-40, 40) for _ in range(width))
+            for _ in range(rng.randint(1, 6))
+        ]
+        rows_b = [
+            tuple(rng.randint(-40, 40) for _ in range(width))
+            for _ in range(rng.randint(1, 6))
+        ]
+        keep = tuple(rng.random() < 0.5 for _ in range(width))
+        assert NUMPY_OPS.pairwise_sums(rows_a, rows_b) == PYTHON_OPS.pairwise_sums(
+            rows_a, rows_b
+        )
+        assert NUMPY_OPS.pairwise_select(
+            keep, rows_a, rows_b
+        ) == PYTHON_OPS.pairwise_select(keep, rows_a, rows_b)
+        for name in ("LessThan", "LessEq", "GreaterThan", "GreaterEq", "Equal"):
+            assert NUMPY_OPS.pairwise_compare(
+                name, rows_a, rows_b
+            ) == PYTHON_OPS.pairwise_compare(name, rows_a, rows_b)
+
+    def test_overflow_rows_raise_and_fall_back(self):
+        huge = [(2**70, 1)]
+        with pytest.raises(ColumnOverflowError):
+            NUMPY_OPS.pairwise_sums(huge, huge)
+        assert PYTHON_OPS.pairwise_sums(huge, huge) == {(2**71, 2)}
+
+    def test_vector_arithmetic_falls_back_on_overflow(self):
+        with use_backend("numpy"):
+            left = IntVector([2**70, 1])
+            right = IntVector([1, 2])
+            assert (left + right).values == (2**70 + 1, 3)
+            assert left.scale(2).values == (2**71, 2)
+            assert left.less_than(right).values == (False, True)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection, interning, pickling
+# ---------------------------------------------------------------------------
+
+
+class TestBackendPlumbing:
+    def test_python_backend_is_always_available(self):
+        assert "python" in BACKENDS
+        assert resolve_ops("python") is PYTHON_OPS
+
+    def test_use_backend_restores_the_previous_ops(self):
+        before = active_ops()
+        with use_backend("python"):
+            assert active_ops() is PYTHON_OPS
+        assert active_ops() is before
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(Exception):
+            resolve_ops("fortran")
+
+    def test_pickle_reinterns_vectors(self):
+        vector = IntVector([4, 5, 6])
+        assert pickle.loads(pickle.dumps(vector)) is vector
+        mask = BoolVector([True, False])
+        assert pickle.loads(pickle.dumps(mask)) is mask
+
+    def test_pickle_roundtrips_boxes(self):
+        box = Box.constant(IntVector([1, 2, 3]))
+        assert pickle.loads(pickle.dumps(box)) == box
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_columnar_results_reintern(self, backend):
+        with use_backend(backend):
+            total = IntVector([1, 2]) + IntVector([3, 4])
+        assert total is IntVector([4, 6])
+
+
+class TestLargeExampleSet:
+    def test_exact_count_and_determinism(self):
+        first = large_example_set(200)
+        again = large_example_set(200)
+        assert len(first) == 200
+        assert list(first) == list(again)
+
+    def test_prefix_property(self):
+        short = large_example_set(50)
+        long = large_example_set(120)
+        assert list(long)[:50] == list(short)
+
+    def test_seed_changes_the_set(self):
+        assert list(large_example_set(20)) != list(large_example_set(20, seed=7))
+
+
+class TestDomainStatsSurface:
+    def test_powerset_knobs_reach_solver_stats(self):
+        from repro.api.facade import run_engine
+        from repro.suites.scaling import scaling_benchmark
+
+        benchmark = scaling_benchmark(5)
+        response = run_engine(
+            "nayFin",
+            "check",
+            benchmark.problem,
+            example_set(4),
+            knobs={"cap": 32, "max_examples": 9},
+        )
+        assert response.solver_stats["powerset_cap"] == 32
+        assert response.solver_stats["powerset_max_examples"] == 9
