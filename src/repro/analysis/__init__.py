@@ -1,0 +1,14 @@
+"""Independent static analyses over the repo's own artifacts.
+
+The one analysis that lives here today is :mod:`repro.analysis.certcheck`,
+the standalone proof checker for unrealizability certificates.  Modules in
+this package deliberately sit *outside* the solving stack: they may import
+lattice/transfer definitions (:mod:`repro.domains`) and term syntax
+(:mod:`repro.grammar`), but never the fixpoint drivers (:mod:`repro.gfa`)
+or the DPLL(T) core (:mod:`repro.logic.solver`), so a bug in those engines
+cannot certify its own output.
+"""
+
+from repro.analysis.certcheck import CertcheckResult, check_certificate
+
+__all__ = ["CertcheckResult", "check_certificate"]

@@ -24,6 +24,7 @@ can fan requests out to a process pool (via the runner's ``pool_map``) and
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import replace
@@ -169,6 +170,7 @@ def run_engine(
 
     solution = None
     iterations = 0
+    certificate: Optional[Dict[str, Any]] = None
     details: Dict[str, Any] = {}
     counters_before = runtime_counters()
     start = time.monotonic()
@@ -181,6 +183,7 @@ def run_engine(
             iterations = result.iterations
             witness = result.examples
             details = result.details
+            certificate = result.certificate
             if result.solution is not None:
                 solution = result.solution.to_sexpr()
         else:
@@ -189,6 +192,7 @@ def run_engine(
             num_examples = len(examples)
             witness = examples
             details = result.details
+            certificate = result.certificate
     except SolverLimitError as error:
         verdict = Verdict.TIMEOUT
         num_examples = len(examples)
@@ -219,6 +223,14 @@ def run_engine(
                     if isinstance(value, int)
                 }
             )
+    # Every attached certificate was already accepted by the independent
+    # checker at build time (the builders refuse to ship anything else), so
+    # its presence is what the counters record.
+    if certificate is not None:
+        solver_stats["certificate_checked"] = 1
+        solver_stats["certificate_size"] = len(
+            json.dumps(certificate, sort_keys=True)
+        )
 
     return SolveResponse(
         verdict=verdict.value,
@@ -233,6 +245,7 @@ def run_engine(
         grammar=grammar_stats(problem),
         spec=problem.spec.description,
         solver_stats=solver_stats,
+        certificate=json_safe(certificate) if certificate is not None else None,
         details=json_safe(details),
     )
 
@@ -433,26 +446,100 @@ class Solver:
     # -- certificates ---------------------------------------------------------
 
     def verify(
-        self, response: SolveResponse, problem: Optional[ProblemLike] = None
+        self,
+        response: SolveResponse,
+        problem: Optional[ProblemLike] = None,
+        *,
+        require_certificate: bool = False,
     ) -> bool:
-        """Machine-check an ``unrealizable`` response's witness certificate.
+        """Machine-check a definitive response, either polarity.
 
-        Re-runs the exact naySL check on exactly the response's witness
-        example set; by Lem. 3.5 unrealizability over any finite example set
-        implies unrealizability of the original problem, so agreement here
-        certifies the verdict.  Responses for inline/path problems need the
-        ``problem`` argument (the response alone only names benchmarks).
+        ``unrealizable``: when the response carries a ``certificate``
+        (schema version 3) it is re-verified by the independent static
+        checker (:func:`repro.analysis.certcheck.check_certificate`) —
+        no engine, fixpoint driver or solver is re-run.  Responses without
+        one (older payloads) fall back to re-running the exact naySL check
+        on the witness example set, which certifies the verdict by Lem. 3.5;
+        ``require_certificate=True`` disables that fallback and rejects
+        certificate-less responses outright.
+
+        ``realizable``: the claimed ``solution`` is parsed back from its
+        s-expression, checked to be derivable from the problem's grammar,
+        and evaluated on the witness examples through the frozen
+        :func:`repro.semantics.reference.reference_evaluate` twin — not the
+        production evaluator — so a bug in the columnar evaluation core
+        cannot confirm its own output.
+
+        Responses for inline/path problems need the ``problem`` argument
+        (the response alone only names benchmarks).
         """
-        if response.verdict != "unrealizable" or not response.witness_examples:
+        if response.verdict == "realizable":
+            return self._verify_realizable(response, problem)
+        if response.verdict != "unrealizable":
+            return False
+        if response.certificate is not None:
+            from repro.analysis import check_certificate
+
+            resolved = self._resolve_verify_problem(response, problem)
+            if resolved is None:
+                return False
+            return bool(check_certificate(resolved, response.certificate))
+        if require_certificate or not response.witness_examples:
             return False
         source: ProblemLike = problem if problem is not None else response.problem
+        overrides: Dict[str, Any] = {"engine": "naySL"}
+        if problem is None:
+            overrides["suite"] = response.suite
         check = self.check(
             source,
             examples=ExampleSet.from_dicts(response.witness_examples),
-            engine="naySL",
-            suite=response.suite if problem is None else None,
+            **overrides,
         )
         return check.verdict == "unrealizable"
+
+    def _resolve_verify_problem(
+        self, response: SolveResponse, problem: Optional[ProblemLike]
+    ) -> Optional[SyGuSProblem]:
+        """The :class:`SyGuSProblem` a response's verdict is about."""
+        source: ProblemLike = problem if problem is not None else response.problem
+        if isinstance(source, SyGuSProblem):
+            return source
+        if isinstance(source, Benchmark):
+            return source.problem
+        request = self.request(source)
+        if problem is None and response.suite and request.benchmark:
+            request = replace(request, suite=response.suite)
+        try:
+            resolved, _ = resolve_problem(request)
+        except ReproError:
+            return None
+        return resolved
+
+    def _verify_realizable(
+        self, response: SolveResponse, problem: Optional[ProblemLike]
+    ) -> bool:
+        """Re-check a ``realizable`` response's witness term independently."""
+        from repro.grammar.terms import term_from_sexpr
+        from repro.semantics.reference import reference_evaluate
+        from repro.utils.errors import GrammarError
+
+        if not response.solution or not response.witness_examples:
+            return False
+        resolved = self._resolve_verify_problem(response, problem)
+        if resolved is None:
+            return False
+        try:
+            term = term_from_sexpr(response.solution)
+        except GrammarError:
+            return False
+        if not resolved.grammar.contains(term):
+            return False
+        examples = ExampleSet.from_dicts(response.witness_examples)
+        outputs = reference_evaluate(term, examples)
+        return all(
+            resolved.spec.holds_on_example(example, value)
+            for example, value in zip(examples, outputs)
+        )
 
     def available_engines(self) -> List[str]:
         """Registry engines plus the reserved portfolio/staged strategies.

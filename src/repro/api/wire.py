@@ -35,7 +35,7 @@ Round-trip example:
     Traceback (most recent call last):
         ...
     repro.utils.errors.WireFormatError: unsupported response schema_version \
-99 (this build speaks versions 1, 2)
+99 (this build speaks versions 1, 2, 3)
 """
 
 from __future__ import annotations
@@ -54,11 +54,16 @@ from repro.utils.errors import WireFormatError
 #: * **2** — added ``SolveResponse.solver_stats`` (the DPLL(T) core's
 #:   theory-query / lemma-hit / cache-hit counters).  Purely additive, so
 #:   version-1 payloads are still parsed; emitted payloads carry version 2.
-SCHEMA_VERSION = 2
+#: * **3** — added ``SolveResponse.certificate``, the self-contained
+#:   unrealizability proof payload re-verified by
+#:   :mod:`repro.analysis.certcheck`.  Also purely additive: version-1/2
+#:   payloads still parse (the field defaults to ``None`` for them).
+SCHEMA_VERSION = 3
 
 #: Versions ``from_json`` accepts.  Version 1 payloads predate
-#: ``solver_stats``; the field simply defaults to empty for them.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: ``solver_stats``, version 2 payloads predate ``certificate``; the missing
+#: fields simply take their defaults for them.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Verdict strings a response may carry: the four engine verdicts plus
 #: ``"error"`` for requests that failed before an engine could run.
@@ -157,12 +162,15 @@ class SolveRequest:
 class SolveResponse:
     """One solving outcome in wire form.
 
-    ``witness_examples`` is the certificate: for an ``unrealizable`` verdict
-    it is an example set over which the problem is already unrealizable, so
-    any exact engine re-run on exactly those examples must agree.  For a
-    ``realizable`` verdict ``solution`` carries the witness term as an
-    s-expression.  ``engines_raced`` is non-empty for portfolio responses
-    and names every engine that took part; ``engine`` is the winner.
+    ``witness_examples`` names an example set over which the problem is
+    already unrealizable for an ``unrealizable`` verdict, so any exact
+    engine re-run on exactly those examples must agree; ``certificate`` is
+    the stronger, self-contained proof payload (schema version 3) that
+    :mod:`repro.analysis.certcheck` re-verifies without re-running any
+    engine or solver.  For a ``realizable`` verdict ``solution`` carries the
+    witness term as an s-expression.  ``engines_raced`` is non-empty for
+    portfolio responses and names every engine that took part; ``engine`` is
+    the winner.
     """
 
     verdict: str = "unknown"
@@ -183,6 +191,12 @@ class SolveResponse:
     #: the delta of :func:`repro.logic.solver.runtime_counters` around the
     #: engine run.  Empty for version-1 payloads and error responses.
     solver_stats: Dict[str, int] = field(default_factory=dict)
+    #: Self-contained unrealizability proof (schema version 3): the payload
+    #: :func:`repro.analysis.certcheck.check_certificate` accepts.  ``None``
+    #: for non-``unrealizable`` verdicts, version-1/2 payloads, and the rare
+    #: runs where an engine could not assemble a checkable proof
+    #: (certificates are best-effort; verdicts are not).
+    certificate: Optional[Dict[str, Any]] = None
     details: Dict[str, Any] = field(default_factory=dict)
     engines_raced: List[str] = field(default_factory=list)
     error: Optional[str] = None

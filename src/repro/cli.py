@@ -9,7 +9,14 @@ Subcommands:
 * ``batch <dir>``           — solve every ``.sl`` file under a directory,
   optionally on a process pool (``--workers``) and/or with a multi-engine
   strategy (``--tool portfolio`` races, ``--tool staged`` escalates
-  cheap-to-expensive);
+  cheap-to-expensive); ``--verify-certificates`` re-checks every
+  unrealizable response's proof with the independent checker;
+* ``verify <response.json>`` — re-check a saved ``SolveResponse``: the
+  schema-v3 certificate through :mod:`repro.analysis.certcheck`
+  (``--certificate`` makes that mandatory), a realizable solution through
+  the frozen reference evaluator;
+* ``certify``               — sweep the benchmark registry, re-checking the
+  certificate behind every unrealizable verdict (the CI gate);
 * ``serve``                 — start the JSON HTTP endpoint
   (``POST /solve``, ``GET /engines``, ``GET /healthz``);
 * ``list``                  — list the benchmark suites;
@@ -124,6 +131,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     batch.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
     )
+    batch.add_argument(
+        "--verify-certificates",
+        action="store_true",
+        help="re-check every unrealizable response's certificate with the "
+        "independent checker; exit non-zero if any is missing or rejected",
+    )
+
+    verify = subparsers.add_parser(
+        "verify", help="re-check a saved SolveResponse JSON payload"
+    )
+    verify.add_argument(
+        "response", help="path to a SolveResponse JSON file, or '-' for stdin"
+    )
+    verify.add_argument(
+        "--problem",
+        default=None,
+        help="the .sl file (or benchmark name) the response is about; "
+        "needed when the response does not name a benchmark",
+    )
+    verify.add_argument(
+        "--certificate",
+        action="store_true",
+        help="require the schema-v3 certificate payload; without this flag "
+        "certificate-less unrealizable responses fall back to an engine re-run",
+    )
+
+    certify = subparsers.add_parser(
+        "certify",
+        help="sweep the benchmark registry and re-check every certificate",
+    )
+    certify.add_argument(
+        "--tool",
+        default="all",
+        choices=engines + ["all"],
+        help="one engine, or 'all' to sweep every registered engine",
+    )
+    certify.add_argument(
+        "--quick", action="store_true", help="small benchmark slice for CI gating"
+    )
+    certify.add_argument("--timeout", type=float, default=600.0)
+    certify.add_argument(
+        "--json", action="store_true", help="emit one JSON summary object"
+    )
 
     server = subparsers.add_parser("serve", help="start the JSON HTTP endpoint")
     server.add_argument("--host", default=DEFAULT_HOST)
@@ -189,6 +239,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "batch":
         return _run_batch(arguments)
+
+    if arguments.command == "verify":
+        return _run_verify(arguments)
+
+    if arguments.command == "certify":
+        return _run_certify(arguments, engines)
 
     if arguments.command == "serve":
         solver = Solver(timeout_seconds=arguments.timeout)
@@ -287,7 +343,113 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         for path, response in zip(paths, responses):
             if response.error:
                 print(f"{path}: {response.error}", file=sys.stderr)
-    return 1 if any(response.error for response in responses) else 0
+    failed = any(response.error for response in responses)
+    if arguments.verify_certificates:
+        solver = Solver()
+        for path, response in zip(paths, responses):
+            if response.verdict != "unrealizable":
+                continue
+            if not solver.verify(response, path, require_certificate=True):
+                state = "missing" if response.certificate is None else "rejected"
+                print(f"{path}: certificate {state}", file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+def _run_verify(arguments: argparse.Namespace) -> int:
+    if arguments.response == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(arguments.response).read_text()
+        except OSError as error:
+            print(f"cannot read {arguments.response}: {error}", file=sys.stderr)
+            return 1
+    try:
+        response = SolveResponse.from_json_text(text)
+    except Exception as error:  # noqa: BLE001 — malformed payloads exit cleanly
+        print(f"invalid response payload: {error}", file=sys.stderr)
+        return 1
+    problem = None
+    if arguments.problem is not None:
+        raw = arguments.problem
+        problem = Path(raw) if raw.endswith(".sl") else raw
+    verified = Solver().verify(
+        response, problem, require_certificate=arguments.certificate
+    )
+    source = "certificate" if response.certificate is not None else "witness re-run"
+    if verified:
+        print(f"verified: {response.verdict} ({source})")
+        return 0
+    print(f"NOT verified: {response.verdict}", file=sys.stderr)
+    return 1
+
+
+def _run_certify(arguments: argparse.Namespace, engines: List[str]) -> int:
+    """Sweep the registry: every unrealizable verdict must carry a
+    certificate the independent checker accepts."""
+    from repro.analysis import check_certificate
+
+    names = engines if arguments.tool == "all" else [arguments.tool]
+    benchmarks = [
+        benchmark
+        for benchmark in all_benchmarks(include_scaling=True)
+        if benchmark.witness_examples is not None
+        and len(benchmark.witness_examples) > 0
+    ]
+    if arguments.quick:
+        benchmarks = benchmarks[:10]
+    solver = Solver(timeout_seconds=arguments.timeout)
+    certified = {name: 0 for name in names}
+    unrealizable = {name: 0 for name in names}
+    failures: List[dict] = []
+    for benchmark in benchmarks:
+        for name in names:
+            response = solver.check(benchmark, engine=name)
+            if response.verdict != "unrealizable":
+                continue
+            unrealizable[name] += 1
+            if response.certificate is None:
+                failures.append(
+                    {"benchmark": benchmark.name, "engine": name, "why": "missing"}
+                )
+                continue
+            result = check_certificate(benchmark.problem, response.certificate)
+            if result:
+                certified[name] += 1
+            else:
+                failures.append(
+                    {
+                        "benchmark": benchmark.name,
+                        "engine": name,
+                        "why": f"rejected: {result.reason}",
+                    }
+                )
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "benchmarks": len(benchmarks),
+                    "engines": names,
+                    "unrealizable": unrealizable,
+                    "certified": certified,
+                    "failures": failures,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name in names:
+            print(
+                f"{name:10s} {certified[name]}/{unrealizable[name]} "
+                "unrealizable verdicts certified"
+            )
+        for failure in failures:
+            print(
+                f"{failure['benchmark']} [{failure['engine']}]: {failure['why']}",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.domains.base import ExampleVectorDomain, masked_ite_join
 from repro.domains.boolvectors import BoolVectorSet
-from repro.domains.numeric import Interval
+from repro.domains.numeric import Congruence, Interval
 from repro.domains.registry import register_domain
 from repro.logic.formulas import And, Atom, BoolLit, Comparison, Formula, Not, Or
 from repro.logic.terms import LinearExpression
@@ -406,6 +406,69 @@ def satisfiable_on_interval(
         # point of the interval is representative.
         assert interval.low is not None
         candidates.add(interval.low)
+    outcomes = _evaluate_on_candidates(
+        formula, variable, IntVector(sorted(candidates))
+    )
+    return any(outcomes.values)
+
+
+def satisfiable_on_interval_congruence(
+    formula: Formula, variable: str, interval: Interval, congruence: Congruence
+) -> bool:
+    """Decide ``exists v in interval ∩ congruence. formula[variable := v]``.
+
+    Same threshold-enumeration idea as :func:`satisfiable_on_interval`, but
+    every candidate point is *snapped* onto the congruence class ``r + mZ``
+    in both directions.  A one-variable formula is constant on the open gaps
+    strictly between consecutive thresholds and at each threshold point, so
+    for every piece that meets ``interval ∩ congruence`` its least (or
+    greatest) congruent element is among the snapped candidates: piece ends
+    are thresholds, thresholds ± 1, or the interval endpoints, and all of
+    those are snapped both up and down.  Over-approximates (returns True)
+    when other variables appear.
+    """
+    if interval.is_empty() or congruence.is_empty():
+        return False
+    if congruence.modulus == 1:
+        return satisfiable_on_interval(formula, variable, interval)
+    thresholds: Set[int] = set()
+    if not _collect_thresholds(formula, variable, thresholds):
+        return True  # not a one-variable formula; cannot refute directly
+    if congruence.modulus == 0:
+        point = congruence.remainder
+        if not interval.contains(point):
+            return False
+        outcome = _evaluate_on_candidates(formula, variable, IntVector((point,)))
+        return bool(outcome.values[0])
+    modulus = congruence.modulus
+    remainder = congruence.remainder
+
+    def snap_up(value: int) -> int:
+        return value + ((remainder - value) % modulus)
+
+    def snap_down(value: int) -> int:
+        return value - ((value - remainder) % modulus)
+
+    candidates: Set[int] = set()
+
+    def consider(value: int) -> None:
+        if interval.contains(value) and congruence.contains(value):
+            candidates.add(value)
+
+    for threshold in thresholds:
+        for delta in (-1, 0, 1):
+            consider(snap_up(threshold + delta))
+            consider(snap_down(threshold + delta))
+    if interval.low is not None:
+        consider(snap_up(interval.low))
+    if interval.high is not None:
+        consider(snap_down(interval.high))
+    if interval.low is None and interval.high is None and not thresholds:
+        consider(remainder)
+    # Every piece meeting interval ∩ congruence contributed a candidate, so
+    # an empty candidate set means the intersection itself is empty.
+    if not candidates:
+        return False
     outcomes = _evaluate_on_candidates(
         formula, variable, IntVector(sorted(candidates))
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, Tuple
 
+from repro.grammar import alphabet
 from repro.grammar.alphabet import Sort, Symbol
 from repro.utils.errors import GrammarError
 from repro.utils.intern import interner
@@ -165,3 +166,86 @@ class Term:
         op = sexpr_names.get(name, name)
         inner = " ".join(child.to_sexpr() for child in self.children)
         return f"({op} {inner})"
+
+
+#: Operators ``term_from_sexpr`` understands, mapped to symbol constructors.
+#: ``+`` and ``-`` are handled specially (n-ary Plus; Minus vs. negation).
+_SEXPR_OPERATORS: Dict[str, Callable[[], Symbol]] = {
+    "ite": alphabet.if_then_else,
+    "and": alphabet.and_,
+    "or": alphabet.or_,
+    "not": alphabet.not_,
+    "<": alphabet.less_than,
+    "<=": alphabet.less_eq,
+    ">": alphabet.greater_than,
+    ">=": alphabet.greater_eq,
+    "=": alphabet.equal,
+}
+
+
+def term_from_sexpr(text: str) -> Term:
+    """Parse the SyGuS-IF rendering of :meth:`Term.to_sexpr` back to a term.
+
+    The inverse of :meth:`Term.to_sexpr` up to ``Pass`` nodes (which print
+    transparently and are not reconstructed): ``(- 5)`` becomes a negative
+    ``Num``, ``(- x)`` a ``NegVar``, binary ``-`` a ``Minus``, and bare
+    non-numeric atoms become ``Var`` leaves.  Raises
+    :class:`~repro.utils.errors.GrammarError` on malformed input.
+    """
+    tokens = text.replace("(", " ( ").replace(")", " ) ").split()
+    if not tokens:
+        raise GrammarError("empty s-expression")
+    term, position = _parse_sexpr(tokens, 0)
+    if position != len(tokens):
+        raise GrammarError(f"trailing tokens after term: {tokens[position:]}")
+    return term
+
+
+def _parse_sexpr(tokens: list, position: int) -> Tuple[Term, int]:
+    token = tokens[position]
+    if token == ")":
+        raise GrammarError("unexpected ')' in s-expression")
+    if token != "(":
+        return _parse_atom(token), position + 1
+    if position + 1 >= len(tokens):
+        raise GrammarError("unterminated s-expression")
+    operator = tokens[position + 1]
+    children = []
+    position += 2
+    while position < len(tokens) and tokens[position] != ")":
+        child, position = _parse_sexpr(tokens, position)
+        children.append(child)
+    if position >= len(tokens):
+        raise GrammarError("unterminated s-expression")
+    position += 1  # consume ')'
+    return _apply_operator(operator, children), position
+
+
+def _parse_atom(token: str) -> Term:
+    if token == "true":
+        return Term.leaf(alphabet.bool_const(True))
+    if token == "false":
+        return Term.leaf(alphabet.bool_const(False))
+    try:
+        value = int(token)
+    except ValueError:
+        return Term.leaf(alphabet.var(token))
+    return Term.leaf(alphabet.num(value))
+
+
+def _apply_operator(operator: str, children: list) -> Term:
+    if operator == "+":
+        return Term(alphabet.plus(max(2, len(children))), children)
+    if operator == "-":
+        if len(children) == 1:
+            child = children[0]
+            if child.symbol.name == "Num":
+                return Term.leaf(alphabet.num(-int(child.symbol.payload)))
+            if child.symbol.name == "Var":
+                return Term.leaf(alphabet.neg_var(str(child.symbol.payload)))
+            raise GrammarError("unary '-' applies to a number or variable")
+        return Term(alphabet.minus(), children)
+    constructor = _SEXPR_OPERATORS.get(operator)
+    if constructor is None:
+        raise GrammarError(f"unknown s-expression operator {operator!r}")
+    return Term(constructor(), children)

@@ -19,6 +19,7 @@ from repro.horn.clauses import HornSystem, encode_gfa_as_horn
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
 from repro.unreal.approximate import check_examples_abstract
+from repro.unreal.certificates import build_chc_certificate
 from repro.unreal.result import CheckResult
 
 
@@ -41,6 +42,12 @@ class HornEngine:
         for _ in range(max(1, self.overhead_factor)):
             result = check_examples_abstract(problem, examples)
         assert result is not None
+        if result.certificate is not None:
+            # Re-shape the inner abstract-fixpoint certificate as a CHC model
+            # (one clause per production); unproductive ones pass unchanged.
+            chc = build_chc_certificate(problem, result.certificate)
+            if chc is not None:
+                result.certificate = chc
         result.elapsed_seconds = time.monotonic() - start
         return result
 

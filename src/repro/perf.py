@@ -90,7 +90,11 @@ from repro.utils.errors import ReproError
 from repro.utils.vectors import IntVector
 
 #: Version of the BENCH_fixpoint.json schema.
-BENCH_SCHEMA_VERSION = 1
+#:
+#: * **2** — added the ``certification`` section: per-engine counts of
+#:   unrealizable verdicts whose certificates the independent checker
+#:   (:mod:`repro.analysis.certcheck`) accepted, over a fixed slate.
+BENCH_SCHEMA_VERSION = 2
 
 #: Version of the BENCH_logic.json schema.
 LOGIC_BENCH_SCHEMA_VERSION = 1
@@ -256,6 +260,51 @@ def _domain_engine_workload(engine_name: str) -> Workload:
     )
 
 
+#: Benchmark slate the certification sweep checks: one representative per
+#: family the engines disagree on (LIA planes, guarded families, CLIA).
+CERT_BENCH_SLATE = ("plane1", "plane2", "guard1", "guard2", "mpg_guard1", "max2")
+
+
+def _certification_rates(quick: bool = False) -> Dict[str, object]:
+    """Per-engine certificate coverage over :data:`CERT_BENCH_SLATE`.
+
+    For every registered engine, check each slate benchmark and count how
+    many ``unrealizable`` verdicts shipped a certificate the independent
+    checker (:func:`repro.analysis.certcheck.check_certificate`) accepts.
+    The rates land in ``BENCH_fixpoint.json`` so a certification regression
+    (an engine silently losing its proof emitter) shows up in the bench
+    diff, not just in CI's dedicated certcheck job.
+    """
+    from repro.analysis import check_certificate
+    from repro.api import Solver
+    from repro.engine.registry import engine_names
+    from repro.suites.registry import get_benchmark
+
+    slate = CERT_BENCH_SLATE[:2] if quick else CERT_BENCH_SLATE
+    rates: Dict[str, object] = {}
+    for engine_name in engine_names():
+        solver = Solver(engine=engine_name, timeout_seconds=120.0)
+        unrealizable = 0
+        certified = 0
+        for name in slate:
+            benchmark = get_benchmark(name)
+            response = solver.check(benchmark)
+            assert response.error is None, response.error
+            if response.verdict != "unrealizable":
+                continue
+            unrealizable += 1
+            if response.certificate is not None and check_certificate(
+                benchmark.problem, response.certificate
+            ):
+                certified += 1
+        rates[engine_name] = {
+            "unrealizable": unrealizable,
+            "certified": certified,
+            "rate": (certified / unrealizable) if unrealizable else None,
+        }
+    return rates
+
+
 def default_workloads(quick: bool = False) -> List[Workload]:
     """The standard suite; ``quick`` shrinks the sweep for CI smoke runs."""
     kleene_sizes = [64] if quick else [64, 256, 1024]
@@ -361,6 +410,7 @@ def run_perf_suite(
         "quick": quick,
         "workloads": rows,
         "summary": _summarise(rows),
+        "certification": _certification_rates(quick),
         "caches": runtime_cache_stats(),
     }
     return report
@@ -409,6 +459,12 @@ def render_report(report: Dict[str, object]) -> str:
         )
     for key, value in sorted(report["summary"].items()):
         lines.append(f"  {key}: {value:.2f}")
+    for engine_name, cell in sorted(report.get("certification", {}).items()):
+        rate = cell["rate"]
+        lines.append(
+            f"  certified[{engine_name}]: {cell['certified']}/{cell['unrealizable']}"
+            f" ({'-' if rate is None else f'{rate:.0%}'})"
+        )
     return "\n".join(lines)
 
 

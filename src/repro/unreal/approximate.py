@@ -38,6 +38,10 @@ from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
+from repro.unreal.certificates import (
+    build_abstract_certificate,
+    build_unproductive_certificate,
+)
 from repro.unreal.result import CheckResult, Verdict
 from repro.utils.errors import SolverLimitError
 
@@ -146,12 +150,13 @@ def check_examples_abstract(
     abstraction = resolve_domain(domain)
     if len(examples) == 0:
         productive = productive_nonterminals(problem.grammar)
-        verdict = (
-            Verdict.UNKNOWN
-            if problem.grammar.start in productive
-            else Verdict.UNREALIZABLE
+        if problem.grammar.start in productive:
+            return CheckResult(verdict=Verdict.UNKNOWN, examples=examples)
+        return CheckResult(
+            verdict=Verdict.UNREALIZABLE,
+            examples=examples,
+            certificate=build_unproductive_certificate(problem),
         )
-        return CheckResult(verdict=verdict, examples=examples)
     early = abstraction.pre_check(examples)
     if early is not None:
         return early
@@ -159,6 +164,10 @@ def check_examples_abstract(
         problem.grammar, examples, strategy=strategy, domain=abstraction
     )
     result = abstraction.check(solution.start_value, problem.spec, examples)
+    if result.verdict == Verdict.UNREALIZABLE:
+        result.certificate = build_abstract_certificate(
+            problem, examples, solution.values, abstraction
+        )
     result.details["iterations"] = solution.iterations
     result.details["gfa_seconds"] = solution.solve_seconds
     result.details["gfa_evaluations"] = solution.evaluations

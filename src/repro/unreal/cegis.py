@@ -124,6 +124,7 @@ class NaySolver:
                     elapsed_seconds=stopwatch.elapsed(),
                     num_examples=len(check_set),
                     details={"check": check.details},
+                    certificate=check.certificate,
                 )
 
             # Thread 1 of Alg. 2: enumerative synthesis on E only.

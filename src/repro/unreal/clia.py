@@ -46,6 +46,10 @@ from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
+from repro.unreal.certificates import (
+    build_clia_certificate,
+    build_unproductive_certificate,
+)
 from repro.unreal.check import check_unrealizable
 from repro.unreal.result import CheckResult, Verdict
 from repro.utils.errors import SolverLimitError, UnsupportedFeatureError
@@ -71,14 +75,22 @@ def solve_clia_gfa(
     simplify: bool = True,
     max_outer_iterations: int | None = None,
     strategy: str = WORKLIST,
+    interpretation: CliaInterpretation | None = None,
 ) -> CliaGfaSolution:
-    """SolveMutual (§6.4): exact abstraction of a CLIA grammar on examples."""
+    """SolveMutual (§6.4): exact abstraction of a CLIA grammar on examples.
+
+    ``interpretation`` substitutes the production functions — the default is
+    the exact :class:`CliaInterpretation`; the certificate builder passes a
+    coarser comparison interpretation whose transfers the independent proof
+    checker can replay without a solver.
+    """
     check_strategy(strategy)
     normalized = get_cache().normalized(grammar)
     if not normalized.is_clia():
         raise UnsupportedFeatureError("grammar contains operators outside CLIA")
     dimension = len(examples)
-    interpretation = CliaInterpretation(examples)
+    if interpretation is None:
+        interpretation = CliaInterpretation(examples)
     semiring = SemiLinearSemiring(dimension, simplify=simplify)
 
     integer_nts = [nt for nt in normalized.nonterminals if nt.sort == Sort.INT]
@@ -210,12 +222,13 @@ def check_clia_examples(
     """Alg. 1 instantiated with the exact CLIA abstraction (§6.5, Thm. 6.9)."""
     if len(examples) == 0:
         productive = productive_nonterminals(problem.grammar)
-        verdict = (
-            Verdict.REALIZABLE
-            if problem.grammar.start in productive
-            else Verdict.UNREALIZABLE
+        if problem.grammar.start in productive:
+            return CheckResult(verdict=Verdict.REALIZABLE, examples=examples)
+        return CheckResult(
+            verdict=Verdict.UNREALIZABLE,
+            examples=examples,
+            certificate=build_unproductive_certificate(problem),
         )
-        return CheckResult(verdict=verdict, examples=examples)
     gfa = solve_clia_gfa(problem.grammar, examples, stratify=stratify, strategy=strategy)
     result = check_unrealizable(
         gfa.start_value,
@@ -224,6 +237,8 @@ def check_clia_examples(
         exact=True,
         abstraction_size=gfa.start_value.size,
     )
+    if result.verdict == Verdict.UNREALIZABLE:
+        result.certificate = build_clia_certificate(problem, examples)
     result.details["gfa_seconds"] = gfa.solve_seconds
     result.details["outer_iterations"] = gfa.outer_iterations
     result.details["gfa_evaluations"] = gfa.evaluations

@@ -27,6 +27,10 @@ from repro.grammar.analysis import productive_nonterminals
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
+from repro.unreal.certificates import (
+    build_lia_certificate,
+    build_unproductive_certificate,
+)
 from repro.unreal.check import check_unrealizable
 from repro.unreal.result import CheckResult, Verdict
 from repro.utils.errors import UnsupportedFeatureError
@@ -101,6 +105,8 @@ def check_lia_examples(
         exact=True,
         abstraction_size=gfa.start_value.size,
     )
+    if result.verdict == Verdict.UNREALIZABLE:
+        result.certificate = build_lia_certificate(problem, examples, gfa.values)
     result.details["gfa_seconds"] = gfa.solve_seconds
     result.details["gfa_evaluations"] = gfa.evaluations
     return result
@@ -110,7 +116,10 @@ def _empty_example_check(problem: SyGuSProblem, examples: ExampleSet) -> CheckRe
     """With no examples, sy_E is realizable iff the grammar's language is
     nonempty (any term vacuously satisfies the empty conjunction)."""
     productive = productive_nonterminals(problem.grammar)
-    verdict = (
-        Verdict.REALIZABLE if problem.grammar.start in productive else Verdict.UNREALIZABLE
+    if problem.grammar.start in productive:
+        return CheckResult(verdict=Verdict.REALIZABLE, examples=examples)
+    return CheckResult(
+        verdict=Verdict.UNREALIZABLE,
+        examples=examples,
+        certificate=build_unproductive_certificate(problem),
     )
-    return CheckResult(verdict=verdict, examples=examples)

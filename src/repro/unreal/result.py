@@ -33,6 +33,11 @@ class CheckResult:
     elapsed_seconds: float = 0.0
     abstraction_size: int = 0
     details: Dict[str, object] = field(default_factory=dict)
+    #: A self-contained proof payload for ``UNREALIZABLE`` verdicts, checkable
+    #: by :mod:`repro.analysis.certcheck` without re-running any engine.
+    #: ``None`` when the verdict is not unrealizable or no certificate could
+    #: be constructed (certificates are best-effort, verdicts are not).
+    certificate: Optional[Dict[str, object]] = None
 
     @property
     def is_unrealizable(self) -> bool:
@@ -55,6 +60,8 @@ class CegisResult:
     elapsed_seconds: float = 0.0
     num_examples: int = 0
     details: Dict[str, object] = field(default_factory=dict)
+    #: Forwarded from the final :class:`CheckResult` on unrealizable runs.
+    certificate: Optional[Dict[str, object]] = None
 
     @property
     def is_unrealizable(self) -> bool:

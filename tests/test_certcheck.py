@@ -1,0 +1,356 @@
+"""Tests for the independent certificate checker (``repro.analysis.certcheck``).
+
+Three layers:
+
+* **accept paths** — every registered engine's UNREALIZABLE verdict on a
+  shared benchmark ships a certificate the checker accepts;
+* **mutation tests** — corrupting any load-bearing part of a certificate
+  (dropping a production's bound, widening a semi-linear set, perturbing a
+  CHC model) flips the checker to reject;
+* **independence** — the checker never touches the fixpoint driver or the
+  logic solver, enforced both statically (no such imports anywhere in
+  ``certcheck.py``) and dynamically (those modules are booby-trapped while
+  the checker re-verifies real certificates).
+
+Plus coverage for the surfaces the certificates ride on: wire schema v3,
+``Solver.verify`` on both verdict polarities, and the s-expression parser
+the realizable leg uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_certificate
+from repro.api import Solver
+from repro.api.wire import SCHEMA_VERSION, SolveResponse
+from repro.suites.registry import get_benchmark
+from repro.sygus.problem import SyGuSProblem
+
+#: The registry engines under test, pinned (other test modules register
+#: throwaway engines, so a live ``engine_names()`` call here would race
+#: with their cleanup).
+ENGINES = ("naySL", "nayHorn", "nope", "nayInt", "nayFin")
+
+#: The shared benchmark: every engine decides it, quickly.
+PLANE1_NAME = "plane1"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CERTCHECK_PATH = REPO_ROOT / "src" / "repro" / "analysis" / "certcheck.py"
+
+#: Modules the checker must never import: the fixpoint driver and the
+#: solver would make "re-verified independently" circular.
+FORBIDDEN_IMPORTS = (
+    "repro.gfa",
+    "repro.logic.solver",
+    "repro.engine",
+    "repro.baselines",
+    "repro.unreal",
+    "repro.api",
+)
+
+
+@pytest.fixture(scope="module")
+def plane1_bench():
+    return get_benchmark(PLANE1_NAME)
+
+
+@pytest.fixture(scope="module")
+def responses(plane1_bench):
+    """One checked response per registered engine, computed once."""
+    return {
+        name: Solver(engine=name, timeout_seconds=120.0).check(plane1_bench)
+        for name in ENGINES
+    }
+
+
+def _mutated(certificate):
+    """A deep, independent copy safe to corrupt."""
+    return json.loads(json.dumps(certificate))
+
+
+# ---------------------------------------------------------------------------
+# Accept paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_certificate_is_accepted(engine, plane1_bench, responses):
+    response = responses[engine]
+    assert response.verdict == "unrealizable"
+    assert response.certificate is not None, f"{engine} shipped no certificate"
+    result = check_certificate(plane1_bench.problem, response.certificate)
+    assert result, f"{engine} certificate rejected: {result.reason}"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_certificate_counters_in_solver_stats(engine, responses):
+    stats = responses[engine].solver_stats
+    assert stats.get("certificate_checked") == 1
+    assert stats.get("certificate_size", 0) > 0
+
+
+def test_certificate_kinds_cover_all_shapes(responses):
+    kinds = {r.certificate["kind"] for r in responses.values()}
+    assert "semilinear_fixpoint" in kinds
+    assert "abstract_fixpoint" in kinds
+    assert "chc_model" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Mutation tests: every corruption must flip the checker to reject
+# ---------------------------------------------------------------------------
+
+
+class TestAbstractFixpointMutations:
+    @pytest.fixture()
+    def certificate(self, responses):
+        certificate = responses["nayInt"].certificate
+        assert certificate["kind"] == "abstract_fixpoint"
+        return certificate
+
+    def test_dropping_a_bound_breaks_inductiveness(self, plane1_bench, certificate):
+        corrupt = _mutated(certificate)
+        name, value = next(iter(corrupt["values"].items()))
+        # Shrink the nonterminal's box to a single point: some production's
+        # output now falls outside it, so inductiveness must fail.
+        value["intervals"] = [[pair[0], pair[0]] for pair in value["intervals"]]
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+    def test_dropping_a_nonterminal_is_rejected(self, plane1_bench, certificate):
+        corrupt = _mutated(certificate)
+        corrupt["values"].pop(next(iter(corrupt["values"])))
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+    def test_widening_the_start_value_breaks_refutation(
+        self, plane1_bench, certificate
+    ):
+        corrupt = _mutated(certificate)
+        for value in corrupt["values"].values():
+            value["intervals"] = [[-1000, 1000] for _ in value["intervals"]]
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+
+class TestSemilinearFixpointMutations:
+    @pytest.fixture()
+    def certificate(self, responses):
+        certificate = responses["naySL"].certificate
+        assert certificate["kind"] == "semilinear_fixpoint"
+        return certificate
+
+    def test_widening_a_semilinear_set_breaks_refutation(
+        self, plane1_bench, certificate
+    ):
+        corrupt = _mutated(certificate)
+        for value in corrupt["values"].values():
+            for linear_set in value["linear_sets"]:
+                # A unit generator in every coordinate makes the set cover
+                # all of N^d — the start value then satisfies the spec.
+                dimension = len(linear_set["offset"])
+                linear_set["generators"].append([1] * dimension)
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+    def test_dropping_a_linear_set_breaks_inductiveness(
+        self, plane1_bench, certificate
+    ):
+        corrupt = _mutated(certificate)
+        name, value = next(
+            (name, value)
+            for name, value in corrupt["values"].items()
+            if len(value["linear_sets"]) > 1
+        )
+        value["linear_sets"] = value["linear_sets"][:1]
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+
+class TestChcModelMutations:
+    @pytest.fixture()
+    def certificate(self, responses):
+        certificate = responses["nayHorn"].certificate
+        assert certificate["kind"] == "chc_model"
+        return certificate
+
+    def test_perturbing_the_model_is_rejected(self, plane1_bench, certificate):
+        corrupt = _mutated(certificate)
+        value = next(iter(corrupt["model"].values()))
+        # Shrink the predicate's interpretation so a fact clause no longer
+        # holds under the model.
+        value["intervals"] = [[pair[0], pair[0]] for pair in value["intervals"]]
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+    def test_dropping_a_predicate_is_rejected(self, plane1_bench, certificate):
+        corrupt = _mutated(certificate)
+        corrupt["model"].pop(next(iter(corrupt["model"])))
+        assert not check_certificate(plane1_bench.problem, corrupt)
+
+
+class TestFormatGuards:
+    def test_rejects_non_dict(self, plane1_bench):
+        assert not check_certificate(plane1_bench.problem, "not a certificate")
+
+    def test_rejects_unknown_kind(self, plane1_bench):
+        assert not check_certificate(
+            plane1_bench.problem,
+            {"format": 1, "kind": "wishful_thinking", "examples": [{"x": 1}]},
+        )
+
+    def test_rejects_unknown_format_version(self, plane1_bench, responses):
+        corrupt = _mutated(responses["naySL"].certificate)
+        corrupt["format"] = 99
+        result = check_certificate(plane1_bench.problem, corrupt)
+        assert not result
+        assert "format" in result.reason
+
+    def test_rejects_certificate_for_wrong_problem(self, responses):
+        other = get_benchmark("guard1")
+        result = check_certificate(other.problem, responses["naySL"].certificate)
+        assert not result
+
+
+# ---------------------------------------------------------------------------
+# Independence: the checker must not lean on the machinery it audits
+# ---------------------------------------------------------------------------
+
+
+def test_certcheck_never_imports_forbidden_modules():
+    tree = ast.parse(CERTCHECK_PATH.read_text())
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            imported.add(node.module or "")
+    for module in imported:
+        for forbidden in FORBIDDEN_IMPORTS:
+            assert module != forbidden and not module.startswith(
+                forbidden + "."
+            ), f"certcheck.py imports {module} (forbidden: {forbidden})"
+
+
+def test_checker_accepts_with_solver_and_fixpoint_booby_trapped(
+    plane1_bench, responses, monkeypatch
+):
+    """Re-verify every engine's certificate while the fixpoint driver and
+    the logic solver are replaced by tripwires: any call into them fails."""
+    import repro.gfa.fixpoint as fixpoint
+    import repro.gfa.newton as newton
+    import repro.logic.solver as solver
+
+    def tripwire(*args, **kwargs):
+        raise AssertionError("certcheck called into a forbidden module")
+
+    for module in (fixpoint, newton, solver):
+        for name, value in list(vars(module).items()):
+            if callable(value) and not name.startswith("__"):
+                monkeypatch.setattr(module, name, tripwire)
+
+    for engine, response in responses.items():
+        result = check_certificate(plane1_bench.problem, response.certificate)
+        assert result, f"{engine}: {result.reason}"
+
+
+# ---------------------------------------------------------------------------
+# Wire schema v3
+# ---------------------------------------------------------------------------
+
+
+def test_wire_roundtrip_preserves_certificate(responses):
+    response = responses["naySL"]
+    parsed = SolveResponse.from_json_text(response.to_json_text())
+    assert parsed.schema_version == SCHEMA_VERSION == 3
+    assert parsed.certificate == response.certificate
+
+
+def test_older_schema_versions_default_to_no_certificate():
+    for version in (1, 2):
+        parsed = SolveResponse.from_json(
+            {"schema_version": version, "verdict": "unknown"}
+        )
+        assert parsed.certificate is None
+
+
+# ---------------------------------------------------------------------------
+# Solver.verify — both polarities
+# ---------------------------------------------------------------------------
+
+
+class TestVerify:
+    def test_certificate_verify(self, plane1_bench, responses):
+        solver = Solver()
+        response = responses["naySL"]
+        assert solver.verify(response, plane1_bench)
+        assert solver.verify(response, plane1_bench, require_certificate=True)
+
+    def test_legacy_witness_verify_without_certificate(
+        self, plane1_bench, responses
+    ):
+        from dataclasses import replace
+
+        solver = Solver()
+        stripped = replace(responses["naySL"], certificate=None)
+        assert solver.verify(stripped, plane1_bench)
+        assert not solver.verify(stripped, plane1_bench, require_certificate=True)
+
+    def test_corrupted_certificate_fails_verify(self, plane1_bench, responses):
+        from dataclasses import replace
+
+        corrupt = _mutated(responses["naySL"].certificate)
+        for value in corrupt["values"].values():
+            for linear_set in value["linear_sets"]:
+                dimension = len(linear_set["offset"])
+                linear_set["generators"].append([1] * dimension)
+        tampered = replace(responses["naySL"], certificate=corrupt)
+        assert not Solver().verify(tampered, plane1_bench)
+
+    def test_realizable_witness_verifies(self, running_example_grammar):
+        from dataclasses import replace
+
+        from repro.suites.base import scaled_variable_spec
+
+        problem = SyGuSProblem(
+            "threex",
+            running_example_grammar,
+            scaled_variable_spec("x", 3, 0),
+            logic="LIA",
+        )
+        solver = Solver()
+        response = solver.solve(problem)
+        assert response.verdict == "realizable"
+        assert response.solution is not None
+        assert solver.verify(response, problem)
+
+        # A solution outside the grammar (or violating the spec) must fail.
+        corrupt = replace(response, solution="(+ x x)")
+        assert not solver.verify(corrupt, problem)
+
+
+# ---------------------------------------------------------------------------
+# The s-expression parser the realizable leg uses
+# ---------------------------------------------------------------------------
+
+
+class TestTermFromSexpr:
+    def test_roundtrips(self):
+        from repro.grammar.terms import term_from_sexpr
+
+        for text in (
+            "(+ x (- 3))",
+            "(ite (< x y) 1 (- x (- y)))",
+            "(and true (not (= x 0)))",
+            "(- 5)",
+            "x",
+        ):
+            term = term_from_sexpr(text)
+            assert term_from_sexpr(term.to_sexpr()) == term
+
+    def test_rejects_malformed_input(self):
+        from repro.grammar.terms import term_from_sexpr
+        from repro.utils.errors import GrammarError
+
+        for text in ("", "(+ 1 2", "(+ 1 2))", "(frobnicate x)", "(- (+ x y))"):
+            with pytest.raises(GrammarError):
+                term_from_sexpr(text)

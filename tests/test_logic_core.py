@@ -441,7 +441,7 @@ class TestSolverStatsWire:
         assert response.verdict == "unrealizable"
         assert response.solver_stats.get("theory_queries", 0) >= 1
         payload = response.to_json()
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert "solver_stats" in payload
 
     def test_schema_version_1_payloads_still_parse(self):
@@ -452,4 +452,4 @@ class TestSolverStatsWire:
         )
         assert response.solver_stats == {}
         with pytest.raises(WireFormatError):
-            SolveResponse.from_json({"schema_version": 3, "verdict": "unknown"})
+            SolveResponse.from_json({"schema_version": 99, "verdict": "unknown"})

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Static lint for the repo's cross-cutting code invariants.
+
+Three rules, each guarding an invariant the runtime cannot cheaply check:
+
+* **intern-bypass** — the interned value types (``IntVector``,
+  ``BoolVector``, ``Term``, ``LinearSet``, ``SemiLinearSet``) must only be
+  constructed through their canonical ``__new__``/``_wrap`` path, which
+  routes every instance through the weak intern table.  Any
+  ``object.__new__(IntVector)`` or ``IntVector.__new__(...)`` outside the
+  defining module creates an un-interned twin: structural equality keeps
+  working, but pointer-identity fast paths and ``is``-based cache hits
+  silently stop firing.
+* **identity-literal** — ``is`` / ``is not`` comparisons against literals
+  (numbers, strings, tuple/list/dict displays).  Those compare object
+  identity, not value, and only appear to work through CPython's small-int
+  and string caches.  ``is None`` / ``is True`` / ``is False`` and
+  comparisons between two names stay allowed — identity *is* the contract
+  for interned and sentinel values.
+* **protocol** — every class registered via ``@register_engine`` defines
+  (or inherits) ``check`` and ``solve``; every ``@register_domain`` class
+  defines (or inherits) ``bottom``, ``join``, ``equal``, ``transfer`` and
+  ``check``.  The registries store classes and construct lazily, so a
+  missing method only explodes when that engine is first *used* — this
+  rule moves the failure to lint time.  Inheritance is resolved by class
+  name across all linted files (``IntervalDomain`` in ``interval.py``
+  inherits ``ExampleVectorDomain`` from ``base.py``).
+
+Usage::
+
+    python tools/lint_invariants.py [path ...]
+
+Paths default to ``src/repro``.  Exit status is the number of violations
+(0 = healthy), so CI can run it directly.  Stdlib only, like everything
+else in this repo.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+#: Value types whose constructors intern through a weak table.  Constructing
+#: them any other way breaks the "equal implies identical" invariant.
+INTERNED_TYPES = frozenset(
+    {"IntVector", "BoolVector", "Term", "LinearSet", "SemiLinearSet"}
+)
+
+#: Modules allowed to touch ``object.__new__`` for the interned types: the
+#: files that *define* them (their ``_wrap``/``__new__`` bodies live here).
+DEFINING_MODULE_SUFFIXES = (
+    "utils/vectors.py",
+    "grammar/terms.py",
+    "domains/semilinear.py",
+)
+
+#: Methods an ``@register_engine`` class must define or inherit.
+ENGINE_PROTOCOL = frozenset({"check", "solve"})
+
+#: Methods a ``@register_domain`` class must define or inherit.
+DOMAIN_PROTOCOL = frozenset({"bottom", "join", "equal", "transfer", "check"})
+
+#: Literal AST nodes whose identity is an implementation accident.
+_DISPLAY_NODES = (ast.List, ast.Tuple, ast.Dict, ast.Set, ast.JoinedStr)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted ``path:line: [rule] message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class _ClassInfo:
+    """What one ``class`` statement contributes to protocol resolution."""
+
+    name: str
+    path: str
+    line: int
+    bases: Tuple[str, ...]
+    methods: Set[str]
+    registered_as: Tuple[str, ...]  # () | ("engine",) | ("domain",) | both
+
+
+def _base_name(node: ast.expr) -> str:
+    """The trailing identifier of a base-class expression, or ``""``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] style bases
+        return _base_name(node.value)
+    return ""
+
+
+def _registration_kinds(node: ast.ClassDef) -> Tuple[str, ...]:
+    kinds = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _base_name(target)
+        if name == "register_engine":
+            kinds.append("engine")
+        elif name == "register_domain":
+            kinds.append("domain")
+    return tuple(kinds)
+
+
+def _is_identity_literal(node: ast.expr) -> bool:
+    """Is this operand a literal whose identity is not a stable contract?"""
+    if isinstance(node, ast.Constant):
+        return node.value is not None and not isinstance(node.value, bool)
+    return isinstance(node, _DISPLAY_NODES)
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One pass over a module: local rules plus class harvesting."""
+
+    def __init__(self, path: str, in_defining_module: bool) -> None:
+        self.path = path
+        self.in_defining_module = in_defining_module
+        self.violations: List[Violation] = []
+        self.classes: List[_ClassInfo] = []
+
+    # -- rule: intern-bypass -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        function = node.func
+        if isinstance(function, ast.Attribute) and function.attr == "__new__":
+            owner = function.value
+            bypassed = None
+            if (
+                isinstance(owner, ast.Name)
+                and owner.id == "object"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in INTERNED_TYPES
+            ):
+                bypassed = node.args[0].id
+            elif isinstance(owner, ast.Name) and owner.id in INTERNED_TYPES:
+                bypassed = owner.id
+            if bypassed is not None and not self.in_defining_module:
+                self.violations.append(
+                    Violation(
+                        self.path,
+                        node.lineno,
+                        "intern-bypass",
+                        f"{bypassed} constructed via __new__ outside its "
+                        f"defining module; use the {bypassed}(...) "
+                        f"constructor so the instance is interned",
+                    )
+                )
+        self.generic_visit(node)
+
+    # -- rule: identity-literal ----------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Is, ast.IsNot)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            if any(_is_identity_literal(operand) for operand in pair):
+                self.violations.append(
+                    Violation(
+                        self.path,
+                        node.lineno,
+                        "identity-literal",
+                        "'is' comparison against a literal compares object "
+                        "identity, not value; use == (identity is only a "
+                        "contract for interned/sentinel values)",
+                    )
+                )
+        self.generic_visit(node)
+
+    # -- class harvesting for the protocol rule ------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            child.name
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        bases = tuple(
+            name for name in (_base_name(base) for base in node.bases) if name
+        )
+        self.classes.append(
+            _ClassInfo(
+                name=node.name,
+                path=self.path,
+                line=node.lineno,
+                bases=bases,
+                methods=methods,
+                registered_as=_registration_kinds(node),
+            )
+        )
+        self.generic_visit(node)
+
+
+def _resolve_methods(
+    class_name: str, by_name: Dict[str, _ClassInfo], seen: Set[str]
+) -> Set[str]:
+    """All methods ``class_name`` defines or inherits, resolved by name."""
+    if class_name in seen:
+        return set()
+    seen.add(class_name)
+    info = by_name.get(class_name)
+    if info is None:
+        return set()
+    methods = set(info.methods)
+    for base in info.bases:
+        methods |= _resolve_methods(base, by_name, seen)
+    return methods
+
+
+def _check_protocols(classes: Sequence[_ClassInfo]) -> List[Violation]:
+    by_name = {info.name: info for info in classes}
+    requirements = {"engine": ENGINE_PROTOCOL, "domain": DOMAIN_PROTOCOL}
+    violations: List[Violation] = []
+    for info in classes:
+        for kind in info.registered_as:
+            required = requirements[kind]
+            available = _resolve_methods(info.name, by_name, set())
+            missing = sorted(required - available)
+            if missing:
+                violations.append(
+                    Violation(
+                        info.path,
+                        info.line,
+                        "protocol",
+                        f"@register_{kind} class {info.name} is missing "
+                        f"required method(s): {', '.join(missing)}",
+                    )
+                )
+    return violations
+
+
+def python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths``; return all violations."""
+    violations: List[Violation] = []
+    classes: List[_ClassInfo] = []
+    for path in python_files(paths):
+        text = path.as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=text)
+        except SyntaxError as error:
+            violations.append(
+                Violation(text, error.lineno or 0, "syntax", str(error.msg))
+            )
+            continue
+        linter = _FileLinter(
+            text, text.endswith(DEFINING_MODULE_SUFFIXES)
+        )
+        linter.visit(tree)
+        violations.extend(linter.violations)
+        classes.extend(linter.classes)
+    violations.extend(_check_protocols(classes))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def main(argv: Sequence[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src/repro")]
+    violations = lint_paths(roots)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+    else:
+        print("invariants OK")
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
