@@ -29,7 +29,17 @@ import os
 import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.wire import (
     SolveRequest,
@@ -144,6 +154,7 @@ def run_engine(
     timeout: Optional[float] = None,
     seed: Optional[int] = None,
     max_iterations: Optional[int] = None,
+    tags: Optional[Mapping[str, Any]] = None,
 ) -> SolveResponse:
     """Run one engine on one problem and report the outcome in wire form.
 
@@ -155,9 +166,17 @@ def run_engine(
     :func:`repro.engine.runner.apply_timeout_policy` is applied to the
     measured wall time: late definitive verdicts survive, undetermined late
     outcomes become ``timeout``.
+
+    ``tags`` is the request's free-form tag mapping; its only consumer here
+    is the fault-injection layer (``tags["faults"]`` /
+    :data:`repro.testing.faults.FAULTS_ENV`), consulted right at the engine
+    boundary so chaos tests can make any leg crash, hang, stall or fail on
+    demand.  When no fault channel is armed the hook is a single dict/env
+    lookup — the production path pays nothing.
     """
     from repro.engine.runner import apply_timeout_policy
     from repro.logic.solver import runtime_counters
+    from repro.testing.faults import faults_armed, inject_faults
 
     knobs = dict(knobs or {})
     knobs.setdefault("timeout_seconds", timeout)
@@ -172,9 +191,17 @@ def run_engine(
     iterations = 0
     certificate: Optional[Dict[str, Any]] = None
     details: Dict[str, Any] = {}
+    fault_events: List[Dict[str, Any]] = []
     counters_before = runtime_counters()
     start = time.monotonic()
     try:
+        # The fault-injection point: inside the timed region (a ``slow``
+        # fault must trip the soft-timeout policy exactly like a slow
+        # engine), before the engine runs (a ``crash`` kills the leg, not
+        # half a solve).  Raising kinds propagate to ``execute_request``'s
+        # error handling.
+        if faults_armed(tags):
+            fault_events = inject_faults(engine_name, tags)
         if kind == "solve" or len(examples) == 0:
             kind = "solve"
             result = engine.solve(problem)
@@ -231,6 +258,10 @@ def run_engine(
         solver_stats["certificate_size"] = len(
             json.dumps(certificate, sort_keys=True)
         )
+    if fault_events:
+        solver_stats["faults_injected"] = len(fault_events)
+        if isinstance(details, dict):
+            details = {**details, "fault_events": fault_events}
 
     return SolveResponse(
         verdict=verdict.value,
@@ -276,6 +307,7 @@ def execute_request(request: SolveRequest) -> SolveResponse:
             timeout=request.timeout_seconds,
             seed=request.seed,
             max_iterations=request.max_iterations,
+            tags=request.tags,
         )
         response.suite = benchmark.suite if benchmark is not None else None
         response.tags = dict(request.tags)
@@ -390,6 +422,15 @@ class Solver:
             filled["max_examples"] = self.max_examples
         return replace(request, **filled) if filled else request
 
+    def prepare(self, request: SolveRequest) -> SolveRequest:
+        """Public form of the default-filling step.
+
+        The serve endpoint calls it before fingerprinting a request for
+        in-flight dedup, so two requests that only differ in budgets the
+        solver would fill identically share a fingerprint.
+        """
+        return self._with_defaults(request)
+
     # -- solving --------------------------------------------------------------
 
     def solve(self, problem: ProblemLike, **overrides: Any) -> SolveResponse:
@@ -419,11 +460,15 @@ class Solver:
         workers: Optional[int] = None,
         **overrides: Any,
     ) -> List[SolveResponse]:
-        """Solve many requests, optionally on a process pool.
+        """Solve many requests, optionally on the supervised solve fabric.
 
         Responses come back in request order regardless of worker count; a
         request that blows its hard wall-clock guard yields a ``timeout``
-        response instead of stalling the batch.
+        response instead of stalling the batch.  With ``workers > 1`` the
+        batch runs on the ambient fabric when one is installed (``serve``),
+        otherwise on an ephemeral :class:`~repro.engine.supervisor.Supervisor`
+        — either way a crashed worker is replaced and its request retried
+        instead of poisoning the whole batch.
         """
         requests = [
             self._with_defaults(self.request(problem, **overrides))
@@ -432,16 +477,13 @@ class Solver:
         workers = self.workers if workers is None else max(1, int(workers))
         if workers == 1 or len(requests) <= 1:
             return [execute_request(request) for request in requests]
-        from repro.engine.runner import hard_guard, pool_map
+        from repro.engine.supervisor import Supervisor, get_fabric
 
-        responses = pool_map(
-            execute_request,
-            requests,
-            workers=workers,
-            guard_for=lambda request: hard_guard(request.timeout_seconds),
-            fallback_for=timeout_response,
-        )
-        return [response for response in responses if response is not None]
+        fabric = get_fabric()
+        if fabric is not None:
+            return fabric.map(requests)
+        with Supervisor(workers, warm=False, name="batch") as ephemeral:
+            return ephemeral.map(requests)
 
     # -- certificates ---------------------------------------------------------
 

@@ -7,9 +7,16 @@ trails by a constant factor.  Two strategies turn that complementary
 strength into latency:
 
 * ``engine="portfolio"`` (:func:`solve_portfolio`) — every selected engine
-  runs the same request on its own process, the first **definitive** verdict
+  runs the same request on its own worker of the supervised solve fabric
+  (:mod:`repro.engine.supervisor`), the first **definitive** verdict
   (``unrealizable``/``realizable``) wins, and the losers are cancelled
-  outright (pending futures dropped, running worker processes terminated).
+  outright (their workers killed and replaced).  A leg that crashes is an
+  ``error`` result for that engine only — the race keeps going on the
+  surviving workers, which is the whole point of the fabric: under the old
+  ``ProcessPoolExecutor`` substrate one dead leg marked the pool broken and
+  tore down every sibling.  Engines whose circuit breaker is open are
+  skipped up front (``details["portfolio"]["skipped"]``) and re-admitted by
+  half-open probes once their cooldown passes.
 * ``engine="staged"`` (:func:`solve_staged`) — engines run *in order of
   cost*, in-process: the cheap abstract domains (``nayInt``, ``nayFin``)
   first, escalating to ``nayHorn`` and finally exact ``naySL`` only while
@@ -31,10 +38,7 @@ neither strategy ever upgrades an approximate engine's ``unknown``.
 
 from __future__ import annotations
 
-import multiprocessing
-import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import replace
 from typing import Dict, List, Optional
 
@@ -63,29 +67,6 @@ def portfolio_engines(request: SolveRequest) -> List[str]:
     return list(engine_names())
 
 
-def _race_worker(payload: Dict[str, object]) -> Dict[str, object]:
-    """Worker entry: one engine's leg of the race, in wire form end to end."""
-    from repro.api.facade import execute_request
-
-    return execute_request(SolveRequest.from_json(payload)).to_json()
-
-
-def _race_context() -> multiprocessing.context.BaseContext:
-    """The multiprocessing context the race pool forks/spawns from.
-
-    ``fork`` is fastest and inherits dynamically registered engines, but
-    forking a multi-threaded process (e.g. a ``repro-nay serve`` handler
-    thread) can deadlock the child on locks held by other threads — there,
-    and on platforms without ``fork``, fall back to ``spawn``.
-    """
-    if threading.active_count() == 1:
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError:
-            pass
-    return multiprocessing.get_context("spawn")
-
-
 def _best_loser(
     finished: Dict[str, SolveResponse], engines: List[str], request: SolveRequest
 ) -> SolveResponse:
@@ -102,14 +83,33 @@ def _best_loser(
 
 
 def solve_portfolio(request: SolveRequest) -> SolveResponse:
-    """Race the request across engines; first definitive verdict wins."""
-    from repro.engine.runner import hard_guard, shutdown_pool_now
+    """Race the request across engines on the solve fabric.
+
+    First definitive verdict wins; losers are cancelled (workers killed and
+    replaced).  A crashed leg becomes an ``error`` result for that engine
+    while the race continues on the survivors.  Engines with an open circuit
+    breaker are skipped.  Races run on the ambient fabric when one is
+    installed (``repro-nay serve``), sharing its pre-warmed workers;
+    otherwise an ephemeral one-worker-per-leg supervisor is forked for the
+    race, deliberately ignoring the core count — a race only works if every
+    leg starts promptly, and on an oversubscribed box the legs timeshare,
+    which still lets the fastest engine win.
+    """
+    from repro.api.facade import execute_request
+    from repro.engine.runner import hard_guard
+    from repro.engine.supervisor import (
+        FabricSaturatedError,
+        Job,
+        Supervisor,
+        WorkerCrashError,
+        get_breakers,
+        get_fabric,
+    )
+    from repro.testing.faults import in_worker_process
 
     engines = portfolio_engines(request)
     if not engines:
         return error_response("portfolio has no engines to race", request)
-
-    from repro.api.facade import execute_request
 
     start = time.monotonic()
     if len(engines) == 1:
@@ -117,55 +117,164 @@ def solve_portfolio(request: SolveRequest) -> SolveResponse:
         response.engines_raced = list(engines)
         return response
 
+    if in_worker_process():
+        # A daemonic fabric worker cannot fork race legs of its own; degrade
+        # to the in-process staged ladder over the same engine pool.
+        response = solve_staged(replace(request, engines=list(engines)))
+        response.details = {**response.details, "portfolio_degraded": "staged"}
+        return response
+
+    breakers = get_breakers()
+    admitted: List[str] = []
+    skipped: List[str] = []
+    for name in engines:
+        (admitted if breakers.allow(name) else skipped).append(name)
+    if not admitted:
+        response = error_response(
+            "portfolio: every selected engine's circuit breaker is open "
+            f"({', '.join(sorted(skipped))})",
+            request,
+        )
+        response.engines_raced = list(engines)
+        response.details = {
+            **response.details,
+            "portfolio": {
+                "winner": None,
+                "race_seconds": 0.0,
+                "finished": [],
+                "cancelled": sorted(engines),
+                "skipped": sorted(skipped),
+            },
+            "breakers": breakers.snapshot(),
+        }
+        return response
+
     guard = hard_guard(request.timeout_seconds)
     deadline = None if guard is None else start + guard
+    soft_deadline = (
+        None if request.timeout_seconds is None else start + request.timeout_seconds
+    )
 
+    def leg(name: str) -> SolveRequest:
+        return replace(request, engine=name, engines=None)
+
+    def soft_remaining() -> Optional[float]:
+        if soft_deadline is None:
+            return None
+        return max(0.05, soft_deadline - time.monotonic())
+
+    fabric = get_fabric()
+    ephemeral = fabric is None
+    if ephemeral:
+        fabric = Supervisor(len(admitted), warm=False, name="race")
+
+    pending: List[str] = list(admitted)
+    jobs: Dict[str, Job] = {}
     finished: Dict[str, SolveResponse] = {}
+    crashed: Dict[str, str] = {}
     winner: Optional[SolveResponse] = None
-    # One worker per engine, deliberately ignoring the core count: a race
-    # only works if every leg starts immediately.  On an oversubscribed box
-    # the legs timeshare, which still lets the fastest engine win.
-    pool = ProcessPoolExecutor(max_workers=len(engines), mp_context=_race_context())
-    pending: set = set()
-    try:
-        futures: Dict[Future, str] = {}
-        for name in engines:
-            payload = replace(request, engine=name, engines=None).to_json()
-            futures[pool.submit(_race_worker, payload)] = name
-        pending = set(futures)
-        while pending and winner is None:
-            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-            done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
-            if not done:
-                break  # hard wall-clock guard expired with engines still running
-            for future in done:
-                name = futures[future]
-                try:
-                    response = SolveResponse.from_json(future.result())
-                except Exception as error:  # worker crashed; the race goes on
-                    response = error_response(str(error), request, engine=name)
-                finished[name] = response
-                if winner is None and response.is_definitive:
-                    winner = response
-    finally:
-        if pending:
-            # Cancel the losers: drop queued legs, terminate running workers.
-            shutdown_pool_now(pool)
+
+    def settle(name: str, response: SolveResponse) -> None:
+        nonlocal winner
+        finished[name] = response
+        breaker = breakers.for_engine(name)
+        if response.verdict == "timeout":
+            breaker.record_failure()
+        elif response.verdict == "error":
+            breaker.release_probe()  # deterministic failure: not the fabric's
         else:
-            pool.shutdown(wait=True)
+            breaker.record_success()
+        if winner is None and response.is_definitive:
+            winner = response
+
+    try:
+        while (pending or jobs) and winner is None:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                break  # hard wall-clock guard expired with legs still running
+            # Start every leg an idle worker can take right now.
+            while pending:
+                job = fabric.try_submit(leg(pending[0]), soft_timeout=soft_remaining())
+                if job is None:
+                    break
+                jobs[pending.pop(0)] = job
+            if not jobs:
+                # Shared fabric fully busy with other requests: block for
+                # one worker so the race always makes progress.
+                name = pending.pop(0)
+                try:
+                    jobs[name] = fabric.submit(
+                        leg(name), soft_timeout=soft_remaining(), timeout=remaining
+                    )
+                except FabricSaturatedError:
+                    pending.insert(0, name)
+                    break
+                except WorkerCrashError as error:
+                    crashed[name] = str(error)
+                    breakers.for_engine(name).record_failure()
+                    settle_crash = error_response(
+                        f"race leg crashed: {error}", request, engine=name
+                    )
+                    finished[name] = settle_crash
+                    continue
+            slice_seconds = 0.25
+            if remaining is not None:
+                slice_seconds = min(slice_seconds, max(0.0, remaining))
+            ready = fabric.poll_jobs(list(jobs.values()), timeout=slice_seconds)
+            by_job = {job: name for name, job in jobs.items()}
+            for job in sorted(ready, key=lambda item: admitted.index(by_job[item])):
+                name = by_job[job]
+                try:
+                    response = fabric.harvest(job, timeout=1.0)
+                except WorkerCrashError as error:
+                    jobs.pop(name)
+                    crashed[name] = str(error)
+                    breakers.for_engine(name).record_failure()
+                    finished[name] = error_response(
+                        f"race leg crashed: {error}", request, engine=name
+                    )
+                    continue
+                except Exception:  # noqa: BLE001 — a flaky poll must not end the race
+                    continue
+                jobs.pop(name)
+                settle(name, response)
+                if winner is not None:
+                    break
+    finally:
+        for name, job in jobs.items():
+            # Cancel the losers (or, at the deadline, the stragglers): kill
+            # their workers.  Deadline expiry is a hard timeout and counts
+            # against the engine's breaker; losing to a faster sibling says
+            # nothing about the engine.
+            fabric.cancel(job, replace_worker=not ephemeral)
+            if winner is None:
+                breakers.for_engine(name).record_failure()
+            else:
+                breakers.for_engine(name).release_probe()
+        for name in pending:
+            breakers.for_engine(name).release_probe()
+        if ephemeral:
+            fabric.shutdown()
 
     race_seconds = time.monotonic() - start
     response = winner if winner is not None else _best_loser(finished, engines, request)
     response.engines_raced = list(engines)
-    response.details = {
-        **response.details,
-        "portfolio": {
-            "winner": response.engine if winner is not None else None,
-            "race_seconds": round(race_seconds, 4),
-            "finished": sorted(finished),
-            "cancelled": sorted(set(engines) - set(finished)),
-        },
+    portfolio_details: Dict[str, object] = {
+        "winner": response.engine if winner is not None else None,
+        "race_seconds": round(race_seconds, 4),
+        "finished": sorted(finished),
+        "cancelled": sorted(set(engines) - set(finished)),
     }
+    if skipped:
+        portfolio_details["skipped"] = sorted(skipped)
+    if crashed:
+        portfolio_details["crashed"] = sorted(crashed)
+        response.solver_stats = {
+            **response.solver_stats,
+            "workers_replaced": response.solver_stats.get("workers_replaced", 0)
+            + len(crashed),
+        }
+    response.details = {**response.details, "portfolio": portfolio_details}
     return response
 
 
@@ -205,6 +314,7 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
         resolve_request_examples,
         run_engine,
     )
+    from repro.engine.supervisor import get_breakers
     from repro.utils.errors import ReproError
 
     engines = staged_engines(request)
@@ -222,9 +332,11 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
             f"internal error: {type(error).__name__}: {error}", request
         )
 
+    breakers = get_breakers()
     start = time.monotonic()
     finished: Dict[str, SolveResponse] = {}
     stages: List[Dict[str, object]] = []
+    skipped: List[str] = []
     solver_stats: Dict[str, int] = {}
     winner: Optional[SolveResponse] = None
     exact_calls = 0
@@ -234,6 +346,13 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
             remaining = request.timeout_seconds - (time.monotonic() - start)
             if remaining <= 0:
                 break
+        # The ladder degrades around tripped engines: skip while a breaker
+        # is open, escalate to the next stage.  Checked lazily, per stage,
+        # so a half-open probe is only consumed by a stage that actually
+        # runs.
+        if not breakers.allow(name):
+            skipped.append(name)
+            continue
         try:
             response = run_engine(
                 name,
@@ -253,6 +372,14 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
                 engine=name,
             )
         finished[name] = response
+        # In-process stages cannot crash the process, so the staged ladder
+        # never *trips* a breaker — it heals the board instead: a success
+        # closes a half-open probe, anything else hands the probe back.
+        breaker = breakers.for_engine(name)
+        if response.verdict in ("unrealizable", "realizable", "unknown"):
+            breaker.record_success()
+        else:
+            breaker.release_probe()
         exact_calls += 1 if name in EXACT_ENGINES else 0
         for key, value in response.solver_stats.items():
             solver_stats[key] = solver_stats.get(key, 0) + value
@@ -268,6 +395,25 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
             break
 
     total_seconds = time.monotonic() - start
+    if not finished and skipped:
+        response = error_response(
+            "staged: every selected engine's circuit breaker is open "
+            f"({', '.join(skipped)})",
+            request,
+        )
+        response.details = {**response.details, "breakers": breakers.snapshot()}
+        response.engines_raced = []
+        response.details = {
+            **response.details,
+            "staged": {
+                "winner": None,
+                "order": list(engines),
+                "stages": [],
+                "skipped": skipped,
+                "total_seconds": round(total_seconds, 4),
+            },
+        }
+        return response
     response = winner if winner is not None else _best_loser(finished, engines, request)
     response.suite = benchmark.suite if benchmark is not None else response.suite
     response.tags = dict(request.tags)
@@ -278,14 +424,14 @@ def solve_staged(request: SolveRequest) -> SolveResponse:
         "staged_exact_calls": exact_calls,
         "staged_cheap_calls": len(stages) - exact_calls,
     }
-    response.details = {
-        **response.details,
-        "staged": {
-            "winner": response.engine if winner is not None else None,
-            "order": list(engines),
-            "stages": stages,
-            "escalated_past": [entry["engine"] for entry in stages[:-1]],
-            "total_seconds": round(total_seconds, 4),
-        },
+    staged_details: Dict[str, object] = {
+        "winner": response.engine if winner is not None else None,
+        "order": list(engines),
+        "stages": stages,
+        "escalated_past": [entry["engine"] for entry in stages[:-1]],
+        "total_seconds": round(total_seconds, 4),
     }
+    if skipped:
+        staged_details["skipped"] = skipped
+    response.details = {**response.details, "staged": staged_details}
     return response

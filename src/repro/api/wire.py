@@ -190,6 +190,11 @@ class SolveResponse:
     #: query counts, lemma hits, logic-cache hits, simplex pivots, etc. —
     #: the delta of :func:`repro.logic.solver.runtime_counters` around the
     #: engine run.  Empty for version-1 payloads and error responses.
+    #: The solve fabric (:mod:`repro.engine.supervisor`) adds its resilience
+    #: counters here *additively* (no schema bump, absent on clean runs):
+    #: ``retries`` / ``workers_replaced`` / ``breaker_trips`` when a request
+    #: survived worker failures, and ``faults_injected`` when the
+    #: fault-injection harness (:mod:`repro.testing.faults`) was armed.
     solver_stats: Dict[str, int] = field(default_factory=dict)
     #: Self-contained unrealizability proof (schema version 3): the payload
     #: :func:`repro.analysis.certcheck.check_certificate` accepts.  ``None``

@@ -181,6 +181,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     server.add_argument(
         "--timeout", type=float, default=600.0, help="default per-request timeout"
     )
+    server.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pre-warmed solve-fabric worker processes "
+        "(default: auto-sized; 0 disables the fabric)",
+    )
+    server.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission control: concurrent requests before 503 + Retry-After",
+    )
+    server.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="largest accepted POST /solve body (HTTP 413 beyond it)",
+    )
 
     subparsers.add_parser("list", help="list all benchmarks")
     subparsers.add_parser("engines", help="list the registered engines")
@@ -198,12 +217,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=["fixpoint", "logic", "domains", "all"],
+        choices=["fixpoint", "logic", "domains", "chaos", "all"],
         default="fixpoint",
         help="fixpoint: worklist-vs-dense strategies (BENCH_fixpoint.json); "
         "logic: incremental DPLL(T) core vs the pre-rewrite solver "
         "(BENCH_logic.json); domains: the columnar evaluation core over an "
-        "example-count sweep (BENCH_domains.json); all: every suite",
+        "example-count sweep (BENCH_domains.json); chaos: fault-injected "
+        "resilience sweep over the solve fabric (BENCH_chaos.json); "
+        "all: every timing suite (chaos excluded; run it explicitly)",
     )
     bench.add_argument(
         "--repeat", type=int, default=3, help="timed repetitions per measurement"
@@ -247,8 +268,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_certify(arguments, engines)
 
     if arguments.command == "serve":
+        from repro.api.service import DEFAULT_MAX_INFLIGHT, DEFAULT_MAX_REQUEST_BYTES
+
         solver = Solver(timeout_seconds=arguments.timeout)
-        return serve(arguments.host, arguments.port, solver)
+        return serve(
+            arguments.host,
+            arguments.port,
+            solver,
+            workers=arguments.workers,
+            max_inflight=(
+                arguments.max_inflight
+                if arguments.max_inflight is not None
+                else DEFAULT_MAX_INFLIGHT
+            ),
+            max_request_bytes=(
+                arguments.max_request_bytes
+                if arguments.max_request_bytes is not None
+                else DEFAULT_MAX_REQUEST_BYTES
+            ),
+        )
 
     if arguments.command == "list":
         for benchmark in all_benchmarks(include_scaling=True):
@@ -293,6 +331,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 print(perf.render_domains_report(report))
                 default_path = perf.DEFAULT_DOMAINS_BENCH_PATH
+            elif suite == "chaos":
+                report = perf.run_chaos_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_chaos_report(report))
+                default_path = perf.DEFAULT_CHAOS_BENCH_PATH
             else:
                 report = perf.run_logic_suite(
                     repetitions=arguments.repeat, quick=arguments.quick

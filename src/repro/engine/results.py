@@ -55,6 +55,18 @@ def stable_fingerprint(rows: Sequence[Dict[str, object]]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def request_fingerprint(payload: Dict[str, object]) -> str:
+    """SHA-256 digest of a wire-request payload, canonical-JSON keyed.
+
+    The serve endpoint's in-flight dedup key: two requests share a
+    fingerprint exactly when their full payloads (engine, problem source,
+    budgets, seed, *and* tags — a fault-tagged request must never dedup
+    against a clean one) are identical.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def render_stable(rows: Sequence[Dict[str, object]]) -> str:
     """A canonical text rendering of the stable fields (for diffing runs)."""
     lines = []

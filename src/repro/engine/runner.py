@@ -37,6 +37,7 @@ import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -49,6 +50,9 @@ from repro.unreal.result import Verdict
 #: waits for a worker before writing the row off as TIMEOUT.
 HARD_TIMEOUT_FACTOR = 3.0
 HARD_TIMEOUT_MARGIN = 30.0
+
+#: How long a terminated worker gets to honour SIGTERM before SIGKILL.
+SHUTDOWN_GRACE_SECONDS = 1.0
 
 
 def hard_guard(timeout: Optional[float]) -> Optional[float]:
@@ -263,8 +267,11 @@ def shutdown_pool_now(pool: ProcessPoolExecutor) -> None:
 
     ``shutdown(wait=True)`` would join a worker that blew through its hard
     guard forever; instead cancel everything that has not started and
-    terminate the worker processes outright.  Also used by the portfolio
-    racer to cancel losing engines once a definitive verdict is in.
+    terminate the worker processes outright.  SIGTERM alone is not enough —
+    a worker wedged in native code (or one that installed a handler)
+    ignores it and would linger as a zombie — so after
+    :data:`SHUTDOWN_GRACE_SECONDS` any survivor is SIGKILLed, and every
+    process is joined so the parent reaps it.
     """
     # Snapshot the worker processes first: shutdown() drops the pool's
     # reference to them even with wait=False.
@@ -272,6 +279,14 @@ def shutdown_pool_now(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
     for process in processes:
         process.terminate()
+    deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+    for process in processes:
+        process.join(max(0.0, deadline - time.monotonic()))
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    for process in processes:
+        process.join(5.0)
 
 
 def pool_map(
@@ -287,31 +302,71 @@ def pool_map(
     Results come back in item order.  ``guard_for`` gives each item's hard
     wall-clock budget; an item whose worker exceeds it is written off with
     ``fallback_for(item)`` (or ``None``) and the stuck worker is terminated
-    during teardown.  Both ``fn`` and the items must be picklable; the
-    callbacks run only in the parent.  Shared by the experiment runner and
-    :meth:`repro.api.Solver.solve_batch`.
+    during teardown.  A crashed worker no longer poisons the batch: the
+    broken pool is torn down, a fresh one takes over the uncollected items,
+    and the item that crashed gets one retry before it too is written off
+    with its fallback.  Both ``fn`` and the items must be picklable; the
+    callbacks run only in the parent.  Shared by the experiment runner (the
+    api's ``solve_batch`` runs on the solve fabric instead).
     """
+    from repro.testing.faults import mark_worker_process
+
     results: List[Optional[Result]] = [None] * len(items)
     max_workers = min(workers, len(items), (os.cpu_count() or 2))
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers, initializer=mark_worker_process
+    )
     stuck = False
+    broke = False
+    resubmit: List[int] = []
     try:
-        futures: List[Future] = [pool.submit(fn, item) for item in items]
-        for index, (item, future) in enumerate(zip(items, futures)):
+        futures: Dict[int, Future] = {
+            index: pool.submit(fn, item) for index, item in enumerate(items)
+        }
+        for index, item in enumerate(items):
             guard = guard_for(item) if guard_for is not None else None
             try:
-                results[index] = future.result(timeout=guard)
+                # On a broken pool every unfinished future fails immediately
+                # (no guard-long stall); already-finished ones still yield
+                # their results, so a crash only forfeits the in-flight work.
+                results[index] = futures[index].result(timeout=guard)
             except FutureTimeoutError:
-                future.cancel()
+                futures[index].cancel()
                 stuck = True
                 results[index] = (
                     fallback_for(item) if fallback_for is not None else None
                 )
+            except BrokenProcessPool:
+                broke = True
+                resubmit.append(index)
     finally:
-        if stuck:
+        if stuck or broke:
             # Every finished item's result is already collected; only the
-            # stuck workers are abandoned.
+            # stuck (or crashed-with) workers are abandoned.
             shutdown_pool_now(pool)
         else:
             pool.shutdown(wait=True)
+    # Recovery pass: a broken pool cannot say *which* item crashed it, so
+    # each uncollected item reruns on its own single-worker pool — the
+    # innocents complete, and a crasher breaks only its private pool and is
+    # written off with its fallback.
+    for index in resubmit:
+        item = items[index]
+        solo = ProcessPoolExecutor(max_workers=1, initializer=mark_worker_process)
+        solo_stuck = False
+        try:
+            future = solo.submit(fn, item)
+            guard = guard_for(item) if guard_for is not None else None
+            try:
+                results[index] = future.result(timeout=guard)
+            except (FutureTimeoutError, BrokenProcessPool) as failure:
+                solo_stuck = isinstance(failure, FutureTimeoutError)
+                results[index] = (
+                    fallback_for(item) if fallback_for is not None else None
+                )
+        finally:
+            if solo_stuck:
+                shutdown_pool_now(solo)
+            else:
+                solo.shutdown(wait=True)
     return results

@@ -1,6 +1,6 @@
 """The repeatable perf harnesses behind ``repro-nay bench``.
 
-Three suites live here, selected with ``--suite``:
+Four suites live here, selected with ``--suite``:
 
 * ``fixpoint`` (default) — every workload measured for both fixpoint
   strategies (``worklist`` vs ``dense``, see :mod:`repro.gfa.fixpoint`)
@@ -21,6 +21,16 @@ Three suites live here, selected with ``--suite``:
   absent when numpy is not installed).  Result agreement across legs is
   asserted before timing; ``examples_per_sec`` and leg-vs-leg speedups go
   to ``BENCH_domains.json``.
+* ``chaos`` — the resilience sweep over the supervised solve fabric
+  (:mod:`repro.engine.supervisor`): a slate of fault-injected requests
+  (crash, hang, slow, corrupt, oom, error — plus a real ``kill -9`` of a
+  busy worker mid-solve) driven through :meth:`Supervisor.solve`, asserting
+  that every request comes back as a well-formed
+  :class:`~repro.api.wire.SolveResponse`, that the pool self-heals (clean
+  requests succeed on replaced workers afterwards), and that a tripped
+  circuit breaker recovers through its half-open probe.  Retries, worker
+  replacements, breaker trips and injected-fault counts go to
+  ``BENCH_chaos.json``.
 
 Both artifacts are versioned; medians are compared like with like on the
 same machine and interpreter state, giving future changes a perf trajectory
@@ -102,10 +112,15 @@ LOGIC_BENCH_SCHEMA_VERSION = 1
 #: Version of the BENCH_domains.json schema (see docs/bench-artifacts.md).
 DOMAINS_BENCH_SCHEMA_VERSION = 1
 
+#: Version of the BENCH_chaos.json schema (the fault-injection sweep over
+#: the solve fabric; see docs/architecture/fabric.md).
+CHAOS_BENCH_SCHEMA_VERSION = 1
+
 #: Default artifact paths (repo root when run from a checkout).
 DEFAULT_BENCH_PATH = "BENCH_fixpoint.json"
 DEFAULT_LOGIC_BENCH_PATH = "BENCH_logic.json"
 DEFAULT_DOMAINS_BENCH_PATH = "BENCH_domains.json"
+DEFAULT_CHAOS_BENCH_PATH = "BENCH_chaos.json"
 
 
 # ---------------------------------------------------------------------------
@@ -1092,4 +1107,366 @@ def render_domains_report(report: Dict[str, object]) -> str:
     for key, value in sorted(report["summary"].items()):
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             lines.append(f"  {key}: {value:.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The chaos (solve-fabric resilience) suite
+# ---------------------------------------------------------------------------
+#
+# Unlike the other suites this one measures *survival*, not speed: every
+# scenario injects a different failure mode into the fabric's workers (via
+# request tags, so nothing global is armed) and checks that the request
+# still ends in a well-formed wire response, that crashed workers are
+# replaced, and that the circuit breakers trip and recover as specified.
+
+
+def _chaos_request(tags=None, timeout=10.0, engine="naySL"):
+    from repro.api.wire import SolveRequest
+
+    return SolveRequest(
+        benchmark="plane1",
+        engine=engine,
+        kind="check",
+        timeout_seconds=timeout,
+        tags=dict(tags or {}),
+    )
+
+
+def _chaos_well_formed(response) -> bool:
+    """Round-trip the response through the strict wire parser."""
+    from repro.api.wire import SolveResponse
+
+    try:
+        SolveResponse.from_json(response.to_json())
+    except Exception:  # noqa: BLE001 — malformed is exactly what we probe for
+        return False
+    return True
+
+
+def run_chaos_suite(repetitions: int = 1, quick: bool = False) -> Dict[str, object]:
+    """Drive the fault slate through a supervised fabric; return the report.
+
+    ``repetitions`` scales the clean/self-heal request counts (the faulted
+    scenarios are fixed — each exists to prove one failure mode).  ``quick``
+    is accepted for CLI symmetry; the slate is already CI-sized (>= 20
+    requests, >= 4 fault kinds).
+    """
+    import os
+    import signal
+    import threading as _threading
+
+    from repro.api.facade import timeout_response
+    from repro.engine.supervisor import (
+        BreakerBoard,
+        FabricTimeoutError,
+        RetryPolicy,
+        Supervisor,
+    )
+    from repro.testing.faults import reset_fault_state
+
+    reset_fault_state()
+    clean_count = max(2, 2 * max(1, repetitions))
+    board = BreakerBoard(threshold=2, cooldown_seconds=0.5)
+    fabric = Supervisor(
+        3,
+        warm=False,
+        breakers=board,
+        retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.02),
+        name="chaos",
+    )
+    scenarios: List[Dict[str, object]] = []
+    total = 0
+    well_formed = 0
+    started = time.monotonic()
+
+    def run_scenario(name, requests, expect):
+        nonlocal total, well_formed
+        outcomes: List[str] = []
+        retries = 0
+        replaced = 0
+        injected = 0
+        scenario_start = time.monotonic()
+        for request in requests:
+            response = fabric.solve(request)
+            outcomes.append(response.verdict)
+            retries += response.solver_stats.get("retries", 0)
+            replaced += response.solver_stats.get("workers_replaced", 0)
+            injected += response.solver_stats.get("faults_injected", 0)
+            total += 1
+            well_formed += 1 if _chaos_well_formed(response) else 0
+        row = {
+            "name": name,
+            "requests": len(requests),
+            "outcomes": outcomes,
+            "expect": expect,
+            "ok": all(outcome in expect for outcome in outcomes),
+            "retries": retries,
+            "workers_replaced": replaced,
+            "faults_injected": injected,
+            "seconds": round(time.monotonic() - scenario_start, 4),
+        }
+        scenarios.append(row)
+        return row
+
+    try:
+        pids_before = fabric.worker_pids()
+
+        # 1. Baseline: clean requests on the fresh pool.
+        run_scenario(
+            "clean",
+            [_chaos_request() for _ in range(clean_count)],
+            expect=("unrealizable",),
+        )
+
+        # 2. crash — the worker dies (os._exit) on every attempt; bounded
+        # retries run out and the request degrades to a transient error.
+        run_scenario(
+            "crash",
+            [_chaos_request({"faults": "crash@*"}) for _ in range(2)],
+            expect=("error",),
+        )
+        board.for_engine("naySL").record_success()  # crashes tripped it; re-arm
+
+        # 3. slow — the leg stalls briefly, then answers normally; the
+        # injection is visible in solver_stats but harmless.
+        run_scenario(
+            "slow",
+            [_chaos_request({"faults": "slow@*:0.1"}) for _ in range(3)],
+            expect=("unrealizable",),
+        )
+
+        # 4. corrupt — the reply payload fails wire validation at the pipe;
+        # every retry lands on a (fresh) worker that corrupts again, so the
+        # request errors out after max_attempts with retries recorded.
+        corrupt = run_scenario(
+            "corrupt",
+            [_chaos_request({"faults": "corrupt@*"}) for _ in range(2)],
+            expect=("error",),
+        )
+        corrupt["ok"] = corrupt["ok"] and corrupt["retries"] > 0
+        board.for_engine("naySL").record_success()
+
+        # 5. oom — an allocation burst ending in MemoryError: a
+        # deterministic in-worker failure, reported as an error verdict
+        # without any retry.
+        oom = run_scenario(
+            "oom",
+            [_chaos_request({"faults": "oom@*:16"}) for _ in range(2)],
+            expect=("error",),
+        )
+        oom["ok"] = oom["ok"] and oom["retries"] == 0
+
+        # 6. error — the deterministic injected failure; the retry policy
+        # must NOT retry it.
+        deterministic = run_scenario(
+            "error",
+            [_chaos_request({"faults": "error@*"}) for _ in range(2)],
+            expect=("error",),
+        )
+        deterministic["ok"] = deterministic["ok"] and deterministic["retries"] == 0
+
+        # 7. kill -9 mid-solve — the one genuinely *transient* fault: the
+        # parent SIGKILLs the busy worker while a slowed request is in
+        # flight; the retry lands on a replacement and succeeds.
+        holder: Dict[str, object] = {}
+
+        def solve_slow():
+            holder["response"] = fabric.solve(
+                _chaos_request({"faults": "slow@*:1.0"}, timeout=15.0)
+            )
+
+        thread = _threading.Thread(target=solve_slow)
+        thread.start()
+        kill_deadline = time.monotonic() + 5.0
+        killed_pid = None
+        while time.monotonic() < kill_deadline and killed_pid is None:
+            busy = fabric.busy_pids()
+            if busy:
+                killed_pid = busy[0]
+                os.kill(killed_pid, signal.SIGKILL)
+            else:
+                time.sleep(0.02)
+        thread.join(timeout=60.0)
+        response = holder.get("response")
+        total += 1
+        ok = (
+            response is not None
+            and _chaos_well_formed(response)
+            and response.verdict == "unrealizable"
+            and response.solver_stats.get("retries", 0) >= 1
+        )
+        well_formed += 1 if response is not None and _chaos_well_formed(response) else 0
+        scenarios.append(
+            {
+                "name": "kill9",
+                "requests": 1,
+                "outcomes": [response.verdict if response is not None else "lost"],
+                "expect": ["unrealizable"],
+                "ok": bool(ok),
+                "killed_pid": killed_pid,
+                "retries": (
+                    response.solver_stats.get("retries", 0)
+                    if response is not None
+                    else 0
+                ),
+                "workers_replaced": (
+                    response.solver_stats.get("workers_replaced", 0)
+                    if response is not None
+                    else 0
+                ),
+                "faults_injected": 0,
+                "seconds": 0.0,
+            }
+        )
+        board.for_engine("naySL").record_success()
+
+        # 8. hang — the leg stops making progress entirely; the harvest
+        # deadline fires, the stuck worker is killed and replaced, and the
+        # caller records the same timeout response Supervisor.solve would
+        # produce at the hard guard.
+        hang_request = _chaos_request({"faults": "hang@*"}, timeout=5.0)
+        job = fabric.submit(hang_request, soft_timeout=5.0)
+        try:
+            response = fabric.harvest(job, timeout=1.5)
+            hang_outcome = response.verdict  # should not happen
+        except FabricTimeoutError:
+            fabric.cancel(job)
+            response = timeout_response(hang_request)
+            hang_outcome = response.verdict
+        total += 1
+        well_formed += 1 if _chaos_well_formed(response) else 0
+        scenarios.append(
+            {
+                "name": "hang",
+                "requests": 1,
+                "outcomes": [hang_outcome],
+                "expect": ["timeout"],
+                "ok": hang_outcome == "timeout",
+                "retries": 0,
+                "workers_replaced": 1,
+                "faults_injected": 0,
+                "seconds": 0.0,
+            }
+        )
+        board.for_engine("naySL").record_success()
+
+        # 9. breaker — two consecutive crashes trip the breaker (threshold
+        # 2); the next request is refused without running; after the
+        # cooldown a clean half-open probe re-closes it.
+        breaker_board = BreakerBoard(threshold=2, cooldown_seconds=0.4)
+        breaker_fabric = Supervisor(
+            1,
+            warm=False,
+            breakers=breaker_board,
+            retry=RetryPolicy(max_attempts=1, base_delay_seconds=0.02),
+            name="chaos-breaker",
+        )
+        try:
+            for _ in range(2):
+                breaker_fabric.solve(_chaos_request({"faults": "crash@*"}))
+                total += 1
+                well_formed += 1
+            tripped = breaker_board.for_engine("naySL").snapshot()
+            refused = breaker_fabric.solve(_chaos_request())
+            total += 1
+            well_formed += 1 if _chaos_well_formed(refused) else 0
+            time.sleep(0.5)  # cooldown: the next request is the half-open probe
+            probe = breaker_fabric.solve(_chaos_request())
+            total += 1
+            well_formed += 1 if _chaos_well_formed(probe) else 0
+            recovered = breaker_board.for_engine("naySL").snapshot()
+            scenarios.append(
+                {
+                    "name": "breaker",
+                    "requests": 4,
+                    "outcomes": [refused.verdict, probe.verdict],
+                    "expect": ["error", "unrealizable"],
+                    "ok": (
+                        tripped["state"] == "open"
+                        and tripped["trips"] >= 1
+                        and refused.verdict == "error"
+                        and "circuit breaker open" in (refused.error or "")
+                        and probe.verdict == "unrealizable"
+                        and recovered["state"] == "closed"
+                    ),
+                    "tripped": tripped,
+                    "recovered": recovered,
+                    "retries": 0,
+                    "workers_replaced": 2,
+                    "faults_injected": 0,
+                    "seconds": 0.0,
+                }
+            )
+        finally:
+            breaker_fabric.shutdown()
+
+        # 10. self-heal — after everything above, clean requests must still
+        # succeed on the (heavily replaced) pool.
+        heal = run_scenario(
+            "self-heal",
+            [_chaos_request() for _ in range(clean_count)],
+            expect=("unrealizable",),
+        )
+        pids_after = fabric.worker_pids()
+        heal["pool_replaced_workers"] = sorted(
+            set(pids_after) - set(pids_before)
+        )
+        heal["ok"] = heal["ok"] and bool(set(pids_after) - set(pids_before))
+
+        fabric_stats = fabric.stats.snapshot()
+    finally:
+        fabric.shutdown()
+
+    report = {
+        "schema_version": CHAOS_BENCH_SCHEMA_VERSION,
+        "suite": "chaos",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "fault_kinds": ["crash", "hang", "slow", "corrupt", "oom", "error", "kill9"],
+        "scenarios": scenarios,
+        "fabric_stats": fabric_stats,
+        "breakers": board.snapshot(),
+        "summary": {
+            "requests": total,
+            "well_formed": well_formed,
+            "all_well_formed": well_formed == total,
+            "all_scenarios_ok": all(row["ok"] for row in scenarios),
+            "retries": sum(row.get("retries", 0) for row in scenarios),
+            "workers_replaced": fabric_stats.get("workers_replaced", 0),
+            "faults_injected": sum(row.get("faults_injected", 0) for row in scenarios),
+            "breaker_trips": next(
+                (row.get("tripped", {}).get("trips", 0) for row in scenarios
+                 if row["name"] == "breaker"),
+                0,
+            ),
+            "total_seconds": round(time.monotonic() - started, 4),
+        },
+    }
+    return report
+
+
+def render_chaos_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the chaos report."""
+    lines = [f"{'scenario':12s} {'reqs':>5s} {'ok':>4s} {'retries':>8s} "
+             f"{'replaced':>9s} {'outcomes'}"]
+    for row in report["scenarios"]:
+        outcomes = ",".join(sorted(set(row["outcomes"]))) or "-"
+        lines.append(
+            f"{row['name']:12s} {row['requests']:5d} "
+            f"{('yes' if row['ok'] else 'NO'):>4s} {row.get('retries', 0):8d} "
+            f"{row.get('workers_replaced', 0):9d} {outcomes}"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"  requests: {summary['requests']}  well-formed: {summary['well_formed']}"
+        f"  retries: {summary['retries']}"
+        f"  workers_replaced: {summary['workers_replaced']}"
+        f"  breaker_trips: {summary['breaker_trips']}"
+    )
+    lines.append(
+        "  all scenarios ok: "
+        + ("yes" if summary["all_scenarios_ok"] else "NO")
+    )
     return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""The fault-injection layer itself (:mod:`repro.testing.faults`).
+
+These tests run in the *parent* process, so the worker-only kinds
+(``crash``, ``hang``) must degrade to :class:`InjectedFaultError` rather
+than kill or stall the test runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.facade import execute_request
+from repro.api.wire import SolveRequest, SolveResponse
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    InjectedFaultError,
+    corrupt_response,
+    faults_armed,
+    in_worker_process,
+    inject_faults,
+    parse_faults,
+    reset_fault_state,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv("REPRO_NAY_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_NAY_IN_WORKER", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+class TestParse:
+    def test_full_grammar(self):
+        specs = parse_faults("crash@naySL, slow@*:0.5#2, error")
+        assert [spec.kind for spec in specs] == ["crash", "slow", "error"]
+        assert specs[0].target == "naySL"
+        assert specs[1] == FaultSpec(
+            kind="slow", target="*", arg=0.5, count=2, key="slow@*:0.5#2"
+        )
+        assert specs[2].target == "*"
+
+    def test_empty_plan(self):
+        assert parse_faults("") == []
+        assert parse_faults(" , ") == []
+
+    def test_unknown_kind_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_faults("segv@*")
+
+    def test_matches(self):
+        assert FaultSpec(kind="error").matches("naySL")
+        assert FaultSpec(kind="error", target="naySL").matches("naySL")
+        assert not FaultSpec(kind="error", target="naySL").matches("nayHorn")
+
+
+class TestInjection:
+    def test_not_armed_is_free(self):
+        assert not faults_armed(None)
+        assert not faults_armed({"other": "tag"})
+        assert inject_faults("naySL", None) == []
+
+    def test_armed_via_tags_and_env(self, monkeypatch):
+        assert faults_armed({"faults": "error@*"})
+        monkeypatch.setenv("REPRO_NAY_FAULTS", "error@*")
+        assert faults_armed(None)
+
+    def test_error_kind_raises(self):
+        with pytest.raises(InjectedFaultError, match="injected error"):
+            inject_faults("naySL", {"faults": "error@naySL"})
+
+    def test_target_mismatch_is_a_no_op(self):
+        assert inject_faults("nayHorn", {"faults": "error@naySL"}) == []
+
+    def test_crash_degrades_outside_workers(self):
+        assert not in_worker_process()
+        with pytest.raises(InjectedFaultError, match="degraded to an error"):
+            inject_faults("naySL", {"faults": "crash@*"})
+
+    def test_hang_degrades_outside_workers(self):
+        with pytest.raises(InjectedFaultError, match="degraded to an error"):
+            inject_faults("naySL", {"faults": "hang@*:0.01"})
+
+    def test_slow_continues_and_reports(self):
+        events = inject_faults("naySL", {"faults": "slow@*:0.01"})
+        assert events == [{"kind": "slow", "engine": "naySL", "seconds": 0.01}]
+
+    def test_oom_raises_memory_error(self):
+        with pytest.raises(MemoryError, match="injected oom"):
+            inject_faults("naySL", {"faults": "oom@*:1"})
+
+    def test_count_budget_exhausts_per_process(self):
+        tags = {"faults": "error@*#2"}
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                inject_faults("naySL", tags)
+        # The budget is spent: the third request runs clean.
+        assert inject_faults("naySL", tags) == []
+        reset_fault_state()
+        with pytest.raises(InjectedFaultError):
+            inject_faults("naySL", tags)
+
+    def test_all_kinds_are_parseable(self):
+        for kind in FAULT_KINDS:
+            assert parse_faults(f"{kind}@*")[0].kind == kind
+
+
+class TestCorrupt:
+    def test_matched_reply_is_mangled(self):
+        payload = {"verdict": "unrealizable"}
+        mangled = corrupt_response(payload, "naySL", {"faults": "corrupt@*"})
+        assert mangled["verdict"] == "@@corrupted@@"
+        with pytest.raises(Exception):
+            SolveResponse.from_json(mangled)
+
+    def test_unmatched_reply_is_untouched(self):
+        payload = {"verdict": "unrealizable"}
+        assert corrupt_response(payload, "naySL", {"faults": "corrupt@nayHorn"}) is payload
+        assert corrupt_response(payload, "naySL", None) is payload
+
+    def test_inject_faults_skips_corrupt(self):
+        # corrupt is a wire-boundary fault; the engine boundary ignores it.
+        assert inject_faults("naySL", {"faults": "corrupt@*"}) == []
+
+
+class TestEngineBoundary:
+    @staticmethod
+    def _request(faults):
+        return SolveRequest(
+            benchmark="plane1",
+            engine="naySL",
+            kind="check",
+            timeout_seconds=10.0,
+            tags={"faults": faults} if faults else {},
+        )
+
+    def test_injected_slow_is_reported_on_the_response(self):
+        response = execute_request(self._request("slow@*:0.01"))
+        assert response.verdict == "unrealizable"
+        assert response.solver_stats["faults_injected"] == 1
+        assert response.details["fault_events"][0]["kind"] == "slow"
+
+    def test_execute_request_error_fault_is_an_error_verdict(self):
+        response = execute_request(self._request("error@*"))
+        assert response.verdict == "error"
+        assert "injected error" in (response.error or "")
+        # Round-trips through the strict wire parser.
+        SolveResponse.from_json(response.to_json())
+
+    def test_untagged_request_is_unaffected(self):
+        response = execute_request(self._request(None))
+        assert response.verdict == "unrealizable"
+        assert "faults_injected" not in response.solver_stats

@@ -1,0 +1,287 @@
+"""Robustness posture of the HTTP service (:mod:`repro.api.service`).
+
+Request-size bounds (413), admission control (503 + ``Retry-After``),
+in-flight dedup, the breaker/fabric surface on ``/healthz``, and the serve
+smoke that kills a fabric worker mid-request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.facade import Solver
+from repro.api.service import make_server
+from repro.api.wire import SCHEMA_VERSION, SolveResponse
+from repro.engine.results import request_fingerprint
+from repro.engine.supervisor import (
+    BreakerBoard,
+    RetryPolicy,
+    Supervisor,
+    get_breakers,
+    install_fabric,
+    shutdown_fabric,
+)
+from repro.testing.faults import reset_fault_state
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_state(monkeypatch):
+    monkeypatch.delenv("REPRO_NAY_FAULTS", raising=False)
+    get_breakers().reset()
+    reset_fault_state()
+    yield
+    get_breakers().reset()
+    reset_fault_state()
+
+
+def _run(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def _stop(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def api_server():
+    server = make_server(port=0, solver=Solver(timeout_seconds=60.0))
+    thread = _run(server)
+    try:
+        yield server
+    finally:
+        _stop(server, thread)
+
+
+def _post_raw(server, body=None, headers=None, path="/solve"):
+    """POST over a raw connection so absent/forged headers are possible."""
+    host, port = server.server_address[0], server.server_address[1]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.putrequest("POST", path)
+        for name, value in (headers or {}).items():
+            conn.putheader(name, value)
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        reply = conn.getresponse()
+        return reply.status, dict(reply.getheaders()), json.loads(reply.read())
+    finally:
+        conn.close()
+
+
+def _post(server, payload):
+    data = json.dumps(payload).encode("utf-8")
+    return _post_raw(
+        server, data, {"Content-Length": str(len(data))}
+    )
+
+
+class TestRequestBounds:
+    def test_missing_body_is_413(self, api_server):
+        status, _, payload = _post_raw(api_server)
+        assert status == 413
+        assert "Content-Length" in payload["error"]
+
+    def test_zero_length_body_is_413(self, api_server):
+        status, _, payload = _post_raw(api_server, headers={"Content-Length": "0"})
+        assert status == 413
+        assert "body is required" in payload["error"]
+
+    def test_oversized_body_is_413(self):
+        server = make_server(
+            port=0, solver=Solver(timeout_seconds=60.0), max_request_bytes=64
+        )
+        thread = _run(server)
+        try:
+            body = json.dumps(
+                {"benchmark": "plane1", "engine": "naySL", "padding": "x" * 200}
+            ).encode("utf-8")
+            status, _, payload = _post_raw(
+                server, body, {"Content-Length": str(len(body))}
+            )
+            assert status == 413
+            assert "64-byte bound" in payload["error"]
+        finally:
+            _stop(server, thread)
+
+    def test_invalid_content_length_is_400(self, api_server):
+        status, _, payload = _post_raw(
+            api_server, b"{}", {"Content-Length": "banana"}
+        )
+        assert status == 400
+
+    def test_malformed_json_is_400(self, api_server):
+        status, _, payload = _post_raw(
+            api_server, b"not json", {"Content-Length": "8"}
+        )
+        assert status == 400
+        assert "not JSON" in payload["error"]
+
+
+class TestAdmissionControl:
+    def test_saturated_server_refuses_with_retry_after(self):
+        # max_inflight floors at 1; hold that one slot with a slow request
+        # so a concurrent probe is refused immediately.
+        server = make_server(
+            port=0, solver=Solver(timeout_seconds=60.0), max_inflight=1
+        )
+        thread = _run(server)
+        try:
+            holder = {}
+            slow = threading.Thread(
+                target=lambda: holder.update(
+                    slow=_post(
+                        server,
+                        {
+                            "benchmark": "plane1",
+                            "engine": "naySL",
+                            "tags": {"faults": "slow@*:1.0"},
+                        },
+                    )
+                )
+            )
+            slow.start()
+            deadline = time.monotonic() + 5.0
+            refused = None
+            while refused is None and time.monotonic() < deadline:
+                if server.inflight < 1:
+                    time.sleep(0.01)
+                    continue
+                status, headers, payload = _post(
+                    server, {"benchmark": "plane1", "engine": "naySL"}
+                )
+                if status == 503:
+                    refused = (status, headers, payload)
+                # else: the leader finished between the inflight check and
+                # the probe — loop and try again while it is still solving
+            slow.join(timeout=30.0)
+            assert refused is not None, "server never reported an inflight request"
+            status, headers, payload = refused
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            assert "saturated" in payload["error"]
+            # The slow leader still completed normally.
+            slow_status, _, slow_payload = holder["slow"]
+            assert slow_status == 200
+            assert SolveResponse.from_json(slow_payload).verdict == "unrealizable"
+        finally:
+            _stop(server, thread)
+
+
+class TestDedup:
+    def test_identical_inflight_requests_share_one_execution(self, api_server):
+        # Two byte-identical slow requests fired together: the follower gets
+        # the leader's response, marked deduplicated.
+        payload = {
+            "benchmark": "plane1",
+            "engine": "naySL",
+            "tags": {"faults": "slow@*:0.6"},
+        }
+        results = [None, None]
+
+        def fire(slot):
+            results[slot] = _post(api_server, payload)
+
+        threads = [threading.Thread(target=fire, args=(slot,)) for slot in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        responses = [SolveResponse.from_json(body) for _, _, body in results]
+        assert all(r.verdict == "unrealizable" for r in responses)
+        deduplicated = [r for r in responses if r.details.get("deduplicated")]
+        assert len(deduplicated) == 1
+
+    def test_different_tags_never_dedup(self):
+        clean = {"benchmark": "plane1", "engine": "naySL"}
+        faulted = {**clean, "tags": {"faults": "error@*"}}
+        assert request_fingerprint(clean) != request_fingerprint(faulted)
+
+
+class TestHealthz:
+    def test_healthz_reports_breakers_and_admission(self, api_server):
+        host, port = api_server.server_address[0], api_server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/healthz", timeout=30
+        ) as reply:
+            payload = json.load(reply)
+        assert payload["status"] == "ok"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["breakers"] == {}  # board reset by the fixture
+        assert payload["inflight"] == 0
+        assert payload["max_inflight"] == api_server.max_inflight
+        assert "fabric" not in payload  # no fabric installed here
+
+
+class TestServeWithFabric:
+    def test_worker_killed_mid_request_still_answers_schema_valid(self):
+        """Acceptance: the serve smoke — kill -9 a fabric worker while it
+        solves; the HTTP reply must still be a well-formed 200 response."""
+        fabric = Supervisor(
+            2,
+            warm=False,
+            breakers=BreakerBoard(threshold=100),
+            retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.01),
+            name="t-serve",
+        )
+        install_fabric(fabric)
+        server = make_server(port=0, solver=Solver(timeout_seconds=60.0))
+        thread = _run(server)
+        try:
+            holder = {}
+            poster = threading.Thread(
+                target=lambda: holder.update(
+                    result=_post(
+                        server,
+                        {
+                            "benchmark": "plane1",
+                            "engine": "naySL",
+                            "tags": {"faults": "slow@*:1.0"},
+                        },
+                    )
+                )
+            )
+            poster.start()
+            killed = None
+            deadline = time.monotonic() + 5.0
+            while killed is None and time.monotonic() < deadline:
+                busy = fabric.busy_pids()
+                if busy:
+                    killed = busy[0]
+                    os.kill(killed, signal.SIGKILL)
+                else:
+                    time.sleep(0.02)
+            assert killed is not None, "fabric worker never became busy"
+            poster.join(timeout=60.0)
+            status, _, payload = holder["result"]
+            assert status == 200
+            response = SolveResponse.from_json(payload)
+            assert response.verdict == "unrealizable"
+            assert response.solver_stats["retries"] >= 1
+            assert response.solver_stats["workers_replaced"] >= 1
+            # Health reflects the healed pool: two live workers again.
+            host, port = server.server_address[0], server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=30
+            ) as reply:
+                health = json.load(reply)
+            assert health["fabric"]["workers"] == 2
+            assert len(health["fabric"]["worker_pids"]) == 2
+            assert killed not in health["fabric"]["worker_pids"]
+            assert health["fabric"]["stats"]["workers_replaced"] >= 1
+        finally:
+            _stop(server, thread)
+            shutdown_fabric()
