@@ -1,0 +1,89 @@
+"""Walkthrough: the tree-automaton grammar algebra and the ``grammar`` CLI.
+
+A SyGuS search space is a regular tree grammar; this repo backs every RTG
+with a deterministic bottom-up tree automaton (DFTA) so search spaces can be
+*computed with*: compiled, intersected, counted, minimized and — the perf
+lever behind the ``--prune`` knob — shrunk by observational-equivalence
+merging before any equation system is built (§3's grammar flow-graph
+construction then runs over fewer nonterminals).
+
+The walkthrough mirrors the ``repro-nay grammar`` subcommand family:
+
+* ``compile``   — RTG -> DFTA, with state/rule statistics;
+* ``intersect`` — the product construction on two search spaces;
+* ``count``     — distinct terms per size via the automaton;
+* ``prune``     — observational-equivalence pruning with witnesses;
+* and the effect of pruning on an actual unrealizability check.
+
+Run with:  python examples/grammar_algebra.py
+"""
+
+from __future__ import annotations
+
+from repro.api import Solver
+from repro.grammar import TreeAutomaton, prune_grammar
+from repro.suites import get_benchmark
+from repro.suites.scaling import chain_grammar, example_set, redundant_chain_grammar
+
+
+def main() -> None:
+    # -- compile: every grammar is a DFTA ---------------------------------
+    benchmark = get_benchmark("plane2")
+    grammar = benchmark.problem.grammar
+    automaton = TreeAutomaton.from_grammar(grammar)
+    print(f"compile {grammar.name}:")
+    print(
+        f"  |N|={grammar.num_nonterminals} productions={grammar.num_productions}"
+        f" -> {automaton.num_states} states, {automaton.num_rules} rules"
+    )
+
+    # -- intersect: the product construction ------------------------------
+    # The redundant chain inflates every link of the plain chain with
+    # argument-swapped copies; the product recovers exactly the plain
+    # chain's term language.
+    wide = TreeAutomaton.from_grammar(redundant_chain_grammar(3, 3))
+    narrow = TreeAutomaton.from_grammar(chain_grammar(3))
+    product = wide.intersect(narrow)
+    shared = sum(product.count_terms(max_size=15).values())
+    narrow_count = sum(narrow.count_terms(max_size=15).values())
+    print("intersect redundant_chain_3x3 x chain:")
+    print(
+        f"  product has {product.num_states} states, {product.num_rules} rules;"
+        f" {shared} shared terms up to size 15 (= the plain chain's {narrow_count})"
+    )
+
+    # -- count: how big is a search space, exactly? -----------------------
+    counts = automaton.count_terms(max_size=9)
+    print(f"count {grammar.name}: " + ", ".join(
+        f"size {size}: {count}" for size, count in sorted(counts.items()) if count
+    ))
+
+    # -- prune: observational-equivalence merging -------------------------
+    redundant = redundant_chain_grammar(10, 3, name="redundant_chain_10x3")
+    examples = example_set(3)
+    pruned, report = prune_grammar(redundant, examples, mode="oe")
+    print(f"prune {redundant.name} on {len(examples)} examples:")
+    print(
+        f"  states {report.states_before} -> {report.states_after},"
+        f" productions {report.productions_before} -> {report.productions_after}"
+        f" ({report.productions_pruned} pruned)"
+    )
+    witness = sorted(report.witnesses.items())[0]
+    print(f"  e.g. representative {witness[0]} is inhabited by {witness[1]}")
+
+    # -- the knob on a real check: same verdict, smaller system -----------
+    solver = Solver(engine="naySL", timeout_seconds=120.0)
+    plain = solver.check("plane1")
+    pruned_run = solver.check("plane1", tags={"prune": "oe"})
+    print("check plane1 with and without pruning:")
+    print(f"  off: {plain.verdict}")
+    print(
+        f"  oe : {pruned_run.verdict}"
+        f" (grammar_states={pruned_run.solver_stats.get('grammar_states')},"
+        f" pruned={pruned_run.solver_stats.get('grammar_productions_pruned')})"
+    )
+    assert plain.verdict == pruned_run.verdict == "unrealizable"
+
+
+if __name__ == "__main__":
+    main()

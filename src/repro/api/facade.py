@@ -184,6 +184,10 @@ def run_engine(
         knobs.setdefault("seed", seed)
     if max_iterations is not None:
         knobs.setdefault("max_iterations", max_iterations)
+    # The grammar-reduction knob rides on the request's tag mapping (keeping
+    # the wire schema unchanged); every registered engine accepts it.
+    if tags and tags.get("prune") in ("reduce", "oe"):
+        knobs.setdefault("prune", tags["prune"])
     engine = create_engine(engine_name, **knobs)
     examples = examples if examples is not None else ExampleSet()
 
@@ -247,6 +251,20 @@ def run_engine(
                 {
                     key: value
                     for key, value in domain_stats.items()
+                    if isinstance(value, int)
+                }
+            )
+        # Grammar-reduction counters surface the same way: a check sets
+        # details["grammar_stats"], a CEGIS solve nests it under
+        # details["check"] (the last unrealizability check's details).
+        grammar_counters = details.pop("grammar_stats", None)
+        if grammar_counters is None and isinstance(details.get("check"), dict):
+            grammar_counters = details["check"].pop("grammar_stats", None)
+        if isinstance(grammar_counters, dict):
+            solver_stats.update(
+                {
+                    key: value
+                    for key, value in grammar_counters.items()
                     if isinstance(value, int)
                 }
             )

@@ -45,6 +45,7 @@ class NayAbstractDomain(EngineConfigMixin):
     #: Registry name of the abstract domain the checker instantiates
     #: (fresh per check — domains may carry per-check exactness state).
     domain: str = "numeric"
+    prune: str = "off"
 
     @property
     def name(self) -> str:
@@ -59,6 +60,7 @@ class NayAbstractDomain(EngineConfigMixin):
             problem,
             examples,
             domain=create_domain(self.domain, **self.domain_knobs()),
+            prune=self.prune,
         )
 
     def solve(

@@ -29,6 +29,7 @@ class NayHorn(EngineConfigMixin):
     seed: Optional[int] = None
     timeout_seconds: Optional[float] = None
     max_iterations: int = 40
+    prune: str = "off"
 
     @property
     def name(self) -> str:
@@ -41,6 +42,7 @@ class NayHorn(EngineConfigMixin):
                 seed=self.seed,
                 timeout_seconds=self.timeout_seconds,
                 max_iterations=self.max_iterations,
+                prune=self.prune,
             )
         )
 
@@ -50,4 +52,4 @@ class NayHorn(EngineConfigMixin):
         return self._solver().solve(problem, initial_examples)
 
     def check(self, problem: SyGuSProblem, examples: ExampleSet) -> CheckResult:
-        return HornEngine(overhead_factor=1).check(problem, examples)
+        return HornEngine(overhead_factor=1, prune=self.prune).check(problem, examples)

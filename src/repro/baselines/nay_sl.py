@@ -22,6 +22,7 @@ class NaySL(EngineConfigMixin):
     timeout_seconds: Optional[float] = None
     stratify: bool = True
     max_iterations: int = 40
+    prune: str = "off"
 
     def _solver(self) -> NaySolver:
         return NaySolver(
@@ -31,6 +32,7 @@ class NaySL(EngineConfigMixin):
                 timeout_seconds=self.timeout_seconds,
                 stratify=self.stratify,
                 max_iterations=self.max_iterations,
+                prune=self.prune,
             )
         )
 

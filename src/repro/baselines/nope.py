@@ -90,6 +90,7 @@ class Nope(EngineConfigMixin):
     seed: Optional[int] = None
     timeout_seconds: Optional[float] = None
     max_iterations: int = 40
+    prune: str = "off"
 
     @property
     def name(self) -> str:
@@ -103,9 +104,9 @@ class Nope(EngineConfigMixin):
             problem.grammar, examples, problem.spec.description or "spec"
         )
         encode_gfa_as_horn(problem.grammar, examples, problem.spec)
-        return HornEngine(overhead_factor=NOPE_ENCODING_OVERHEAD).check(
-            problem, examples
-        )
+        return HornEngine(
+            overhead_factor=NOPE_ENCODING_OVERHEAD, prune=self.prune
+        ).check(problem, examples)
 
     def solve(
         self, problem: SyGuSProblem, initial_examples: Optional[ExampleSet] = None

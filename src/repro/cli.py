@@ -23,10 +23,20 @@ Subcommands:
 * ``engines``               — list the registered engines (+ the portfolio
   and staged strategies);
 * ``domains``               — list the registered abstract domains;
+* ``grammar <op> <ref>``    — the tree-automaton grammar algebra:
+  ``compile`` (RTG -> DFTA statistics), ``intersect`` (product
+  construction of two grammars), ``prune`` (observational-equivalence /
+  language-preserving reduction with witnesses), ``count`` (distinct terms
+  per size) and ``stats`` (grammar + automaton + minimized sizes);
 * ``experiments <name>``    — shorthand for ``python -m repro.experiments``;
 * ``bench``                 — run a perf harness (``--suite fixpoint``,
-  ``logic``, ``domains`` or ``all``) and write its versioned
+  ``logic``, ``domains``, ``grammar`` or ``all``) and write its versioned
   ``BENCH_*.json`` artifact.
+
+``solve``/``check``/``batch`` accept ``--prune off|reduce|oe`` to shrink
+the grammar (via the tree-automaton core) before any engine builds its
+equation systems; the knob rides on the request's tag mapping, so the wire
+schema is unchanged.
 
 ``solve``, ``check`` and ``batch`` accept ``--json`` to emit the versioned
 wire format (:mod:`repro.api.wire`) instead of text.  All solving resolves
@@ -71,6 +81,14 @@ def _add_solving_arguments(parser: argparse.ArgumentParser, tools: List[str]) ->
     parser.add_argument(
         "--json", action="store_true", help="emit the versioned JSON wire format"
     )
+    parser.add_argument(
+        "--prune",
+        default="off",
+        choices=["off", "reduce", "oe"],
+        help="tree-automaton grammar reduction before equation building "
+        "(reduce: language-preserving; oe: merge observationally "
+        "equivalent productions on the example set)",
+    )
 
 
 def _solver_for(arguments: argparse.Namespace) -> Solver:
@@ -81,6 +99,13 @@ def _solver_for(arguments: argparse.Namespace) -> Solver:
         max_iterations=arguments.max_iterations,
         max_examples=arguments.max_examples,
     )
+
+
+def _solving_tags(arguments: argparse.Namespace) -> dict:
+    """Request tags implied by the solving flags (just ``--prune`` today)."""
+    if getattr(arguments, "prune", "off") != "off":
+        return {"prune": arguments.prune}
+    return {}
 
 
 def _emit(response: SolveResponse, as_json: bool) -> int:
@@ -205,6 +230,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     subparsers.add_parser("engines", help="list the registered engines")
     subparsers.add_parser("domains", help="list the registered abstract domains")
 
+    grammar = subparsers.add_parser(
+        "grammar", help="the tree-automaton grammar algebra"
+    )
+    grammar_ops = grammar.add_subparsers(dest="grammar_op", required=True)
+
+    g_compile = grammar_ops.add_parser(
+        "compile", help="compile an RTG to a bottom-up tree automaton"
+    )
+    g_compile.add_argument("ref", help="benchmark name or .sl file")
+    g_compile.add_argument(
+        "--show", action="store_true", help="print the automaton's rules"
+    )
+    g_compile.add_argument("--json", action="store_true")
+
+    g_intersect = grammar_ops.add_parser(
+        "intersect", help="product construction of two grammars"
+    )
+    g_intersect.add_argument("left", help="benchmark name or .sl file")
+    g_intersect.add_argument("right", help="benchmark name or .sl file")
+    g_intersect.add_argument(
+        "--max-size", type=int, default=6, help="size bound for the term count"
+    )
+    g_intersect.add_argument("--json", action="store_true")
+
+    g_prune = grammar_ops.add_parser(
+        "prune", help="observational-equivalence / language-preserving reduction"
+    )
+    g_prune.add_argument("ref", help="benchmark name or .sl file")
+    g_prune.add_argument(
+        "--mode", default="oe", choices=["reduce", "oe"], help="merge aggressiveness"
+    )
+    g_prune.add_argument(
+        "--examples",
+        type=_nonnegative,
+        default=None,
+        help="resize the witness example set the oe merge evaluates on",
+    )
+    g_prune.add_argument("--json", action="store_true")
+
+    g_count = grammar_ops.add_parser(
+        "count", help="count distinct terms of each size"
+    )
+    g_count.add_argument("ref", help="benchmark name or .sl file")
+    g_count.add_argument("--max-size", type=int, default=8)
+    g_count.add_argument("--json", action="store_true")
+
+    g_stats = grammar_ops.add_parser(
+        "stats", help="grammar, automaton and minimized-automaton sizes"
+    )
+    g_stats.add_argument("ref", help="benchmark name or .sl file")
+    g_stats.add_argument("--json", action="store_true")
+
     experiment = subparsers.add_parser("experiments", help="regenerate tables/figures")
     experiment.add_argument("name", choices=sorted(experiments.EXPERIMENTS) + ["all"])
     experiment.add_argument("--full", action="store_true")
@@ -217,14 +294,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=["fixpoint", "logic", "domains", "chaos", "all"],
+        choices=["fixpoint", "logic", "domains", "grammar", "chaos", "all"],
         default="fixpoint",
         help="fixpoint: worklist-vs-dense strategies (BENCH_fixpoint.json); "
         "logic: incremental DPLL(T) core vs the pre-rewrite solver "
         "(BENCH_logic.json); domains: the columnar evaluation core over an "
-        "example-count sweep (BENCH_domains.json); chaos: fault-injected "
-        "resilience sweep over the solve fabric (BENCH_chaos.json); "
-        "all: every timing suite (chaos excluded; run it explicitly)",
+        "example-count sweep (BENCH_domains.json); grammar: tree-automaton "
+        "pruning + memoized-enumerator deltas (BENCH_grammar.json); chaos: "
+        "fault-injected resilience sweep over the solve fabric "
+        "(BENCH_chaos.json); all: every timing suite (chaos excluded; run "
+        "it explicitly)",
     )
     bench.add_argument(
         "--repeat", type=int, default=3, help="timed repetitions per measurement"
@@ -243,7 +322,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "solve":
         solver = _solver_for(arguments)
-        response = solver.solve(Path(arguments.path), kind="solve")
+        response = solver.solve(
+            Path(arguments.path), kind="solve", tags=_solving_tags(arguments)
+        )
         return _emit(response, arguments.json)
 
     if arguments.command == "check":
@@ -251,7 +332,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Resolution failures (unknown benchmark, exhausted example top-up)
         # come back as verdict="error" responses; _emit routes them to
         # stderr with exit code 1.
-        response = solver.solve(arguments.benchmark, example_count=arguments.examples)
+        response = solver.solve(
+            arguments.benchmark,
+            example_count=arguments.examples,
+            tags=_solving_tags(arguments),
+        )
         if response.kind == "solve" and not arguments.json and not response.error:
             print("benchmark has no recorded witness examples; running CEGIS instead")
             print(f"verdict: {response.verdict}")
@@ -307,11 +392,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
 
+    if arguments.command == "grammar":
+        return _run_grammar(arguments)
+
     if arguments.command == "bench":
         from repro import perf
 
         suites = (
-            ["fixpoint", "logic", "domains"]
+            ["fixpoint", "logic", "domains", "grammar"]
             if arguments.suite == "all"
             else [arguments.suite]
         )
@@ -331,6 +419,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 print(perf.render_domains_report(report))
                 default_path = perf.DEFAULT_DOMAINS_BENCH_PATH
+            elif suite == "grammar":
+                report = perf.run_grammar_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_grammar_report(report))
+                default_path = perf.DEFAULT_GRAMMAR_BENCH_PATH
             elif suite == "chaos":
                 report = perf.run_chaos_suite(
                     repetitions=arguments.repeat, quick=arguments.quick
@@ -369,7 +463,9 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         print(f"no .sl files under {directory}", file=sys.stderr)
         return 1
     solver = _solver_for(arguments)
-    responses = solver.solve_batch(paths, workers=arguments.workers, kind="solve")
+    responses = solver.solve_batch(
+        paths, workers=arguments.workers, kind="solve", tags=_solving_tags(arguments)
+    )
     if arguments.json:
         print(json.dumps([response.to_json() for response in responses], indent=2))
     else:
@@ -398,6 +494,145 @@ def _run_batch(arguments: argparse.Namespace) -> int:
                 print(f"{path}: certificate {state}", file=sys.stderr)
                 failed = True
     return 1 if failed else 0
+
+
+def _resolve_grammar_ref(ref: str):
+    """The (problem, witness examples) a grammar-algebra operand names."""
+    from repro.api.facade import resolve_problem, resolve_request_examples
+
+    request = Solver().request(ref)
+    problem, benchmark = resolve_problem(request)
+    examples = resolve_request_examples(request, problem, benchmark)
+    return problem, examples
+
+
+def _run_grammar(arguments: argparse.Namespace) -> int:
+    """The ``repro-nay grammar`` family over the tree-automaton core."""
+    from repro.grammar import TreeAutomaton, prune_grammar
+    from repro.utils.errors import ReproError
+
+    def emit(payload: dict, lines: List[str]) -> int:
+        if arguments.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            for line in lines:
+                print(line)
+        return 0
+
+    try:
+        if arguments.grammar_op == "compile":
+            problem, _ = _resolve_grammar_ref(arguments.ref)
+            automaton = TreeAutomaton.from_grammar(problem.grammar)
+            stats = automaton.statistics()
+            lines = [
+                f"{problem.grammar.name}: {stats['states']} states, "
+                f"{stats['rules']} rules, {stats['symbols']} symbols, "
+                f"deterministic={stats['deterministic']}"
+            ]
+            if getattr(arguments, "show", False):
+                lines.append(str(automaton))
+            return emit({"grammar": problem.grammar.name, **stats}, lines)
+
+        if arguments.grammar_op == "intersect":
+            left, _ = _resolve_grammar_ref(arguments.left)
+            right, _ = _resolve_grammar_ref(arguments.right)
+            a = TreeAutomaton.from_grammar(left.grammar)
+            b = TreeAutomaton.from_grammar(right.grammar)
+            product = a.intersect(b)
+            counts = product.count_terms(max_size=arguments.max_size)
+            total = sum(counts.values())
+            payload = {
+                "left": {"grammar": left.grammar.name, **a.statistics()},
+                "right": {"grammar": right.grammar.name, **b.statistics()},
+                "product": product.statistics(),
+                "terms_up_to_size": {str(k): v for k, v in sorted(counts.items())},
+                "total_terms": total,
+            }
+            lines = [
+                f"left  {left.grammar.name}: {a.num_states} states, {a.num_rules} rules",
+                f"right {right.grammar.name}: {b.num_states} states, {b.num_rules} rules",
+                f"product: {product.num_states} states, {product.num_rules} rules",
+                f"shared terms up to size {arguments.max_size}: {total}",
+            ]
+            return emit(payload, lines)
+
+        if arguments.grammar_op == "prune":
+            problem, examples = _resolve_grammar_ref(arguments.ref)
+            if arguments.examples is not None:
+                examples = examples.resized(problem.variables, arguments.examples, seed=0)
+            pruned, report = prune_grammar(
+                problem.grammar, examples, mode=arguments.mode
+            )
+            payload = {
+                "grammar": problem.grammar.name,
+                "mode": report.mode,
+                "states": {"before": report.states_before, "after": report.states_after},
+                "productions": {
+                    "before": report.productions_before,
+                    "after": report.productions_after,
+                    "pruned": report.productions_pruned,
+                },
+                "merged": {
+                    dropped.name: kept.name for dropped, kept in report.merged.items()
+                },
+                "witnesses": dict(report.witnesses),
+            }
+            lines = [
+                f"{problem.grammar.name} [{report.mode}] "
+                f"states {report.states_before} -> {report.states_after}, "
+                f"productions {report.productions_before} -> {report.productions_after} "
+                f"({report.productions_pruned} pruned)",
+            ]
+            for dropped, kept in sorted(
+                report.merged.items(), key=lambda item: item[0].name
+            ):
+                witness = report.witnesses.get(kept.name, "?")
+                lines.append(f"  {dropped.name} -> {kept.name}  (witness: {witness})")
+            return emit(payload, lines)
+
+        if arguments.grammar_op == "count":
+            problem, _ = _resolve_grammar_ref(arguments.ref)
+            automaton = TreeAutomaton.from_grammar(problem.grammar)
+            counts = automaton.count_terms(max_size=arguments.max_size)
+            total = sum(counts.values())
+            payload = {
+                "grammar": problem.grammar.name,
+                "counts": {str(k): v for k, v in sorted(counts.items())},
+                "total": total,
+            }
+            lines = [
+                f"size {size}: {count}" for size, count in sorted(counts.items())
+            ] + [f"total distinct terms up to size {arguments.max_size}: {total}"]
+            return emit(payload, lines)
+
+        if arguments.grammar_op == "stats":
+            problem, examples = _resolve_grammar_ref(arguments.ref)
+            automaton = TreeAutomaton.from_grammar(problem.grammar)
+            minimized = automaton.minimize()
+            _, oe_report = prune_grammar(problem.grammar, examples, mode="oe")
+            payload = {
+                "grammar": {
+                    "name": problem.grammar.name,
+                    "nonterminals": problem.grammar.num_nonterminals,
+                    "productions": problem.grammar.num_productions,
+                },
+                "automaton": automaton.statistics(),
+                "minimized": minimized.statistics(),
+                "oe_prune": oe_report.counters(),
+            }
+            lines = [
+                f"grammar   {problem.grammar.name}: "
+                f"|N|={problem.grammar.num_nonterminals} "
+                f"|delta|={problem.grammar.num_productions}",
+                f"automaton: {automaton.num_states} states, {automaton.num_rules} rules",
+                f"minimized: {minimized.num_states} states, {minimized.num_rules} rules",
+                f"oe prune : {oe_report.counters()}",
+            ]
+            return emit(payload, lines)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    return 1
 
 
 def _run_verify(arguments: argparse.Namespace) -> int:

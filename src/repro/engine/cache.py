@@ -40,6 +40,7 @@ from repro.domains.clia import CliaInterpretation
 from repro.domains.semilinear import clear_semilinear_caches, semilinear_cache_stats
 from repro.gfa.builder import build_lia_equations
 from repro.gfa.equations import EquationSystem
+from repro.grammar.automaton import PruneReport, prune_grammar
 from repro.grammar.rtg import RegularTreeGrammar
 from repro.grammar.transforms import normalize_for_gfa
 from repro.logic.solver import clear_logic_caches, logic_cache_stats, runtime_counters
@@ -60,6 +61,8 @@ class CacheStats:
     normalize_misses: int = 0
     equations_hits: int = 0
     equations_misses: int = 0
+    prune_hits: int = 0
+    prune_misses: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +70,8 @@ class CacheStats:
             "normalize_misses": self.normalize_misses,
             "equations_hits": self.equations_hits,
             "equations_misses": self.equations_misses,
+            "prune_hits": self.prune_hits,
+            "prune_misses": self.prune_misses,
         }
 
 
@@ -84,6 +89,7 @@ class GfaCache:
         self.stats = CacheStats()
         self._normalized: "OrderedDict[Hashable, RegularTreeGrammar]" = OrderedDict()
         self._equations: "OrderedDict[Hashable, EquationSystem]" = OrderedDict()
+        self._pruned: "OrderedDict[Hashable, tuple]" = OrderedDict()
         self._lock = threading.Lock()
 
     # -- the cached constructions ---------------------------------------------
@@ -128,12 +134,44 @@ class GfaCache:
             self._put(self._equations, key, value)
         return value
 
+    def pruned(
+        self,
+        normalized: RegularTreeGrammar,
+        examples: "ExampleSet | None",
+        mode: str,
+    ) -> "tuple[RegularTreeGrammar, PruneReport]":
+        """``prune_grammar`` over an already-normalized grammar, memoized.
+
+        ``"reduce"`` pruning is example-independent, so its entries are keyed
+        by the grammar fingerprint alone; ``"oe"`` merges by behavior vectors
+        on the example set, which therefore joins the key.
+        """
+        if not self.enabled:
+            return prune_grammar(normalized, examples, mode=mode, witnesses=False)
+        key = (
+            grammar_fingerprint(normalized),
+            examples if mode == "oe" else None,
+            mode,
+        )
+        with self._lock:
+            cached = self._get(self._pruned, key)
+            if cached is not None:
+                self.stats.prune_hits += 1
+                return cached
+            self.stats.prune_misses += 1
+        # Engines never surface witness terms; skip their enumeration cost.
+        value = prune_grammar(normalized, examples, mode=mode, witnesses=False)
+        with self._lock:
+            self._put(self._pruned, key, value)
+        return value
+
     # -- bookkeeping -----------------------------------------------------------
 
     def clear(self) -> None:
         with self._lock:
             self._normalized.clear()
             self._equations.clear()
+            self._pruned.clear()
             self.stats = CacheStats()
 
     @staticmethod

@@ -6,7 +6,15 @@ from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
 from repro.grammar.transforms import (
     remove_minus,
     lower_nary_plus,
+    eliminate_useless,
     normalize_for_gfa,
+)
+from repro.grammar.automaton import (
+    PRUNE_MODES,
+    PruneReport,
+    Rule,
+    TreeAutomaton,
+    prune_grammar,
 )
 from repro.grammar.analysis import (
     dependence_graph,
@@ -27,7 +35,13 @@ __all__ = [
     "RegularTreeGrammar",
     "remove_minus",
     "lower_nary_plus",
+    "eliminate_useless",
     "normalize_for_gfa",
+    "PRUNE_MODES",
+    "PruneReport",
+    "Rule",
+    "TreeAutomaton",
+    "prune_grammar",
     "dependence_graph",
     "strongly_connected_components",
     "stratify",

@@ -57,6 +57,25 @@ class Symbol:
                 f"symbol {self.name} declares arity {self.arity} but "
                 f"{len(self.argument_sorts)} argument sorts"
             )
+        # Symbols are hashed constantly (term interning, enumeration tables,
+        # automaton rule maps); cache the hash instead of re-deriving it from
+        # five fields on every lookup.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.name,
+                    self.arity,
+                    self.result_sort,
+                    self.argument_sorts,
+                    self.payload,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_leaf(self) -> bool:

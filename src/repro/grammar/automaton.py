@@ -1,0 +1,820 @@
+"""A finite tree-automaton backing for regular tree grammars.
+
+A regular tree grammar *is* a finite tree automaton read bottom-up: the
+nonterminals are the states, a production ``A -> sigma(A1, ..., Ak)`` is the
+transition rule ``sigma(A1, ..., Ak) -> A``, and the start nonterminal is the
+(single) final state.  This module makes that reading first-class:
+
+* :class:`TreeAutomaton` — states, rules and final states over the shared
+  ranked alphabet (:mod:`repro.grammar.alphabet`), convertible to and from
+  :class:`~repro.grammar.rtg.RegularTreeGrammar` without loss of language;
+* the classical algebra — ``union``, ``intersect`` (bottom-up product
+  construction), ``specialize`` (restrict the alphabet), ``determinize``
+  (reachable-subset construction), ``reduce`` (dead/unreachable-state
+  elimination) and ``minimize`` (backward-bisimulation signature refinement);
+* observational-equivalence pruning (:func:`prune_grammar`) — the gpoe-style
+  reduction that merges nonterminals and productions whose *behavior vectors*
+  on the current example set coincide, shrinking the equation systems every
+  engine iterates over while recording enough bookkeeping
+  (:class:`PruneReport`) to expand solved values back to the full grammar so
+  verdicts and certificates stay sound.
+
+The module is deliberately solver-free: it imports only ``repro.grammar``,
+``repro.semantics`` and ``repro.utils``, so certificate-checking paths can
+reach it without ever touching the fixpoint drivers or the logic core.
+
+Soundness of the pruning modes (details in
+``docs/architecture/grammar-automata.md``):
+
+* ``"reduce"`` merges nonterminals with *identical languages* (signature
+  refinement with leaf symbols compared by identity).  The merged grammar
+  generates exactly the same term language, so it is safe everywhere —
+  including the enumerative synthesizer, whose returned terms must be
+  members of the original grammar.
+* ``"oe"`` additionally identifies leaf symbols with equal behavior vectors
+  on the example set ``E``.  The merged grammar preserves the per-nonterminal
+  *behavior sets* on ``E`` (every domain transfer in this repo is a function
+  of the symbol and, for leaves, of the behavior vector alone), so any
+  abstract or exact fixpoint over it yields the same verdict; term-level
+  membership is *not* preserved, which is why the synthesizer never uses it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.grammar import alphabet as alph
+from repro.grammar.alphabet import Sort, Symbol
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.grammar.terms import Term
+from repro.grammar.transforms import eliminate_useless
+from repro.utils.errors import GrammarError, SemanticsError
+
+if TYPE_CHECKING:  # import-time cycle guard: semantics imports repro.grammar
+    from repro.semantics.examples import ExampleSet
+
+#: A state of a tree automaton: any hashable value.  ``from_grammar`` uses
+#: the nonterminals themselves; the product and subset constructions build
+#: tuples and frozensets of underlying states.
+State = Hashable
+
+
+class Rule(NamedTuple):
+    """One bottom-up transition ``symbol(args...) -> target``."""
+
+    symbol: Symbol
+    args: Tuple[State, ...]
+    target: State
+
+    def __str__(self) -> str:
+        if not self.args:
+            return f"{self.symbol} -> {self.target}"
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.symbol.name}({inner}) -> {self.target}"
+
+
+#: Hard cap on the subset construction; grammars in this repo determinize to
+#: a handful of states, so hitting the cap means a pathological input rather
+#: than a big one.
+MAX_DETERMINIZED_STATES = 4096
+
+
+class TreeAutomaton:
+    """A (generally nondeterministic) bottom-up finite tree automaton."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        final: Iterable[State],
+        name: str = "A",
+        states: Optional[Iterable[State]] = None,
+    ):
+        self.name = name
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.final: Tuple[State, ...] = tuple(dict.fromkeys(final))
+        ordered: Dict[State, None] = dict.fromkeys(states or ())
+        for rule in self.rules:
+            for arg in rule.args:
+                ordered.setdefault(arg, None)
+            ordered.setdefault(rule.target, None)
+        for state in self.final:
+            ordered.setdefault(state, None)
+        self.states: Tuple[State, ...] = tuple(ordered)
+        self._by_symbol: Dict[Symbol, List[Rule]] = {}
+        for rule in self.rules:
+            self._by_symbol.setdefault(rule.symbol, []).append(rule)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules)
+
+    def symbols(self) -> Tuple[Symbol, ...]:
+        return tuple(self._by_symbol)
+
+    def is_deterministic(self) -> bool:
+        """No two rules share a (symbol, argument-states) left-hand side."""
+        seen: Set[Tuple[Symbol, Tuple[State, ...]]] = set()
+        for rule in self.rules:
+            key = (rule.symbol, rule.args)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def fingerprint(self) -> Hashable:
+        """A structural identity (rule order is normalized away)."""
+        return (frozenset(self.rules), frozenset(self.final))
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "states": self.num_states,
+            "rules": self.num_rules,
+            "final": len(self.final),
+            "symbols": len(self._by_symbol),
+            "deterministic": self.is_deterministic(),
+        }
+
+    def __str__(self) -> str:
+        lines = [f"automaton {self.name} (final {{{', '.join(map(str, self.final))}}}):"]
+        lines.extend(f"  {rule}" for rule in self.rules)
+        return "\n".join(lines)
+
+    # -- RTG conversion ------------------------------------------------------
+
+    @staticmethod
+    def from_grammar(grammar: RegularTreeGrammar) -> "TreeAutomaton":
+        """Read a grammar bottom-up: nonterminals become states, the start
+        nonterminal the single final state."""
+        rules = [
+            Rule(production.symbol, production.args, production.lhs)
+            for production in grammar.productions
+        ]
+        return TreeAutomaton(
+            rules, [grammar.start], name=grammar.name, states=grammar.nonterminals
+        )
+
+    def _state_sorts(self) -> Dict[State, Sort]:
+        sorts: Dict[State, Sort] = {}
+        for rule in self.rules:
+            sorts.setdefault(rule.target, rule.symbol.result_sort)
+            for arg, sort in zip(rule.args, rule.symbol.argument_sorts):
+                sorts.setdefault(arg, sort)
+        return sorts
+
+    def to_grammar(self, name: Optional[str] = None) -> RegularTreeGrammar:
+        """The automaton as an RTG accepting exactly the same language.
+
+        States become nonterminals (named after the state when it already is
+        a :class:`Nonterminal`, ``q0, q1, ...`` otherwise).  With several
+        final states a fresh start nonterminal is added with one ``Pass``
+        production per final state; all final states must share one sort.
+        """
+        if not self.final:
+            raise GrammarError("automaton has no final state; its language is empty")
+        sorts = self._state_sorts()
+        taken: Set[str] = set()
+        mapping: Dict[State, Nonterminal] = {}
+        for index, state in enumerate(self.states):
+            sort = sorts.get(state, Sort.INT)
+            base = state.name if isinstance(state, Nonterminal) else f"q{index}"
+            candidate = base
+            suffix = 0
+            while candidate in taken:
+                suffix += 1
+                candidate = f"{base}_{suffix}"
+            taken.add(candidate)
+            mapping[state] = Nonterminal(candidate, sort)
+
+        productions = [
+            Production(mapping[rule.target], rule.symbol,
+                       tuple(mapping[arg] for arg in rule.args))
+            for rule in self.rules
+        ]
+        nonterminals = [mapping[state] for state in self.states]
+
+        if len(self.final) == 1:
+            start = mapping[self.final[0]]
+        else:
+            final_sorts = {sorts.get(state, Sort.INT) for state in self.final}
+            if len(final_sorts) != 1:
+                raise GrammarError("final states of mixed sorts cannot share a start")
+            (sort,) = final_sorts
+            start_name = "Start"
+            suffix = 0
+            while start_name in taken:
+                suffix += 1
+                start_name = f"Start_{suffix}"
+            start = Nonterminal(start_name, sort)
+            nonterminals.insert(0, start)
+            productions = [
+                Production(start, alph.pass_through(sort), (mapping[state],))
+                for state in self.final
+            ] + productions
+        return RegularTreeGrammar(
+            nonterminals, start, productions, name=name or self.name
+        )
+
+    # -- language ------------------------------------------------------------
+
+    def run(self, term: Term, memo: Optional[Dict[Term, FrozenSet[State]]] = None) -> FrozenSet[State]:
+        """The set of states the term can reach bottom-up."""
+        if memo is None:
+            memo = {}
+        cached = memo.get(term)
+        if cached is not None:
+            return cached
+        child_sets = [self.run(child, memo) for child in term.children]
+        targets: Set[State] = set()
+        for rule in self._by_symbol.get(term.symbol, ()):
+            if all(arg in child_set for arg, child_set in zip(rule.args, child_sets)):
+                targets.add(rule.target)
+        result = frozenset(targets)
+        memo[term] = result
+        return result
+
+    def accepts(self, term: Term) -> bool:
+        return any(state in self.final for state in self.run(term))
+
+    def _terms_of_size(
+        self,
+        state: State,
+        size: int,
+        cache: Dict[Tuple[State, int], List[Term]],
+    ) -> List[Term]:
+        key = (state, size)
+        if key in cache:
+            return cache[key]
+        results: List[Term] = []
+        for rule in self.rules:
+            if rule.target != state:
+                continue
+            arity = rule.symbol.arity
+            if arity == 0:
+                if size == 1:
+                    results.append(Term.leaf(rule.symbol))
+                continue
+            remaining = size - 1
+            if remaining < arity:
+                continue
+            for split in _compositions(remaining, arity):
+                child_choices = [
+                    self._terms_of_size(arg, part, cache)
+                    for arg, part in zip(rule.args, split)
+                ]
+                if any(not choices for choices in child_choices):
+                    continue
+                for children in itertools.product(*child_choices):
+                    results.append(Term(rule.symbol, tuple(children)))
+        cache[key] = results
+        return results
+
+    def generate(
+        self, max_size: int = 6, limit: Optional[int] = None
+    ) -> Iterator[Term]:
+        """Enumerate accepted terms by increasing size, each exactly once."""
+        cache: Dict[Tuple[State, int], List[Term]] = {}
+        seen: Set[Term] = set()
+        count = 0
+        for size in range(1, max_size + 1):
+            for state in self.final:
+                for term in self._terms_of_size(state, size, cache):
+                    if term in seen:
+                        continue
+                    seen.add(term)
+                    yield term
+                    count += 1
+                    if limit is not None and count >= limit:
+                        return
+
+    def count_terms(self, max_size: int = 6) -> Dict[int, int]:
+        """Exact count of *distinct* accepted terms per size.
+
+        Counting runs on the reduced, determinized automaton: a DFTA assigns
+        every term a unique run, so per-state counts partition the term space
+        and summing over final states never double-counts.
+        """
+        det = self if self.is_deterministic() else self.determinize()
+        det = det.reduce()
+        counts: Dict[Tuple[State, int], int] = {}
+        for size in range(1, max_size + 1):
+            for state in det.states:
+                total = 0
+                for rule in det.rules:
+                    if rule.target != state:
+                        continue
+                    arity = rule.symbol.arity
+                    if arity == 0:
+                        if size == 1:
+                            total += 1
+                        continue
+                    remaining = size - 1
+                    if remaining < arity:
+                        continue
+                    for split in _compositions(remaining, arity):
+                        product = 1
+                        for arg, part in zip(rule.args, split):
+                            product *= counts.get((arg, part), 0)
+                            if product == 0:
+                                break
+                        total += product
+                counts[(state, size)] = total
+        return {
+            size: sum(counts.get((state, size), 0) for state in det.final)
+            for size in range(1, max_size + 1)
+        }
+
+    # -- the algebra ---------------------------------------------------------
+
+    def union(self, other: "TreeAutomaton") -> "TreeAutomaton":
+        """Language union via a tagged disjoint sum of the state spaces."""
+        rules = [
+            Rule(rule.symbol, tuple(("L", arg) for arg in rule.args), ("L", rule.target))
+            for rule in self.rules
+        ] + [
+            Rule(rule.symbol, tuple(("R", arg) for arg in rule.args), ("R", rule.target))
+            for rule in other.rules
+        ]
+        final = [("L", state) for state in self.final] + [
+            ("R", state) for state in other.final
+        ]
+        return TreeAutomaton(rules, final, name=f"{self.name}|{other.name}")
+
+    def intersect(self, other: "TreeAutomaton") -> "TreeAutomaton":
+        """Bottom-up product construction, restricted to reachable pairs.
+
+        Only pairs of states that some common term actually reaches are ever
+        materialized, so intersecting automata over mostly-disjoint alphabets
+        stays cheap.  The result accepts exactly ``L(self) ∩ L(other)``.
+        """
+        discovered: Dict[Tuple[State, State], None] = {}
+        rules: List[Rule] = []
+        emitted: Set[Rule] = set()
+        changed = True
+        while changed:
+            changed = False
+            for symbol, left_rules in self._by_symbol.items():
+                right_rules = other._by_symbol.get(symbol)
+                if not right_rules:
+                    continue
+                for left, right in itertools.product(left_rules, right_rules):
+                    args = tuple(zip(left.args, right.args))
+                    if any(pair not in discovered for pair in args):
+                        continue
+                    rule = Rule(symbol, args, (left.target, right.target))
+                    if rule in emitted:
+                        continue
+                    emitted.add(rule)
+                    rules.append(rule)
+                    if rule.target not in discovered:
+                        discovered[rule.target] = None
+                        changed = True
+        final = [
+            (left, right)
+            for left, right in itertools.product(self.final, other.final)
+            if (left, right) in discovered
+        ]
+        return TreeAutomaton(
+            rules, final, name=f"{self.name}&{other.name}"
+        ).reduce()
+
+    def specialize(self, allowed: Iterable[object]) -> "TreeAutomaton":
+        """Restrict the alphabet: keep rules whose symbol (or symbol name) is
+        in ``allowed``, then eliminate the states that die with them."""
+        allowed_set = set(allowed)
+
+        def kept(symbol: Symbol) -> bool:
+            return symbol in allowed_set or symbol.name in allowed_set
+
+        rules = [rule for rule in self.rules if kept(rule.symbol)]
+        return TreeAutomaton(
+            rules, self.final, name=f"{self.name}/spec", states=self.states
+        ).reduce()
+
+    def determinize(self) -> "TreeAutomaton":
+        """Reachable-subset construction; the result is a DFTA.
+
+        States of the result are frozensets of original states; only subsets
+        some term actually evaluates to are constructed.
+        """
+        subsets: Dict[FrozenSet[State], None] = {}
+        rules: List[Rule] = []
+        done: Set[Tuple[Symbol, Tuple[FrozenSet[State], ...]]] = set()
+        changed = True
+        while changed:
+            changed = False
+            current = list(subsets)
+            for symbol, symbol_rules in self._by_symbol.items():
+                arity = symbol.arity
+                if arity == 0:
+                    key = (symbol, ())
+                    if key in done:
+                        continue
+                    done.add(key)
+                    target = frozenset(rule.target for rule in symbol_rules)
+                    rules.append(Rule(symbol, (), target))
+                    if target not in subsets:
+                        subsets[target] = None
+                        changed = True
+                    continue
+                for combo in itertools.product(current, repeat=arity):
+                    key = (symbol, combo)
+                    if key in done:
+                        continue
+                    done.add(key)
+                    target = frozenset(
+                        rule.target
+                        for rule in symbol_rules
+                        if all(arg in subset for arg, subset in zip(rule.args, combo))
+                    )
+                    if not target:
+                        continue
+                    rules.append(Rule(symbol, combo, target))
+                    if target not in subsets:
+                        subsets[target] = None
+                        changed = True
+                if len(subsets) > MAX_DETERMINIZED_STATES:
+                    raise GrammarError(
+                        f"determinization exceeded {MAX_DETERMINIZED_STATES} states"
+                    )
+        final = [
+            subset for subset in subsets if any(state in subset for state in self.final)
+        ]
+        return TreeAutomaton(rules, final, name=f"det({self.name})")
+
+    def reduce(self) -> "TreeAutomaton":
+        """Drop dead (unproductive) and unreachable (non-co-reachable) states.
+
+        A state is kept iff some term reaches it *and* it can contribute to
+        an accepted term; rules mentioning dropped states go with them.
+        """
+        productive: Set[State] = set()
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule.target in productive:
+                    continue
+                if all(arg in productive for arg in rule.args):
+                    productive.add(rule.target)
+                    changed = True
+        useful: Set[State] = {state for state in self.final if state in productive}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule.target not in useful:
+                    continue
+                for arg in rule.args:
+                    if arg in productive and arg not in useful:
+                        useful.add(arg)
+                        changed = True
+        rules = [
+            rule
+            for rule in self.rules
+            if rule.target in useful and all(arg in useful for arg in rule.args)
+        ]
+        final = [state for state in self.final if state in useful]
+        states = [state for state in self.states if state in useful]
+        return TreeAutomaton(rules, final, name=self.name, states=states)
+
+    def minimize(self) -> "TreeAutomaton":
+        """Merge states with equal languages via signature refinement.
+
+        Starting from the partition by (finality, sort), states are split
+        until every pair in a class produces the same signature — the set of
+        ``(symbol, argument-class-tuple)`` patterns over the rules targeting
+        the state.  Equal signatures in a stable partition imply equal
+        languages, so collapsing each class onto one representative preserves
+        the accepted language exactly (on a reduced DFTA this is the
+        classical minimization).
+        """
+        reduced = self.reduce()
+        if not reduced.states:
+            return reduced
+        sorts = reduced._state_sorts()
+        final_set = set(reduced.final)
+        class_of: Dict[State, Hashable] = {
+            state: (state in final_set, sorts.get(state, Sort.INT))
+            for state in reduced.states
+        }
+        rules_by_target: Dict[State, List[Rule]] = {}
+        for rule in reduced.rules:
+            rules_by_target.setdefault(rule.target, []).append(rule)
+        while True:
+            signatures: Dict[State, Hashable] = {}
+            for state in reduced.states:
+                signature = frozenset(
+                    (rule.symbol, tuple(class_of[arg] for arg in rule.args))
+                    for rule in rules_by_target.get(state, ())
+                )
+                signatures[state] = (class_of[state], signature)
+            refined = _canonical_classes(reduced.states, signatures)
+            if len(set(refined.values())) == len(set(class_of.values())):
+                class_of = refined
+                break
+            class_of = refined
+        representative: Dict[Hashable, State] = {}
+        for state in reduced.states:
+            representative.setdefault(class_of[state], state)
+        rep = {state: representative[class_of[state]] for state in reduced.states}
+        rules: List[Rule] = []
+        emitted: Set[Rule] = set()
+        for rule in reduced.rules:
+            mapped = Rule(
+                rule.symbol, tuple(rep[arg] for arg in rule.args), rep[rule.target]
+            )
+            if mapped not in emitted:
+                emitted.add(mapped)
+                rules.append(mapped)
+        final = list(dict.fromkeys(rep[state] for state in reduced.final))
+        states = [state for state in reduced.states if rep[state] is state]
+        return TreeAutomaton(rules, final, name=f"min({self.name})", states=states)
+
+
+def _canonical_classes(order: Iterable, signatures: Dict) -> Dict:
+    """Relabel signature values as small integers (in first-seen order).
+
+    Refinement keys embed the keys of the previous round; without this
+    renaming they would nest one level deeper per round, making hashing
+    exponentially expensive on deep chain grammars.
+    """
+    ids: Dict[Hashable, int] = {}
+    canonical = {}
+    for member in order:
+        signature = signatures[member]
+        if signature not in ids:
+            ids[signature] = len(ids)
+        canonical[member] = ids[signature]
+    return canonical
+
+
+def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+# ---------------------------------------------------------------------------
+# Observational-equivalence pruning over grammars
+# ---------------------------------------------------------------------------
+
+#: The levels of the ``prune`` knob threaded through the engines.
+PRUNE_MODES = ("off", "reduce", "oe")
+
+
+@dataclass
+class PruneReport:
+    """What a pruning pass did, and how to undo it on solved values.
+
+    ``merged`` maps every dropped nonterminal to the kept representative of
+    its equivalence class; :meth:`expand_values` uses it to rebuild a full
+    per-nonterminal value map from a solve over the pruned grammar — the
+    expansion the certificate builders need, since the independent checker
+    verifies against its own (unpruned) normalization of the problem.
+    ``witnesses`` records, per representative of a non-trivial class, one
+    term of the representative's original language — the witness that the
+    merged class is inhabited by a concrete program.
+    """
+
+    mode: str
+    states_before: int
+    states_after: int
+    productions_before: int
+    productions_after: int
+    merged: Dict[Nonterminal, Nonterminal] = field(default_factory=dict)
+    witnesses: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def productions_pruned(self) -> int:
+        return self.productions_before - self.productions_after
+
+    def counters(self) -> Dict[str, int]:
+        """The ``solver_stats`` entries every engine surfaces."""
+        return {
+            "grammar_states": self.states_after,
+            "grammar_productions_pruned": self.productions_pruned,
+        }
+
+    def expand_values(self, values: Dict[Nonterminal, object]) -> Dict[Nonterminal, object]:
+        """Extend a pruned-solve value map back over the merged nonterminals.
+
+        Each merged nonterminal receives its representative's value — sound
+        because the merge only ever identifies nonterminals whose behavior
+        sets on the example set coincide (see the module docstring).
+        """
+        expanded = dict(values)
+        for dropped, representative in self.merged.items():
+            if representative in values:
+                expanded.setdefault(dropped, values[representative])
+        return expanded
+
+
+def _trivial_report(grammar: RegularTreeGrammar, mode: str) -> PruneReport:
+    return PruneReport(
+        mode=mode,
+        states_before=grammar.num_nonterminals,
+        states_after=grammar.num_nonterminals,
+        productions_before=grammar.num_productions,
+        productions_after=grammar.num_productions,
+    )
+
+
+def prune_grammar(
+    grammar: RegularTreeGrammar,
+    examples: Optional["ExampleSet"] = None,
+    mode: str = "oe",
+    witnesses: bool = True,
+) -> Tuple[RegularTreeGrammar, PruneReport]:
+    """Shrink a grammar before any equation system is built from it.
+
+    ``mode`` selects how aggressive the merge is:
+
+    * ``"off"`` — return the grammar untouched (with a trivial report);
+    * ``"reduce"`` — eliminate useless/duplicate productions and merge
+      nonterminals with identical languages (example-independent,
+      language-preserving);
+    * ``"oe"`` — additionally identify leaf productions whose behavior
+      vectors on ``examples`` coincide, and merge nonterminals that become
+      indistinguishable under that identification (behavior-preserving on
+      the example set; requires a non-empty ``examples``, falling back to
+      ``"reduce"`` otherwise).
+
+    ``witnesses=False`` skips the representative-term enumeration that
+    populates :attr:`PruneReport.witnesses` — callers that only want the
+    pruned grammar (the enumerator's per-bank reduction, the hot cache
+    path) avoid its cost.
+    """
+    if mode not in PRUNE_MODES:
+        raise GrammarError(f"unknown prune mode {mode!r}; expected one of {PRUNE_MODES}")
+    if mode == "off":
+        return grammar, _trivial_report(grammar, mode)
+
+    states_before = grammar.num_nonterminals
+    productions_before = grammar.num_productions
+    cleaned = eliminate_useless(grammar)
+
+    if mode == "oe" and examples is not None and len(examples) > 0:
+        # Imported lazily: the semantics package itself imports repro.grammar
+        # at module load, so a top-level import here would be circular.
+        from repro.semantics.evaluator import evaluate
+
+        memo: Dict[Term, object] = {}
+
+        def leaf_key(symbol: Symbol) -> Hashable:
+            try:
+                vector = evaluate(Term.leaf(symbol), examples, memo)
+            except SemanticsError:
+                return ("sym", symbol)
+            return ("beh", symbol.result_sort, vector.values)
+
+    else:
+        def leaf_key(symbol: Symbol) -> Hashable:
+            return ("sym", symbol)
+
+    merged_grammar, merged_map = _merge_by_signature(cleaned, leaf_key)
+
+    witness_terms: Dict[str, str] = {}
+    if witnesses:
+        for representative in dict.fromkeys(merged_map.values()):
+            for term in cleaned.generate(representative, max_size=5, limit=1):
+                witness_terms[representative.name] = term.to_sexpr()
+
+    # Nonterminals eliminate_useless dropped outright have no representative;
+    # only merge-dropped ones enter the expansion map.
+    report = PruneReport(
+        mode=mode,
+        states_before=states_before,
+        states_after=merged_grammar.num_nonterminals,
+        productions_before=productions_before,
+        productions_after=merged_grammar.num_productions,
+        merged=merged_map,
+        witnesses=witness_terms,
+    )
+    return merged_grammar, report
+
+
+def _merge_by_signature(
+    grammar: RegularTreeGrammar, leaf_key
+) -> Tuple[RegularTreeGrammar, Dict[Nonterminal, Nonterminal]]:
+    """Coarsest stable partition of the nonterminals, collapsed onto
+    representatives.
+
+    Two nonterminals land in one class when, recursively, their production
+    sets expose the same ``(symbol, argument-class)`` patterns — with leaf
+    symbols compared through ``leaf_key``.  The fixpoint is reached when a
+    refinement round no longer splits any class.
+    """
+    # Refinement hashes nothing but small ints: nonterminals, symbols and
+    # leaf keys are interned to integer ids once, up front.  (The naive
+    # object-keyed version spent most of its time re-hashing dataclass
+    # objects every round.)
+    nonterminals = grammar.nonterminals
+    nt_index = {nt: position for position, nt in enumerate(nonterminals)}
+    interned: Dict[Hashable, int] = {}
+
+    def intern(value: Hashable) -> int:
+        ident = interned.get(value)
+        if ident is None:
+            ident = interned[value] = len(interned)
+        return ident
+
+    encoded: List[List[Tuple[int, Tuple[int, ...]]]] = []
+    for nonterminal in nonterminals:
+        rows: List[Tuple[int, Tuple[int, ...]]] = []
+        for production in grammar.productions_of(nonterminal):
+            if production.symbol.arity == 0:
+                rows.append((intern(("leaf", leaf_key(production.symbol))), ()))
+            else:
+                rows.append(
+                    (
+                        intern(("sym", production.symbol)),
+                        tuple(nt_index[arg] for arg in production.args),
+                    )
+                )
+        encoded.append(rows)
+
+    classes = [intern(("sort", nt.sort)) for nt in nonterminals]
+    num_classes = len(set(classes))
+    while True:
+        ids: Dict[Hashable, int] = {}
+        refined: List[int] = []
+        for position in range(len(nonterminals)):
+            signature = (
+                classes[position],
+                frozenset(
+                    (symbol_id, tuple(classes[arg] for arg in args))
+                    for symbol_id, args in encoded[position]
+                ),
+            )
+            ident = ids.get(signature)
+            if ident is None:
+                ident = ids[signature] = len(ids)
+            refined.append(ident)
+        stable = len(ids) == num_classes
+        classes = refined
+        num_classes = len(ids)
+        if stable:
+            break
+    class_of: Dict[Nonterminal, int] = {
+        nt: classes[position] for position, nt in enumerate(nonterminals)
+    }
+
+    representative: Dict[Hashable, Nonterminal] = {}
+    # The start symbol must represent its own class so the pruned grammar
+    # keeps the same start nonterminal.
+    representative[class_of[grammar.start]] = grammar.start
+    for nonterminal in grammar.nonterminals:
+        representative.setdefault(class_of[nonterminal], nonterminal)
+    rep = {nt: representative[class_of[nt]] for nt in grammar.nonterminals}
+
+    kept = [nt for nt in grammar.nonterminals if rep[nt] is nt]
+    productions: List[Production] = []
+    seen: Set[Tuple[Nonterminal, Symbol, Tuple[Nonterminal, ...]]] = set()
+    seen_leaf_keys: Set[Tuple[Nonterminal, Hashable]] = set()
+    for nonterminal in kept:
+        for production in grammar.productions_of(nonterminal):
+            if production.symbol.arity == 0:
+                key = (nonterminal, leaf_key(production.symbol))
+                if key in seen_leaf_keys:
+                    continue
+                seen_leaf_keys.add(key)
+                mapped = production
+            else:
+                mapped = Production(
+                    nonterminal,
+                    production.symbol,
+                    tuple(rep[arg] for arg in production.args),
+                )
+            identity = (mapped.lhs, mapped.symbol, mapped.args)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            productions.append(mapped)
+
+    merged_map = {nt: rep[nt] for nt in grammar.nonterminals if rep[nt] is not nt}
+    merged = RegularTreeGrammar(kept, grammar.start, productions, name=grammar.name)
+    return merged, merged_map

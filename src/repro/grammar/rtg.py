@@ -32,6 +32,13 @@ class Nonterminal:
     name: str
     sort: Sort = Sort.INT
 
+    def __post_init__(self) -> None:
+        # Nonterminals key every fixpoint/enumeration table; cache the hash.
+        object.__setattr__(self, "_hash", hash((self.name, self.sort)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return self.name
 
@@ -53,6 +60,12 @@ class Production:
                 f"production {self.lhs} -> {self.symbol} expects "
                 f"{self.symbol.arity} arguments, got {len(self.args)}"
             )
+        object.__setattr__(
+            self, "_hash", hash((self.lhs, self.symbol, self.args))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         if not self.args:

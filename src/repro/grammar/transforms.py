@@ -166,13 +166,39 @@ def remove_minus(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
     return trim(rewritten)
 
 
+def eliminate_useless(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
+    """Drop duplicate productions, then unproductive/unreachable nonterminals.
+
+    This is the standalone dead-production elimination every consumer can
+    apply without going through the tree-automaton path: structurally
+    identical productions of one nonterminal collapse to their first
+    occurrence, and :func:`~repro.grammar.analysis.trim` then removes every
+    nonterminal that cannot finish a derivation or cannot be reached from
+    the start symbol.  The transform preserves the generated language
+    exactly and is idempotent — applying it to its own output changes
+    nothing (both properties are unit-tested).
+    """
+    seen = set()
+    productions: List[Production] = []
+    for production in grammar.productions:
+        identity = (production.lhs, production.symbol, production.args)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        productions.append(production)
+    deduplicated = RegularTreeGrammar(
+        grammar.nonterminals, grammar.start, productions, name=grammar.name
+    )
+    return trim(deduplicated)
+
+
 def normalize_for_gfa(grammar: RegularTreeGrammar) -> RegularTreeGrammar:
-    """Lower n-ary Plus, remove Minus, and trim useless nonterminals.
+    """Lower n-ary Plus, remove Minus, and eliminate useless productions.
 
     This is the normal form assumed by the GFA equation generator: binary
-    operators only, no ``Minus``, and every nonterminal both reachable from
-    the start symbol and productive.
+    operators only, no ``Minus``, no duplicate productions, and every
+    nonterminal both reachable from the start symbol and productive.
     """
     lowered = lower_nary_plus(grammar)
     without_minus = remove_minus(lowered)
-    return trim(without_minus)
+    return eliminate_useless(without_minus)

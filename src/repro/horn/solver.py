@@ -35,12 +35,14 @@ class HornEngine:
     """
 
     overhead_factor: int = 1
+    #: Grammar reduction forwarded to the abstract checker ("off"/"reduce"/"oe").
+    prune: str = "off"
 
     def check(self, problem: SyGuSProblem, examples: ExampleSet) -> CheckResult:
         start = time.monotonic()
         result: Optional[CheckResult] = None
         for _ in range(max(1, self.overhead_factor)):
-            result = check_examples_abstract(problem, examples)
+            result = check_examples_abstract(problem, examples, prune=self.prune)
         assert result is not None
         if result.certificate is not None:
             # Re-shape the inner abstract-fixpoint certificate as a CHC model

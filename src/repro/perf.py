@@ -1111,6 +1111,251 @@ def render_domains_report(report: Dict[str, object]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# The grammar (tree-automaton core) suite
+# ---------------------------------------------------------------------------
+#
+# Two question families, both over generated grammar-scale slates
+# (:mod:`repro.suites.scaling`'s redundant chains and expression grammars,
+# hundreds of productions at the top end):
+#
+# * **Pruning** — how much smaller do the GFA equation systems get when the
+#   grammar goes through observational-equivalence pruning first, and what
+#   does that do to equation evaluations and wall time on the fig2 (exact
+#   semi-linear) and fig3 (abstract-interval) solve legs?
+# * **Enumeration** — how fast does each enumerator cover the *same*
+#   de-duplicated candidate space (``candidates_per_sec`` shares its
+#   numerator across legs: the number of distinct-behavior candidates up to
+#   the size budget, a property of the grammar, divided by each leg's wall
+#   time), and what does bank memoization buy on the repeat rounds the
+#   CEGIS loop actually performs?
+
+#: Version of the BENCH_grammar.json schema (see docs/bench-artifacts.md).
+GRAMMAR_BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_GRAMMAR_BENCH_PATH = "BENCH_grammar.json"
+
+#: ``(length, fanout)`` of the redundant-chain slate for the pruning rows.
+GRAMMAR_PRUNE_SLATE: Tuple[Tuple[int, int], ...] = ((6, 3), (10, 3), (14, 4), (20, 5))
+GRAMMAR_PRUNE_QUICK_SLATE: Tuple[Tuple[int, int], ...] = ((6, 3), (20, 5))
+
+#: Fanouts of the redundant-expression slate for the enumerator rows.
+GRAMMAR_ENUM_SLATE: Tuple[int, ...] = (2, 3, 4)
+GRAMMAR_ENUM_QUICK_SLATE: Tuple[int, ...] = (2, 4)
+
+#: |E| for the pruning rows and the enumerator example sets.
+GRAMMAR_EXAMPLES = 3
+
+#: Rows at or above this many productions feed the wall-clock gate (tiny
+#: rows are too noisy to gate on).
+GRAMMAR_GATE_MIN_PRODUCTIONS = 80
+
+
+def _measure_grammar_prune_row(
+    length: int, fanout: int, leg: str, repetitions: int
+) -> Dict[str, object]:
+    from repro.grammar import prune_grammar
+    from repro.suites.scaling import redundant_chain_grammar
+
+    grammar = redundant_chain_grammar(
+        length, fanout, name=f"redundant_chain_{length}x{fanout}"
+    )
+    examples = example_set(GRAMMAR_EXAMPLES)
+    solver = solve_lia_gfa if leg == "fig2_lia" else solve_abstract_gfa
+    _, report = prune_grammar(grammar, examples, mode="oe")
+    row: Dict[str, object] = {
+        "name": f"{leg}_chain_{length}x{fanout}",
+        "group": "prune",
+        "leg": leg,
+        "length": length,
+        "fanout": fanout,
+        "examples": GRAMMAR_EXAMPLES,
+        "states": {"before": report.states_before, "after": report.states_after},
+        "productions": {
+            "before": report.productions_before,
+            "after": report.productions_after,
+            "pruned": report.productions_pruned,
+        },
+    }
+    for mode in ("off", "oe"):
+        solution = solver(grammar, examples, prune=mode)
+        seconds = _time_leg(lambda: solver(grammar, examples, prune=mode), repetitions)
+        row[mode] = {
+            "evaluations": solution.evaluations,
+            "median_seconds": statistics.median(seconds),
+            "seconds": seconds,
+        }
+    off_evals = row["off"]["evaluations"]
+    oe_evals = row["oe"]["evaluations"]
+    row["evaluation_reduction"] = off_evals / max(1, oe_evals)
+    row["wall_ratio_oe_vs_off"] = row["oe"]["median_seconds"] / max(
+        1e-9, row["off"]["median_seconds"]
+    )
+    return row
+
+
+def _measure_grammar_enum_row(fanout: int, repetitions: int) -> Dict[str, object]:
+    from repro.suites.scaling import redundant_expression_benchmark
+    from repro.synth import EnumerativeSynthesizer, ReferenceSynthesizer
+
+    benchmark = redundant_expression_benchmark(fanout)
+    problem = benchmark.problem
+    examples = example_set(GRAMMAR_EXAMPLES)
+    max_size, max_terms = 7, 50_000
+
+    def leg(seconds: List[float], candidates: int) -> Dict[str, object]:
+        median = statistics.median(seconds)
+        return {
+            "median_seconds": median,
+            "seconds": seconds,
+            "candidates_per_sec": candidates / max(1e-9, median),
+        }
+
+    # The shared numerator: distinct-behavior candidates up to the budget.
+    probe = EnumerativeSynthesizer(max_size, max_terms)
+    candidates = probe.synthesize(problem, examples).explored_terms
+
+    reference_seconds = _time_leg(
+        lambda: ReferenceSynthesizer(max_size, max_terms).synthesize(
+            problem, examples
+        ),
+        repetitions,
+    )
+    cold_seconds = _time_leg(
+        lambda: EnumerativeSynthesizer(max_size, max_terms).synthesize(
+            problem, examples
+        ),
+        repetitions,
+    )
+    # Warm leg: the synthesizer keeps its banks across calls, the shape of
+    # repeat CEGIS rounds whose example set did not change.
+    warm_synthesizer = EnumerativeSynthesizer(max_size, max_terms)
+    warm_synthesizer.synthesize(problem, examples)
+    warm_seconds = _time_leg(
+        lambda: warm_synthesizer.synthesize(problem, examples), repetitions
+    )
+
+    row: Dict[str, object] = {
+        "name": f"enumerate_expr_{fanout}",
+        "group": "enumerate",
+        "fanout": fanout,
+        "productions": problem.grammar.num_productions,
+        "max_size": max_size,
+        "examples": GRAMMAR_EXAMPLES,
+        "distinct_candidates": candidates,
+        "reference": leg(reference_seconds, candidates),
+        "memoized": leg(cold_seconds, candidates),
+        "memoized_warm": leg(warm_seconds, candidates),
+    }
+    row["speedup_cold"] = row["reference"]["median_seconds"] / max(
+        1e-9, row["memoized"]["median_seconds"]
+    )
+    row["speedup_warm"] = row["reference"]["median_seconds"] / max(
+        1e-9, row["memoized_warm"]["median_seconds"]
+    )
+    return row
+
+
+def run_grammar_suite(repetitions: int = 3, quick: bool = False) -> Dict[str, object]:
+    """Measure OE pruning and the memoized enumerator on generated slates."""
+    prune_slate = GRAMMAR_PRUNE_QUICK_SLATE if quick else GRAMMAR_PRUNE_SLATE
+    enum_slate = GRAMMAR_ENUM_QUICK_SLATE if quick else GRAMMAR_ENUM_SLATE
+    rows: List[Dict[str, object]] = []
+    for length, fanout in prune_slate:
+        for leg in ("fig2_lia", "fig3_abstract"):
+            rows.append(_measure_grammar_prune_row(length, fanout, leg, repetitions))
+    for fanout in enum_slate:
+        rows.append(_measure_grammar_enum_row(fanout, repetitions))
+    return {
+        "schema_version": GRAMMAR_BENCH_SCHEMA_VERSION,
+        "suite": "grammar",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "workloads": rows,
+        "summary": _summarise_grammar(rows),
+    }
+
+
+def _summarise_grammar(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Roll-ups including the gates CI checks (docs/bench-artifacts.md).
+
+    * ``gate_oe_evaluation_reduction`` — the *best* equation-evaluation
+      reduction over the fig2/fig3 prune rows; the acceptance bar is >= 2x.
+    * ``gate_prune_wall_ratio`` — the *worst* oe-vs-off wall-clock ratio
+      over prune rows with at least ``GRAMMAR_GATE_MIN_PRODUCTIONS``
+      productions; the (noise-tolerant) bar is <= 1.25.
+    * ``gate_enumerator_speedup`` — the *worst* cold-leg speedup of the
+      memoized enumerator over the reference; the bar is >= 1.0.
+    """
+    summary: Dict[str, object] = {}
+    prune_rows = [row for row in rows if row["group"] == "prune"]
+    enum_rows = [row for row in rows if row["group"] == "enumerate"]
+    if prune_rows:
+        summary["gate_oe_evaluation_reduction"] = max(
+            row["evaluation_reduction"] for row in prune_rows
+        )
+        summary["evaluation_reduction_median"] = statistics.median(
+            row["evaluation_reduction"] for row in prune_rows
+        )
+        gated = [
+            row
+            for row in prune_rows
+            if row["productions"]["before"] >= GRAMMAR_GATE_MIN_PRODUCTIONS
+        ]
+        if gated:
+            summary["gate_prune_wall_ratio"] = max(
+                row["wall_ratio_oe_vs_off"] for row in gated
+            )
+        summary["productions_pruned_total"] = sum(
+            row["productions"]["pruned"] for row in prune_rows
+        )
+    if enum_rows:
+        summary["gate_enumerator_speedup"] = min(
+            row["speedup_cold"] for row in enum_rows
+        )
+        summary["enumerator_warm_speedup_median"] = statistics.median(
+            row["speedup_warm"] for row in enum_rows
+        )
+    return summary
+
+
+def render_grammar_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the grammar report."""
+    lines = [
+        f"{'workload':28s} {'|P| off':>8s} {'|P| oe':>7s} {'evals off':>10s} "
+        f"{'evals oe':>9s} {'reduction':>9s} {'wall oe/off':>11s}"
+    ]
+    for row in report["workloads"]:
+        if row["group"] != "prune":
+            continue
+        lines.append(
+            f"{row['name']:28s} {row['productions']['before']:8d} "
+            f"{row['productions']['after']:7d} {row['off']['evaluations']:10d} "
+            f"{row['oe']['evaluations']:9d} {row['evaluation_reduction']:8.1f}x "
+            f"{row['wall_ratio_oe_vs_off']:10.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"{'workload':28s} {'|P|':>6s} {'cands':>6s} {'ref c/s':>9s} "
+        f"{'memo c/s':>9s} {'cold':>6s} {'warm':>8s}"
+    )
+    for row in report["workloads"]:
+        if row["group"] != "enumerate":
+            continue
+        lines.append(
+            f"{row['name']:28s} {row['productions']:6d} "
+            f"{row['distinct_candidates']:6d} "
+            f"{row['reference']['candidates_per_sec']:9.0f} "
+            f"{row['memoized']['candidates_per_sec']:9.0f} "
+            f"{row['speedup_cold']:5.1f}x {row['speedup_warm']:7.1f}x"
+        )
+    for key, value in sorted(report["summary"].items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            lines.append(f"  {key}: {value:.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # The chaos (solve-fabric resilience) suite
 # ---------------------------------------------------------------------------
 #

@@ -1,17 +1,23 @@
 """Synthesis-side components of the CEGIS loop (Alg. 2).
 
-* :mod:`repro.synth.enumerator` — a bottom-up enumerative synthesizer with
-  observational-equivalence pruning, standing in for ESolver;
+* :mod:`repro.synth.enumerator` — the memoized size-indexed bottom-up
+  enumerative synthesizer with observational-equivalence dedup, standing in
+  for ESolver;
+* :mod:`repro.synth.reference` — the frozen pre-automaton enumerator, kept
+  as a differential twin and the perf baseline for the grammar bench suite;
 * :mod:`repro.synth.verifier` — an SMT-backed verifier that checks a
   candidate term against the full specification and produces counterexample
   inputs, standing in for CVC4.
 """
 
-from repro.synth.enumerator import EnumerativeSynthesizer, SynthesisOutcome
+from repro.synth.enumerator import EnumerativeSynthesizer
+from repro.synth.outcome import SynthesisOutcome
+from repro.synth.reference import ReferenceSynthesizer
 from repro.synth.verifier import Verifier, VerificationResult
 
 __all__ = [
     "EnumerativeSynthesizer",
+    "ReferenceSynthesizer",
     "SynthesisOutcome",
     "Verifier",
     "VerificationResult",

@@ -1,0 +1,28 @@
+"""The result shape shared by the enumerative synthesizers.
+
+Split out of :mod:`repro.synth.enumerator` so the memoized enumerator and
+its frozen pre-automaton twin (:mod:`repro.synth.reference`) return the
+same dataclass and stay drop-in interchangeable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.grammar.terms import Term
+
+
+@dataclass
+class SynthesisOutcome:
+    """Result of one enumerative synthesis call."""
+
+    solution: Optional[Term]
+    explored_terms: int
+    elapsed_seconds: float
+    exhausted: bool = False
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.solution is not None

@@ -35,6 +35,7 @@ from repro.gfa.fixpoint import (
     solve_worklist,
 )
 from repro.grammar.analysis import productive_nonterminals
+from repro.grammar.automaton import PruneReport
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
@@ -60,6 +61,7 @@ class AbstractSolution:
     solve_seconds: float
     evaluations: int = 0
     domain: str = DEFAULT_DOMAIN
+    prune_report: "PruneReport | None" = None
 
 
 def solve_abstract_gfa(
@@ -69,6 +71,7 @@ def solve_abstract_gfa(
     max_iterations: int = 500,
     strategy: str = WORKLIST,
     domain: DomainLike = DEFAULT_DOMAIN,
+    prune: str = "off",
 ):
     """Chaotic iteration with widening over a pluggable abstract domain.
 
@@ -76,11 +79,17 @@ def solve_abstract_gfa(
     :class:`~repro.domains.base.AbstractDomain` instance.  The default
     worklist strategy only re-evaluates a nonterminal when one of the
     nonterminals its productions mention changed; ``"dense"`` sweeps every
-    nonterminal every round (debug fallback / perf baseline).
+    nonterminal every round (debug fallback / perf baseline).  ``prune``
+    shrinks the grammar first (:func:`repro.grammar.automaton.prune_grammar`);
+    merged nonterminals reappear in ``values`` with their representative's
+    fixpoint value.
     """
     check_strategy(strategy)
     abstraction = resolve_domain(domain)
     normalized = get_cache().normalized(grammar)
+    report: "PruneReport | None" = None
+    if prune != "off":
+        normalized, report = get_cache().pruned(normalized, examples, prune)
     dimension = len(examples)
     initial: Dict[Nonterminal, object] = {
         nonterminal: abstraction.bottom(nonterminal.sort, dimension)
@@ -125,6 +134,8 @@ def solve_abstract_gfa(
     except FixpointDivergenceError as error:
         raise SolverLimitError("abstract fixpoint iteration did not converge") from error
     elapsed = time.monotonic() - start_time
+    if report is not None:
+        values = report.expand_values(values)
     return AbstractSolution(
         values[normalized.start],
         values,
@@ -132,6 +143,7 @@ def solve_abstract_gfa(
         elapsed,
         stats.evaluations,
         domain=abstraction.name,
+        prune_report=report,
     )
 
 
@@ -140,6 +152,7 @@ def check_examples_abstract(
     examples: ExampleSet,
     strategy: str = WORKLIST,
     domain: DomainLike = DEFAULT_DOMAIN,
+    prune: str = "off",
 ) -> CheckResult:
     """Alg. 1 with an approximate domain: sound ``UNREALIZABLE`` answers.
 
@@ -161,7 +174,7 @@ def check_examples_abstract(
     if early is not None:
         return early
     solution = solve_abstract_gfa(
-        problem.grammar, examples, strategy=strategy, domain=abstraction
+        problem.grammar, examples, strategy=strategy, domain=abstraction, prune=prune
     )
     result = abstraction.check(solution.start_value, problem.spec, examples)
     if result.verdict == Verdict.UNREALIZABLE:
@@ -172,6 +185,8 @@ def check_examples_abstract(
     result.details["gfa_seconds"] = solution.solve_seconds
     result.details["gfa_evaluations"] = solution.evaluations
     result.details["domain"] = abstraction.name
+    if solution.prune_report is not None:
+        result.details["grammar_stats"] = solution.prune_report.counters()
     return result
 
 

@@ -54,6 +54,10 @@ class NayConfig:
     synthesizer_max_size: int = 10
     synthesizer_max_terms: int = 50_000
     stratify: bool = True
+    #: Grammar reduction applied before equation building: ``"off"``,
+    #: ``"reduce"`` (language-preserving merge of equal nonterminals) or
+    #: ``"oe"`` (observational-equivalence merge on the current example set).
+    prune: str = "off"
     #: When set, replaces the mode-based checker dispatch entirely.  This is
     #: how NOPE runs the CEGIS loop with its program-reachability encoding:
     #: the engine passes ``checker=self.check`` instead of assigning over the
@@ -81,10 +85,17 @@ class NaySolver:
         if self.config.checker is not None:
             return self.config.checker(problem, examples)
         if self.config.mode in ("horn", "abstract"):
-            return check_examples_abstract(problem, examples)
+            return check_examples_abstract(problem, examples, prune=self.config.prune)
         if problem.grammar.is_lia() or problem.grammar.is_lia_plus():
-            return check_lia_examples(problem, examples, stratify=self.config.stratify)
-        return check_clia_examples(problem, examples, stratify=self.config.stratify)
+            return check_lia_examples(
+                problem,
+                examples,
+                stratify=self.config.stratify,
+                prune=self.config.prune,
+            )
+        return check_clia_examples(
+            problem, examples, stratify=self.config.stratify, prune=self.config.prune
+        )
 
     # -- the CEGIS loop (Alg. 2) ----------------------------------------------
 
@@ -105,30 +116,38 @@ class NaySolver:
             )
         random_examples = ExampleSet()
 
+        #: Cumulative enumerator OE-dedup count across rounds, surfaced as
+        #: the ``enumerator_candidates_deduped`` solver stat.
+        deduped = 0
         iterations = 0
         for iterations in range(1, config.max_iterations + 1):
             if stopwatch.expired():
-                return self._timeout(examples, iterations, stopwatch)
+                return self._timeout(examples, iterations, stopwatch, deduped)
 
             # Thread 2 of Alg. 2: the unrealizability check on E ∪ Er.
             check_set = examples.union(random_examples)
             try:
                 check = self.check_examples(problem, check_set)
             except SolverLimitError:
-                return self._timeout(examples, iterations, stopwatch)
+                return self._timeout(examples, iterations, stopwatch, deduped)
             if check.verdict == Verdict.UNREALIZABLE:
+                grammar_stats = dict(check.details.pop("grammar_stats", None) or {})
+                grammar_stats["enumerator_candidates_deduped"] = deduped
                 return CegisResult(
                     verdict=Verdict.UNREALIZABLE,
                     examples=check_set,
                     iterations=iterations,
                     elapsed_seconds=stopwatch.elapsed(),
                     num_examples=len(check_set),
-                    details={"check": check.details},
+                    details={"check": check.details, "grammar_stats": grammar_stats},
                     certificate=check.certificate,
                 )
 
             # Thread 1 of Alg. 2: enumerative synthesis on E only.
             outcome = self.synthesizer.synthesize(problem, examples)
+            if isinstance(outcome.details, dict):
+                # "deduped" is the per-call delta (cached rounds report 0).
+                deduped += int(outcome.details.get("deduped", 0) or 0)
             if outcome.found:
                 verification = self.verifier.verify(problem, outcome.solution)
                 if verification.is_valid:
@@ -139,6 +158,11 @@ class NaySolver:
                         iterations=iterations,
                         elapsed_seconds=stopwatch.elapsed(),
                         num_examples=len(examples),
+                        details={
+                            "grammar_stats": {
+                                "enumerator_candidates_deduped": deduped
+                            }
+                        },
                     )
                 examples = examples.extended(verification.counterexample)
                 continue
@@ -146,17 +170,21 @@ class NaySolver:
             # The check says realizable/unknown on the current examples and the
             # synthesizer ran out of budget: add a random temporary example.
             if len(random_examples) >= config.max_random_examples:
-                return self._timeout(examples, iterations, stopwatch)
+                return self._timeout(examples, iterations, stopwatch, deduped)
             random_examples = random_examples.union(
                 ExampleSet.random(
                     problem.variables, 1, rng, config.example_low, config.example_high
                 )
             )
 
-        return self._timeout(examples, iterations, stopwatch)
+        return self._timeout(examples, iterations, stopwatch, deduped)
 
     def _timeout(
-        self, examples: ExampleSet, iterations: int, stopwatch: Stopwatch
+        self,
+        examples: ExampleSet,
+        iterations: int,
+        stopwatch: Stopwatch,
+        deduped: int = 0,
     ) -> CegisResult:
         return CegisResult(
             verdict=Verdict.TIMEOUT,
@@ -164,4 +192,7 @@ class NaySolver:
             iterations=iterations,
             elapsed_seconds=stopwatch.elapsed(),
             num_examples=len(examples),
+            details={
+                "grammar_stats": {"enumerator_candidates_deduped": deduped}
+            },
         )

@@ -43,6 +43,7 @@ from repro.gfa.semiring import SemiLinearSemiring
 from repro.gfa.stratify import equation_strata, single_stratum
 from repro.grammar.alphabet import Sort
 from repro.grammar.analysis import productive_nonterminals
+from repro.grammar.automaton import PruneReport
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
@@ -66,6 +67,7 @@ class CliaGfaSolution:
     outer_iterations: int
     solve_seconds: float
     evaluations: int = 0
+    prune_report: "PruneReport | None" = None
 
 
 def solve_clia_gfa(
@@ -76,6 +78,7 @@ def solve_clia_gfa(
     max_outer_iterations: int | None = None,
     strategy: str = WORKLIST,
     interpretation: CliaInterpretation | None = None,
+    prune: str = "off",
 ) -> CliaGfaSolution:
     """SolveMutual (§6.4): exact abstraction of a CLIA grammar on examples.
 
@@ -83,11 +86,19 @@ def solve_clia_gfa(
     the exact :class:`CliaInterpretation`; the certificate builder passes a
     coarser comparison interpretation whose transfers the independent proof
     checker can replay without a solver.
+
+    ``prune`` applies the tree-automaton grammar reduction before any
+    equations are built (see :func:`repro.grammar.automaton.prune_grammar`);
+    the returned value maps cover every nonterminal of the unpruned
+    normalized grammar via the prune report's representative expansion.
     """
     check_strategy(strategy)
     normalized = get_cache().normalized(grammar)
     if not normalized.is_clia():
         raise UnsupportedFeatureError("grammar contains operators outside CLIA")
+    report: "PruneReport | None" = None
+    if prune != "off":
+        normalized, report = get_cache().pruned(normalized, examples, prune)
     dimension = len(examples)
     if interpretation is None:
         interpretation = CliaInterpretation(examples)
@@ -102,7 +113,9 @@ def solve_clia_gfa(
     productive = productive_nonterminals(normalized)
     if normalized.start not in productive:
         empty = SemiLinearSet.empty(dimension)
-        return CliaGfaSolution(empty, {normalized.start: empty}, {}, 0, 0.0)
+        return CliaGfaSolution(
+            empty, {normalized.start: empty}, {}, 0, 0.0, prune_report=report
+        )
 
     integer_values: Dict[Nonterminal, SemiLinearSet] = {
         nt: SemiLinearSet.empty(dimension) for nt in integer_nts
@@ -132,6 +145,9 @@ def solve_clia_gfa(
         integer_values, boolean_values = new_integer, new_boolean
         if boolean_stable and integer_stable:
             elapsed = time.monotonic() - start_time
+            if report is not None:
+                integer_values = report.expand_values(integer_values)
+                boolean_values = report.expand_values(boolean_values)
             return CliaGfaSolution(
                 start_value=integer_values[normalized.start],
                 integer_values=integer_values,
@@ -139,6 +155,7 @@ def solve_clia_gfa(
                 outer_iterations=iteration,
                 solve_seconds=elapsed,
                 evaluations=evaluations,
+                prune_report=report,
             )
     raise SolverLimitError("SolveMutual did not converge within its iteration bound")
 
@@ -218,6 +235,7 @@ def check_clia_examples(
     examples: ExampleSet,
     stratify: bool = True,
     strategy: str = WORKLIST,
+    prune: str = "off",
 ) -> CheckResult:
     """Alg. 1 instantiated with the exact CLIA abstraction (§6.5, Thm. 6.9)."""
     if len(examples) == 0:
@@ -229,7 +247,9 @@ def check_clia_examples(
             examples=examples,
             certificate=build_unproductive_certificate(problem),
         )
-    gfa = solve_clia_gfa(problem.grammar, examples, stratify=stratify, strategy=strategy)
+    gfa = solve_clia_gfa(
+        problem.grammar, examples, stratify=stratify, strategy=strategy, prune=prune
+    )
     result = check_unrealizable(
         gfa.start_value,
         problem.spec,
@@ -238,10 +258,15 @@ def check_clia_examples(
         abstraction_size=gfa.start_value.size,
     )
     if result.verdict == Verdict.UNREALIZABLE:
+        # The certificate builder re-solves with its own coarse
+        # interpretation over the unpruned normalization, so the knob never
+        # reaches it.
         result.certificate = build_clia_certificate(problem, examples)
     result.details["gfa_seconds"] = gfa.solve_seconds
     result.details["outer_iterations"] = gfa.outer_iterations
     result.details["gfa_evaluations"] = gfa.evaluations
+    if gfa.prune_report is not None:
+        result.details["grammar_stats"] = gfa.prune_report.counters()
     result.details["boolean_values"] = {
         str(nt): str(value) for nt, value in gfa.boolean_values.items()
     }

@@ -24,6 +24,7 @@ from repro.gfa.newton import solve_newton, solve_stratified
 from repro.gfa.semiring import SemiLinearSemiring
 from repro.gfa.stratify import equation_strata, single_stratum
 from repro.grammar.analysis import productive_nonterminals
+from repro.grammar.automaton import PruneReport
 from repro.grammar.rtg import Nonterminal, RegularTreeGrammar
 from repro.semantics.examples import ExampleSet
 from repro.sygus.problem import SyGuSProblem
@@ -45,6 +46,7 @@ class GfaSolution:
     solve_seconds: float
     iterations: int = 0
     evaluations: int = 0
+    prune_report: Optional[PruneReport] = None
 
 
 def solve_lia_gfa(
@@ -53,6 +55,7 @@ def solve_lia_gfa(
     stratify: bool = True,
     simplify: bool = True,
     strategy: str = "worklist",
+    prune: str = "off",
 ) -> GfaSolution:
     """Compute ``n_{G_E}(X)`` for every nonterminal of an LIA grammar.
 
@@ -60,6 +63,14 @@ def solve_lia_gfa(
     :mod:`repro.gfa.fixpoint`): ``"worklist"`` (default) uses the sparse,
     dependency-driven Newton solver; ``"dense"`` rebuilds the full Jacobian
     every round (debug fallback / perf baseline).
+
+    ``prune`` shrinks the grammar before any equations exist (see
+    :func:`repro.grammar.automaton.prune_grammar`): ``"reduce"`` merges
+    exactly language-equal nonterminals, ``"oe"`` additionally merges
+    leaves with identical behavior vectors on ``examples``.  The returned
+    ``values`` always cover every nonterminal of the *unpruned* normalized
+    grammar — merged nonterminals report their representative's value —
+    so certificate builders are unaffected by the knob.
     """
     cache = get_cache()
     normalized = cache.normalized(grammar)
@@ -70,21 +81,30 @@ def solve_lia_gfa(
     semiring = SemiLinearSemiring(len(examples), simplify=simplify)
 
     start_time = time.monotonic()
+    report: Optional[PruneReport] = None
+    if prune != "off":
+        normalized, report = cache.pruned(normalized, examples, prune)
     productive = productive_nonterminals(normalized)
     if normalized.start not in productive:
         empty = SemiLinearSet.empty(len(examples))
-        return GfaSolution(empty, {normalized.start: empty}, 0.0)
+        return GfaSolution(
+            empty, {normalized.start: empty}, 0.0, prune_report=report
+        )
 
     system = cache.lia_equations(normalized, examples)
     strata = equation_strata(system) if stratify else single_stratum(system)
     solution = solve_stratified(system, semiring, strata, strategy=strategy)
     elapsed = time.monotonic() - start_time
+    values = dict(solution)
+    if report is not None:
+        values = report.expand_values(values)
     return GfaSolution(
         start_value=solution[normalized.start],
-        values=solution,
+        values=values,
         solve_seconds=elapsed,
         iterations=solution.stats.iterations,
         evaluations=solution.stats.evaluations,
+        prune_report=report,
     )
 
 
@@ -93,11 +113,14 @@ def check_lia_examples(
     examples: ExampleSet,
     stratify: bool = True,
     strategy: str = "worklist",
+    prune: str = "off",
 ) -> CheckResult:
     """Alg. 1 instantiated with the exact semi-linear-set domain (§5)."""
     if len(examples) == 0:
         return _empty_example_check(problem, examples)
-    gfa = solve_lia_gfa(problem.grammar, examples, stratify=stratify, strategy=strategy)
+    gfa = solve_lia_gfa(
+        problem.grammar, examples, stratify=stratify, strategy=strategy, prune=prune
+    )
     result = check_unrealizable(
         gfa.start_value,
         problem.spec,
@@ -109,6 +132,8 @@ def check_lia_examples(
         result.certificate = build_lia_certificate(problem, examples, gfa.values)
     result.details["gfa_seconds"] = gfa.solve_seconds
     result.details["gfa_evaluations"] = gfa.evaluations
+    if gfa.prune_report is not None:
+        result.details["grammar_stats"] = gfa.prune_report.counters()
     return result
 
 

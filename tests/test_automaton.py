@@ -1,0 +1,371 @@
+"""Tests for the tree-automaton grammar core and its consumers.
+
+Four families:
+
+* **Algebra properties** — compile/round-trip, product, reduce and minimize
+  preserve the generated language (compared as *sets* of rendered terms:
+  grammars may carry literally duplicated productions, which multiset
+  enumeration surfaces but automaton runs dedupe), over every registry
+  benchmark grammar plus seeded random RTGs.
+* **Pruning** — ``prune_grammar`` soundness: reduce is language-preserving,
+  oe is behavior-preserving on the example set, reports add up, expansion
+  maps cover the merged nonterminals, and the standalone
+  ``eliminate_useless`` is idempotent.
+* **Differential** — prune="oe" never changes a verdict: every checker
+  (exact LIA/CLIA and abstract) over the full witness-bearing suite, and
+  every registered engine over a spot-check slate through the facade.
+* **Enumerator** — the memoized size-indexed enumerator agrees with the
+  frozen reference enumerator, its solutions stay members of the *original*
+  grammar, and its banks/outcome caches behave across repeat rounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Solver
+from repro.engine.registry import engine_names
+from repro.grammar import alphabet as alph
+from repro.grammar import (
+    PRUNE_MODES,
+    TreeAutomaton,
+    eliminate_useless,
+    prune_grammar,
+)
+from repro.grammar.rtg import Nonterminal, Production, RegularTreeGrammar
+from repro.semantics.evaluator import evaluate
+from repro.semantics.examples import Example, ExampleSet
+from repro.suites import all_benchmarks
+from repro.suites.scaling import (
+    example_set,
+    redundant_chain_grammar,
+    redundant_expression_benchmark,
+)
+from repro.synth import EnumerativeSynthesizer, ReferenceSynthesizer
+from repro.unreal.approximate import check_examples_abstract
+from repro.unreal.clia import check_clia_examples
+from repro.unreal.lia import check_lia_examples
+from repro.utils.errors import GrammarError
+
+#: Size bound for suite-wide language sweeps.  Term enumeration is
+#: exponential in this bound on the richer registry grammars (CLIA
+#: conditionals over several variables), so the full-suite sweeps stay at 5
+#: and the targeted tests go deeper on small grammars.
+MAX_SIZE = 5
+
+
+def language(grammar_or_automaton, max_size: int = MAX_SIZE) -> set:
+    """The bounded language as a set of rendered terms."""
+    return {
+        term.to_sexpr()
+        for term in grammar_or_automaton.generate(max_size=max_size)
+    }
+
+
+def suite_grammars():
+    return [(benchmark.name, benchmark.problem.grammar) for benchmark in all_benchmarks()]
+
+
+def random_grammar(seed: int) -> RegularTreeGrammar:
+    """A seeded random RTG over the LIA alphabet, always productive."""
+    rng = random.Random(seed)
+    count = rng.randint(2, 5)
+    nonterminals = [Nonterminal(f"R{i}") for i in range(count)]
+    productions = []
+    for index, nonterminal in enumerate(nonterminals):
+        # Every nonterminal gets one leaf, so the grammar is productive.
+        leaf = rng.choice(
+            [alph.num(rng.randint(-2, 2)), alph.var("x"), alph.num(1)]
+        )
+        productions.append(Production(nonterminal, leaf, ()))
+        for _ in range(rng.randint(0, 3)):
+            symbol = rng.choice([alph.plus(2), alph.minus()])
+            args = (rng.choice(nonterminals), rng.choice(nonterminals))
+            productions.append(Production(nonterminal, symbol, args))
+    return RegularTreeGrammar(
+        nonterminals, nonterminals[0], productions, name=f"random_{seed}"
+    )
+
+
+class TestAutomatonAlgebra:
+    def test_round_trip_reduce_minimize_preserve_suite_languages(self):
+        for name, grammar in suite_grammars():
+            reference = language(grammar)
+            automaton = TreeAutomaton.from_grammar(grammar)
+            assert language(automaton) == reference, name
+            assert language(automaton.to_grammar()) == reference, name
+            assert language(automaton.reduce()) == reference, name
+            assert language(automaton.minimize()) == reference, name
+
+    def test_self_intersection_is_identity_on_suite_languages(self):
+        for name, grammar in suite_grammars()[::6]:
+            automaton = TreeAutomaton.from_grammar(grammar)
+            assert language(automaton.intersect(automaton)) == language(
+                automaton
+            ), name
+
+    def test_round_trip_reduce_minimize_preserve_random_languages(self):
+        for seed in range(40):
+            grammar = random_grammar(seed)
+            reference = language(grammar)
+            automaton = TreeAutomaton.from_grammar(grammar)
+            assert language(automaton) == reference, seed
+            assert language(automaton.reduce()) == reference, seed
+            assert language(automaton.minimize()) == reference, seed
+
+    def test_product_language_is_set_intersection_on_random_pairs(self):
+        for seed in range(0, 30, 2):
+            left = TreeAutomaton.from_grammar(random_grammar(seed))
+            right = TreeAutomaton.from_grammar(random_grammar(seed + 1))
+            product = left.intersect(right)
+            assert language(product) == language(left) & language(right), seed
+
+    def test_acceptance_matches_membership(self):
+        grammar = redundant_chain_grammar(3, 2)
+        automaton = TreeAutomaton.from_grammar(grammar)
+        for term in grammar.generate(max_size=9):
+            assert automaton.accepts(term)
+
+
+class TestPruneGrammar:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(GrammarError):
+            prune_grammar(redundant_chain_grammar(2, 2), mode="bogus")
+
+    def test_off_mode_is_identity(self):
+        grammar = redundant_chain_grammar(3, 2)
+        pruned, report = prune_grammar(grammar, mode="off")
+        assert pruned is grammar
+        assert report.productions_pruned == 0
+        assert report.counters()["grammar_states"] == grammar.num_nonterminals
+
+    def test_reduce_preserves_language_on_suite(self):
+        for name, grammar in suite_grammars():
+            pruned, report = prune_grammar(grammar, mode="reduce")
+            assert language(pruned) == language(grammar), name
+            assert report.states_after == pruned.num_nonterminals, name
+            assert report.productions_after == pruned.num_productions, name
+
+    def test_oe_preserves_behavior_vectors_on_examples(self):
+        for benchmark in all_benchmarks()[::3]:
+            examples = benchmark.witness_examples
+            if examples is None or len(examples) == 0:
+                continue
+            grammar = benchmark.problem.grammar
+            pruned, _ = prune_grammar(grammar, examples, mode="oe")
+
+            def behaviors(g):
+                return {
+                    evaluate(term, examples).values
+                    for term in g.generate(max_size=MAX_SIZE)
+                }
+
+            assert behaviors(pruned) == behaviors(grammar), benchmark.name
+
+    def test_oe_merges_redundant_copies(self):
+        grammar = redundant_chain_grammar(10, 3)
+        pruned, report = prune_grammar(grammar, example_set(3), mode="oe")
+        assert report.productions_pruned > grammar.num_productions / 2
+        assert pruned.start == grammar.start
+        for dropped, representative in report.merged.items():
+            assert representative in pruned.nonterminals
+            assert dropped not in pruned.nonterminals
+        # Witness terms exist for the representatives whose minimal term
+        # fits the witness size bound (deep chain links exceed it).
+        assert report.witnesses
+        kept_names = {nt.name for nt in pruned.nonterminals}
+        assert set(report.witnesses) <= kept_names
+
+    def test_expand_values_covers_merged_nonterminals(self):
+        grammar = redundant_chain_grammar(6, 3)
+        pruned, report = prune_grammar(grammar, example_set(2), mode="oe")
+        values = {nt: f"v_{nt.name}" for nt in pruned.nonterminals}
+        expanded = report.expand_values(values)
+        for nonterminal in grammar.nonterminals:
+            if nonterminal in pruned.nonterminals or nonterminal in report.merged:
+                assert expanded[nonterminal] is not None
+
+    def test_witnesses_flag_skips_witness_terms(self):
+        grammar = redundant_chain_grammar(6, 3)
+        _, report = prune_grammar(grammar, example_set(2), witnesses=False)
+        assert report.witnesses == {}
+        assert report.productions_pruned > 0
+
+    def test_prune_modes_tuple_is_the_knob_contract(self):
+        assert PRUNE_MODES == ("off", "reduce", "oe")
+
+
+class TestEliminateUseless:
+    def test_drops_duplicate_productions(self):
+        start = Nonterminal("A")
+        grammar = RegularTreeGrammar(
+            [start],
+            start,
+            [
+                Production(start, alph.num(1), ()),
+                Production(start, alph.num(1), ()),
+            ],
+        )
+        cleaned = eliminate_useless(grammar)
+        assert cleaned.num_productions == 1
+        assert language(cleaned) == language(grammar)
+
+    def test_drops_unproductive_and_unreachable(self):
+        start, dead, orphan = (
+            Nonterminal("A"),
+            Nonterminal("Dead"),
+            Nonterminal("Orphan"),
+        )
+        grammar = RegularTreeGrammar(
+            [start, dead, orphan],
+            start,
+            [
+                Production(start, alph.num(1), ()),
+                Production(dead, alph.plus(2), (dead, dead)),
+                Production(orphan, alph.num(2), ()),
+            ],
+        )
+        cleaned = eliminate_useless(grammar)
+        assert set(cleaned.nonterminals) == {start}
+        assert language(cleaned) == language(grammar)
+
+    def test_idempotent_on_suite(self):
+        for name, grammar in suite_grammars():
+            once = eliminate_useless(grammar)
+            twice = eliminate_useless(once)
+            assert once.nonterminals == twice.nonterminals, name
+            assert once.productions == twice.productions, name
+
+    def test_language_preserving_on_suite(self):
+        for name, grammar in suite_grammars()[::4]:
+            assert language(eliminate_useless(grammar)) == language(grammar), name
+
+
+class TestPruneDifferential:
+    def test_every_checker_agrees_oe_vs_off_on_full_suite(self):
+        checked = 0
+        for benchmark in all_benchmarks():
+            examples = benchmark.witness_examples
+            if examples is None or len(examples) == 0:
+                continue
+            problem = benchmark.problem
+            grammar = problem.grammar
+            exact = (
+                check_lia_examples
+                if grammar.is_lia() or grammar.is_lia_plus()
+                else check_clia_examples
+            )
+            for checker in (exact, check_examples_abstract):
+                off = checker(problem, examples, prune="off")
+                oe = checker(problem, examples, prune="oe")
+                assert off.verdict == oe.verdict, (
+                    benchmark.name,
+                    checker.__name__,
+                )
+            checked += 1
+        assert checked >= 80  # the witness-bearing registry slice
+
+    def test_every_engine_agrees_and_reports_counters(self):
+        slate = ("plane1", "guard1", "mpg_guard1")
+        for engine in engine_names():
+            for name in slate:
+                solver = Solver(engine=engine, timeout_seconds=120.0)
+                off = solver.check(name)
+                oe = solver.check(name, tags={"prune": "oe"})
+                assert off.verdict == oe.verdict, (engine, name)
+                if oe.verdict == "unrealizable":
+                    stats = oe.solver_stats
+                    assert "grammar_states" in stats, (engine, name)
+                    assert "grammar_productions_pruned" in stats, (engine, name)
+
+    def test_pruned_unrealizable_certificates_still_check(self):
+        for name in ("plane1", "guard1"):
+            solver = Solver(engine="naySL", timeout_seconds=120.0)
+            response = solver.check(name, tags={"prune": "oe"})
+            assert response.verdict == "unrealizable"
+            assert response.certificate is not None
+            assert solver.verify(response, require_certificate=True), name
+
+
+class TestEnumerator:
+    def test_differential_against_reference_on_suite(self):
+        budgets = dict(max_size=8, max_terms=3000)
+        checked = 0
+        for benchmark in all_benchmarks()[::5]:
+            examples = benchmark.witness_examples
+            if examples is None or len(examples) == 0:
+                continue
+            problem = benchmark.problem
+            reference = ReferenceSynthesizer(**budgets).synthesize(
+                problem, examples
+            )
+            memoized = EnumerativeSynthesizer(**budgets).synthesize(
+                problem, examples
+            )
+            assert reference.found == memoized.found, benchmark.name
+            if memoized.found:
+                # Any satisfying member of the original grammar is a valid
+                # answer; the two enumerators may pick different ones.
+                assert problem.grammar.contains(memoized.solution), benchmark.name
+                assert problem.satisfies_examples(
+                    memoized.solution, examples
+                ), benchmark.name
+            checked += 1
+        assert checked >= 10
+
+    def test_solution_is_member_of_original_grammar(self):
+        benchmark = redundant_expression_benchmark(3)
+        problem = benchmark.problem
+        examples = ExampleSet([Example.of({"x": 1}), Example.of({"x": 3})])
+        outcome = EnumerativeSynthesizer(max_size=9, max_terms=20000).synthesize(
+            problem, examples
+        )
+        assert outcome.found
+        assert problem.grammar.contains(outcome.solution)
+        assert problem.satisfies_examples(outcome.solution, examples)
+
+    def test_repeat_round_hits_outcome_cache(self):
+        benchmark = redundant_expression_benchmark(2)
+        problem, examples = benchmark.problem, example_set(3)
+        synthesizer = EnumerativeSynthesizer(max_size=6, max_terms=5000)
+        first = synthesizer.synthesize(problem, examples)
+        second = synthesizer.synthesize(problem, examples)
+        assert second.details.get("cached") is True
+        assert second.details["deduped"] == 0
+        assert second.details["generated"] == 0
+        assert second.found == first.found
+
+    def test_budget_abort_resumes_without_losing_terms(self):
+        benchmark = redundant_expression_benchmark(2)
+        problem, examples = benchmark.problem, example_set(3)
+        small = EnumerativeSynthesizer(max_size=6, max_terms=10)
+        aborted = small.synthesize(problem, examples)
+        assert aborted.details.get("reason") == "budget"
+        # A fresh synthesizer with a real budget finds everything the
+        # partial bank of the aborted one would have produced.
+        full = EnumerativeSynthesizer(max_size=6, max_terms=5000).synthesize(
+            problem, examples
+        )
+        resumed = EnumerativeSynthesizer(max_size=6, max_terms=5000)
+        resumed._banks = small._banks  # adopt the partially filled bank
+        resumed_outcome = resumed.synthesize(problem, examples)
+        assert resumed_outcome.found == full.found
+        assert resumed_outcome.exhausted == full.exhausted
+
+    def test_empty_examples_returns_first_member(self):
+        benchmark = redundant_expression_benchmark(2)
+        outcome = EnumerativeSynthesizer(max_size=6).synthesize(
+            benchmark.problem, ExampleSet()
+        )
+        assert outcome.found
+        assert benchmark.problem.grammar.contains(outcome.solution)
+
+    def test_deduped_counter_counts_oe_duplicates(self):
+        benchmark = redundant_expression_benchmark(3)
+        outcome = EnumerativeSynthesizer(max_size=5, max_terms=5000).synthesize(
+            benchmark.problem, example_set(3)
+        )
+        assert outcome.details["deduped"] > 0
+        assert outcome.details["generated"] >= outcome.details["deduped"]

@@ -66,6 +66,15 @@ def test_clia_conditionals_walkthrough_runs():
     _run_example("clia_conditionals.py")
 
 
+def test_grammar_algebra_walkthrough_prunes_and_agrees():
+    output = _run_example("grammar_algebra.py")
+    assert "compile plane2" in output
+    assert "54 pruned" in output
+    assert "3 shared terms up to size 15 (= the plain chain's 3)" in output
+    assert "off: unrealizable" in output
+    assert "oe : unrealizable" in output
+
+
 @pytest.mark.parametrize("name", ["plane1.sl", "max2.sl", "mpg_guard1.sl"])
 def test_example_sl_files_parse(name):
     from repro import parse_sygus_file
