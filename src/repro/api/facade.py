@@ -167,14 +167,24 @@ def run_engine(
     measured wall time: late definitive verdicts survive, undetermined late
     outcomes become ``timeout``.
 
-    ``tags`` is the request's free-form tag mapping; its only consumer here
-    is the fault-injection layer (``tags["faults"]`` /
+    ``tags`` is the request's free-form tag mapping; its consumers here are
+    the fault-injection layer (``tags["faults"]`` /
     :data:`repro.testing.faults.FAULTS_ENV`), consulted right at the engine
     boundary so chaos tests can make any leg crash, hang, stall or fail on
-    demand.  When no fault channel is armed the hook is a single dict/env
-    lookup — the production path pays nothing.
+    demand, and the persistent result store's bypass rule.  When no fault
+    channel is armed the hook is a single dict/env lookup — the production
+    path pays nothing.
+
+    When an ambient :class:`~repro.engine.store.ResultStore` is configured
+    (installed, or named by ``REPRO_NAY_STORE``), this core is
+    read-through/write-back: a semantically identical prior run is replayed
+    from the store (marked ``solver_stats["store_hits"]``), and a fresh
+    definitive verdict is recorded for later processes.  Fault-tagged runs
+    bypass the store entirely — in both directions — so chaos traffic can
+    never serve from or poison it.
     """
     from repro.engine.runner import apply_timeout_policy
+    from repro.engine.store import get_result_store, response_cacheable
     from repro.logic.solver import runtime_counters
     from repro.testing.faults import faults_armed, inject_faults
 
@@ -188,8 +198,28 @@ def run_engine(
     # the wire schema unchanged); every registered engine accepts it.
     if tags and tags.get("prune") in ("reduce", "oe"):
         knobs.setdefault("prune", tags["prune"])
-    engine = create_engine(engine_name, **knobs)
     examples = examples if examples is not None else ExampleSet()
+    if len(examples) == 0:
+        kind = "solve"  # a check with nothing to check against is a solve
+
+    store = get_result_store()
+    store_key: Optional[str] = None
+    store_bypassed = False
+    if store is not None:
+        if faults_armed(tags):
+            store.note_bypass()
+            store_bypassed = True
+        else:
+            store_key = engine_store_key(
+                engine_name, kind, problem, examples, knobs=knobs, tags=tags
+            )
+            cached = store.get(store_key, engine_name)
+            if cached is not None:
+                hit = SolveResponse.from_json(cached)
+                hit.solver_stats = {**hit.solver_stats, "store_hits": 1}
+                return hit
+
+    engine = create_engine(engine_name, **knobs)
 
     solution = None
     iterations = 0
@@ -206,8 +236,7 @@ def run_engine(
         # error handling.
         if faults_armed(tags):
             fault_events = inject_faults(engine_name, tags)
-        if kind == "solve" or len(examples) == 0:
-            kind = "solve"
+        if kind == "solve":
             result = engine.solve(problem)
             verdict = result.verdict
             num_examples = result.num_examples
@@ -281,7 +310,7 @@ def run_engine(
         if isinstance(details, dict):
             details = {**details, "fault_events": fault_events}
 
-    return SolveResponse(
+    response = SolveResponse(
         verdict=verdict.value,
         engine=engine.name,
         kind=kind,
@@ -297,6 +326,63 @@ def run_engine(
         certificate=json_safe(certificate) if certificate is not None else None,
         details=json_safe(details),
     )
+    # Write-back: record the pristine payload *before* the provenance
+    # markers below, so a later hit replays the response as solved.
+    if store is not None:
+        marks: Dict[str, int] = {}
+        if store_bypassed:
+            marks["store_bypasses"] = 1
+        elif store_key is not None:
+            marks["store_misses"] = 1
+            payload = response.to_json()
+            if response_cacheable(payload):
+                stored, evicted = store.put(store_key, engine_name, payload)
+                if stored:
+                    marks["store_stores"] = 1
+                if evicted:
+                    marks["store_evictions"] = evicted
+        if marks:
+            response.solver_stats = {**response.solver_stats, **marks}
+    return response
+
+
+def engine_store_key(
+    engine_name: str,
+    kind: str,
+    problem: SyGuSProblem,
+    examples: ExampleSet,
+    *,
+    knobs: Mapping[str, Any],
+    tags: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """The persistent store's engine-tier key for one :func:`run_engine` call.
+
+    Canonicalizes everything that determines the verdict: the engine, the
+    run kind, the problem (printed back to SyGuS-IF — structural, so two
+    routes to the same problem share entries), the resolved example set,
+    the result-affecting knobs, and the semantic tags.  ``timeout_seconds``
+    is deliberately *excluded*: the engines are deterministic, so a
+    definitive verdict is budget-independent (a run that blew its budget is
+    non-definitive and never stored), and the staged/portfolio legs call
+    with shrinking remaining-budget timeouts that must all share one entry.
+    Non-semantic tags are excluded by :func:`request_fingerprint` itself.
+    """
+    from repro.engine.results import request_fingerprint
+
+    payload = {
+        "engine": engine_name,
+        "kind": kind,
+        "problem": problem.name,
+        "sl": print_sygus(problem),
+        "examples": list(examples.as_dicts()),
+        "knobs": {
+            key: value
+            for key, value in sorted(knobs.items())
+            if key != "timeout_seconds"
+        },
+        "tags": dict(tags or {}),
+    }
+    return request_fingerprint(payload)
 
 
 def execute_request(request: SolveRequest) -> SolveResponse:
@@ -487,21 +573,73 @@ class Solver:
         otherwise on an ephemeral :class:`~repro.engine.supervisor.Supervisor`
         — either way a crashed worker is replaced and its request retried
         instead of poisoning the whole batch.
+
+        When a persistent result store is configured, already-solved
+        fingerprints are served from it *before* any dispatch (marked
+        ``solver_stats["store_hits"]``) and fresh definitive responses are
+        recorded back, so a re-run of the same batch costs one store read
+        per request instead of one solve.
         """
+        from repro.engine.results import request_fingerprint
+        from repro.engine.store import (
+            get_result_store,
+            pristine_response,
+            response_cacheable,
+        )
+        from repro.testing.faults import faults_armed
+
         requests = [
             self._with_defaults(self.request(problem, **overrides))
             for problem in problems
         ]
         workers = self.workers if workers is None else max(1, int(workers))
-        if workers == 1 or len(requests) <= 1:
-            return [execute_request(request) for request in requests]
-        from repro.engine.supervisor import Supervisor, get_fabric
 
-        fabric = get_fabric()
-        if fabric is not None:
-            return fabric.map(requests)
-        with Supervisor(workers, warm=False, name="batch") as ephemeral:
-            return ephemeral.map(requests)
+        # Pre-filter: serve already-solved fingerprints from the store so
+        # only genuinely new work reaches the supervisor.
+        store = get_result_store()
+        responses: List[Optional[SolveResponse]] = [None] * len(requests)
+        fingerprints: List[Optional[str]] = [None] * len(requests)
+        pending: List[int] = []
+        for index, request in enumerate(requests):
+            if store is None:
+                pending.append(index)
+                continue
+            if faults_armed(request.tags):
+                store.note_bypass()
+                pending.append(index)
+                continue
+            fingerprints[index] = request_fingerprint(request.to_json())
+            cached = store.get(fingerprints[index], request.engine)
+            if cached is None:
+                pending.append(index)
+                continue
+            hit = SolveResponse.from_json(cached)
+            hit.solver_stats = {**hit.solver_stats, "store_hits": 1}
+            responses[index] = hit
+
+        todo = [requests[index] for index in pending]
+        if workers == 1 or len(todo) <= 1:
+            solved = [execute_request(request) for request in todo]
+        else:
+            from repro.engine.supervisor import Supervisor, get_fabric
+
+            fabric = get_fabric()
+            if fabric is not None:
+                solved = fabric.map(todo)
+            else:
+                with Supervisor(workers, warm=False, name="batch") as ephemeral:
+                    solved = ephemeral.map(todo)
+        for index, response in zip(pending, solved):
+            responses[index] = response
+            if store is not None and fingerprints[index] is not None:
+                payload = response.to_json()
+                if response_cacheable(payload):
+                    store.put(
+                        fingerprints[index],
+                        requests[index].engine,
+                        pristine_response(payload),
+                    )
+        return [response for response in responses if response is not None]
 
     # -- certificates ---------------------------------------------------------
 

@@ -23,10 +23,19 @@ Robustness posture:
 * **Request-size bound** — ``Content-Length`` is required and capped at
   ``max_request_bytes`` (HTTP 413), so a client cannot make the handler
   read an unbounded body.
-* **In-flight dedup** — identical prepared payloads (by
-  :func:`repro.engine.results.request_fingerprint`) share one execution:
+* **In-flight dedup** — semantically identical prepared payloads (by
+  :func:`repro.engine.results.request_fingerprint`, which ignores
+  non-semantic tags such as fault-injection plans) share one execution:
   followers wait for the leader's response and get a copy marked
   ``details["deduplicated"] = true``.
+* **Persistent result store** — when an ambient
+  :class:`~repro.engine.store.ResultStore` is configured (``--store`` /
+  ``REPRO_NAY_STORE``), requests are answered from it *before* admission
+  control: a store hit costs one SQLite read, never a 503 + ``Retry-After``,
+  and survives server restarts.  Leaders write definitive responses back
+  after solving.  Fault-tagged requests bypass the store in both
+  directions, and ``/healthz`` reports the hit/miss/store/eviction/bypass
+  counters.
 * **The solve fabric** — when ``serve`` installed a
   :class:`~repro.engine.supervisor.Supervisor`, single-engine requests run
   on its pre-warmed worker processes with crash recovery, retry/backoff and
@@ -46,12 +55,14 @@ Example::
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api.facade import STRATEGY_ENGINES, Solver
 from repro.api.wire import SCHEMA_VERSION, SolveRequest, SolveResponse
+from repro.engine.store import STORE_ENV, ResultStore, get_result_store
 from repro.utils.errors import WireFormatError
 
 DEFAULT_HOST = "127.0.0.1"
@@ -201,6 +212,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
                     "busy_pids": fabric.busy_pids(),
                     "stats": fabric.stats.snapshot(),
                 }
+            store = get_result_store()
+            if store is not None:
+                payload["store"] = store.snapshot()
             self._send_json(200, payload)
         elif self.path == "/engines":
             self._send_json(
@@ -258,6 +272,30 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         request = self._read_request()
         if request is None:
             return
+        from repro.engine.results import request_fingerprint
+        from repro.testing.faults import faults_armed
+
+        prepared = self.server.solver.prepare(request)
+        fingerprint = request_fingerprint(prepared.to_json())
+        # The persistent tier answers before admission control: a store hit
+        # costs one SQLite read, so it never occupies a solve slot and is
+        # never refused with 503 + Retry-After.  Fault-tagged requests skip
+        # the store in both directions (chaos must neither serve from nor
+        # poison it).
+        store = get_result_store()
+        if store is not None and faults_armed(prepared.tags):
+            store.note_bypass()
+            store = None
+        if store is not None:
+            cached = store.get(fingerprint, prepared.engine)
+            if cached is not None:
+                payload = dict(cached)
+                payload["solver_stats"] = {
+                    **(payload.get("solver_stats") or {}),
+                    "store_hits": 1,
+                }
+                self._send_json(200, payload)
+                return
         if not self.server.try_admit():
             self._send_json(
                 503,
@@ -271,7 +309,7 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             )
             return
         try:
-            payload = self._solve_deduplicated(request)
+            payload = self._solve_deduplicated(prepared, fingerprint, store)
         except Exception as error:  # noqa: BLE001 — never drop the connection
             self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
             return
@@ -279,18 +317,27 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             self.server.readmit()
         self._send_json(200, payload)
 
-    def _solve_deduplicated(self, request: SolveRequest) -> Dict[str, Any]:
-        from repro.engine.results import request_fingerprint
+    def _solve_deduplicated(
+        self,
+        prepared: SolveRequest,
+        fingerprint: str,
+        store: Optional[ResultStore],
+    ) -> Dict[str, Any]:
         from repro.engine.runner import hard_guard
+        from repro.engine.store import pristine_response, response_cacheable
 
-        prepared = self.server.solver.prepare(request)
-        fingerprint = request_fingerprint(prepared.to_json())
         entry, leader = self.server.claim(fingerprint)
         if leader:
             try:
                 entry.payload = self.server.execute(prepared).to_json()
             finally:
                 self.server.settle(fingerprint, entry)
+            # The leader records the definitive outcome (stripped of the
+            # markers it accrued in transit) for every later process.
+            if store is not None and response_cacheable(entry.payload):
+                store.put(
+                    fingerprint, prepared.engine, pristine_response(entry.payload)
+                )
             return dict(entry.payload)
         # A byte-identical request is already solving: ride along.  The
         # leader's own hard guard bounds the wait; ours (plus slack for the
@@ -330,6 +377,7 @@ def serve(
     workers: Optional[int] = None,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    store: Optional[str] = None,
 ) -> int:
     """Run the JSON endpoint until interrupted (the ``serve`` subcommand).
 
@@ -338,9 +386,17 @@ def serve(
     :func:`~repro.engine.supervisor.default_worker_count`; ``0`` disables
     the fabric and solves in handler threads/processes as before), with the
     liveness heartbeat running.  The fabric is shut down on exit.
+
+    ``store`` names the persistent result store file; it is exported as
+    :data:`~repro.engine.store.STORE_ENV` *before* the fabric spawns so
+    worker processes (fork and spawn contexts alike) inherit it and write
+    their engine-tier entries into the same file the HTTP tier reads.
     """
     from repro.engine.supervisor import Supervisor, install_fabric, shutdown_fabric
 
+    if store is not None:
+        os.environ[STORE_ENV] = str(store)
+    store_path = os.environ.get(STORE_ENV)
     supervisor: Optional[Supervisor] = None
     if workers is None or workers > 0:
         supervisor = Supervisor(workers, warm=True, name="serve")
@@ -359,10 +415,11 @@ def serve(
         if supervisor is not None
         else "fabric: disabled"
     )
+    store_note = f"store: {store_path}" if store_path else "store: disabled"
     print(
         f"repro-nay serving on http://{bound_host}:{bound_port} "
         f"(POST /solve, GET /engines, GET /healthz; schema v{SCHEMA_VERSION}; "
-        f"{fabric_note})",
+        f"{fabric_note}; {store_note})",
         flush=True,
     )
     try:

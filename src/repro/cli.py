@@ -30,8 +30,14 @@ Subcommands:
   per size) and ``stats`` (grammar + automaton + minimized sizes);
 * ``experiments <name>``    — shorthand for ``python -m repro.experiments``;
 * ``bench``                 — run a perf harness (``--suite fixpoint``,
-  ``logic``, ``domains``, ``grammar`` or ``all``) and write its versioned
-  ``BENCH_*.json`` artifact.
+  ``logic``, ``domains``, ``grammar``, ``chaos``, ``serve`` or ``all``)
+  and write its versioned ``BENCH_*.json`` artifact.
+
+``solve``/``check``/``batch``/``serve`` accept ``--store PATH`` (or the
+``REPRO_NAY_STORE`` environment variable) to name a persistent result
+store: a SQLite file in which definitive responses — certificates included
+— are recorded by fingerprint and replayed across runs and processes
+(:mod:`repro.engine.store`).
 
 ``solve``/``check``/``batch`` accept ``--prune off|reduce|oe`` to shrink
 the grammar (via the tree-automaton core) before any engine builds its
@@ -88,6 +94,14 @@ def _add_solving_arguments(parser: argparse.ArgumentParser, tools: List[str]) ->
         help="tree-automaton grammar reduction before equation building "
         "(reduce: language-preserving; oe: merge observationally "
         "equivalent productions on the example set)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent result store (SQLite file; definitive verdicts are "
+        "replayed across runs and processes; also settable via "
+        "REPRO_NAY_STORE)",
     )
 
 
@@ -225,6 +239,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="largest accepted POST /solve body (HTTP 413 beyond it)",
     )
+    server.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent result store (SQLite file shared by the HTTP tier "
+        "and the fabric workers; also settable via REPRO_NAY_STORE)",
+    )
 
     subparsers.add_parser("list", help="list all benchmarks")
     subparsers.add_parser("engines", help="list the registered engines")
@@ -294,7 +315,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench.add_argument(
         "--suite",
-        choices=["fixpoint", "logic", "domains", "grammar", "chaos", "all"],
+        choices=["fixpoint", "logic", "domains", "grammar", "chaos", "serve", "all"],
         default="fixpoint",
         help="fixpoint: worklist-vs-dense strategies (BENCH_fixpoint.json); "
         "logic: incremental DPLL(T) core vs the pre-rewrite solver "
@@ -302,8 +323,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "example-count sweep (BENCH_domains.json); grammar: tree-automaton "
         "pruning + memoized-enumerator deltas (BENCH_grammar.json); chaos: "
         "fault-injected resilience sweep over the solve fabric "
-        "(BENCH_chaos.json); all: every timing suite (chaos excluded; run "
-        "it explicitly)",
+        "(BENCH_chaos.json); serve: concurrent-client load over the real "
+        "HTTP server with the persistent result store — cold vs warm "
+        "latency/throughput (BENCH_serve.json); all: every timing suite "
+        "(chaos and serve excluded; run them explicitly)",
     )
     bench.add_argument(
         "--repeat", type=int, default=3, help="timed repetitions per measurement"
@@ -319,6 +342,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     arguments = parser.parse_args(argv)
+
+    # --store exports the persistent result store path to the environment
+    # (rather than plumbing it through every call): the ambient accessor
+    # picks it up lazily here, and fabric/batch worker processes inherit it.
+    if getattr(arguments, "store", None):
+        import os
+
+        from repro.engine.store import STORE_ENV
+
+        os.environ[STORE_ENV] = arguments.store
 
     if arguments.command == "solve":
         solver = _solver_for(arguments)
@@ -371,6 +404,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 if arguments.max_request_bytes is not None
                 else DEFAULT_MAX_REQUEST_BYTES
             ),
+            store=arguments.store,
         )
 
     if arguments.command == "list":
@@ -431,6 +465,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 print(perf.render_chaos_report(report))
                 default_path = perf.DEFAULT_CHAOS_BENCH_PATH
+            elif suite == "serve":
+                report = perf.run_serve_suite(
+                    repetitions=arguments.repeat, quick=arguments.quick
+                )
+                print(perf.render_serve_report(report))
+                default_path = perf.DEFAULT_SERVE_BENCH_PATH
             else:
                 report = perf.run_logic_suite(
                     repetitions=arguments.repeat, quick=arguments.quick

@@ -55,14 +55,38 @@ def stable_fingerprint(rows: Sequence[Dict[str, object]]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Tag keys that change *what is being solved* and therefore belong in a
+#: request fingerprint.  Everything else on the tag mapping is operational
+#: metadata — fault-injection plans (``"faults"``), future diagnostics —
+#: that must not split dedup/cache keys: a chaos-tagged request and its
+#: clean twin ask the same mathematical question.  The persistent result
+#: store separately refuses to read or record fault-injected runs
+#: (:mod:`repro.engine.store`), so excluding ``"faults"`` here can never
+#: let a poisoned response leak to a clean caller.
+SEMANTIC_TAGS = frozenset({"prune"})
+
+
 def request_fingerprint(payload: Dict[str, object]) -> str:
     """SHA-256 digest of a wire-request payload, canonical-JSON keyed.
 
-    The serve endpoint's in-flight dedup key: two requests share a
-    fingerprint exactly when their full payloads (engine, problem source,
-    budgets, seed, *and* tags — a fault-tagged request must never dedup
-    against a clean one) are identical.
+    The serve endpoint's in-flight dedup key and the persistent result
+    store's request-tier key: two requests share a fingerprint exactly when
+    they agree on every *semantic* field — engine, problem source, budgets,
+    seed, and the :data:`SEMANTIC_TAGS` subset of the tag mapping.
+    Non-semantic tags are dropped before hashing, so a fault-tagged request
+    dedups against its clean twin instead of forcing a redundant solve.
+    The ``tags`` entry is normalized (absent == empty == all-non-semantic),
+    so a payload without the key and one with vacuous tags agree too.
     """
+    tags = payload.get("tags")
+    payload = {
+        **payload,
+        "tags": {
+            key: value
+            for key, value in (tags.items() if isinstance(tags, dict) else ())
+            if key in SEMANTIC_TAGS
+        },
+    }
     canonical = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

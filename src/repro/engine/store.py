@@ -1,0 +1,454 @@
+"""Persistent, cross-process result store for solved requests.
+
+The supervised solve fabric (:mod:`repro.engine.supervisor`) made repeat
+traffic *survivable*; this module makes it *cheap*.  Every definitive
+:class:`~repro.api.wire.SolveResponse` — certificate included — can be
+recorded in a SQLite file keyed by ``(fingerprint, engine,
+schema_version)`` and replayed by any later process that asks the same
+semantic question, so a served endpoint restarted between runs, a batch
+re-run over the same directory, or two fabric workers racing the same
+benchmark all pay for each solve exactly once.
+
+Design points (documented in docs/architecture/fabric.md):
+
+* **SQLite with WAL** (stdlib :mod:`sqlite3`, no new dependencies): WAL
+  lets concurrent readers proceed under a single writer, which matches the
+  access pattern of a threading HTTP server backed by worker processes.
+  Connections are per-thread *and* per-pid — a store object inherited
+  through ``fork`` or re-created by ``spawn`` (via :meth:`__reduce__`)
+  reopens its own connection instead of sharing a file handle.
+* **Key schema** — ``fingerprint`` is a SHA-256 over the canonical JSON of
+  the *semantic* request payload (:func:`repro.engine.results.request_fingerprint`
+  for wire requests; the engine-tier key built by
+  ``repro.api.facade.run_engine`` for direct engine runs), ``engine`` names
+  the responder, and ``schema_version`` pins the wire format — a payload
+  written by a build speaking schema v3 is invisible to a build speaking
+  v4 rather than mis-parsed.
+* **Size-bounded LRU eviction** — every hit bumps a persistent access
+  tick; a put that pushes the file's payload bytes over ``max_bytes``
+  deletes least-recently-accessed rows (never the row just written) until
+  the bound holds again.
+* **Corruption tolerance** — a damaged store file is renamed aside
+  (``<path>.corrupt-<pid>-<n>``) and a fresh store is created in its
+  place; no store operation is ever fatal to the caller (failures count in
+  the ``errors`` counter and degrade to miss/no-op).
+* **Bypass rules** — consumers must never read or write the store while
+  fault injection is armed (:func:`repro.testing.faults.faults_armed`),
+  and :func:`response_cacheable` additionally refuses non-definitive
+  verdicts and any response carrying fault evidence, so chaos runs cannot
+  poison the cache even if a consumer forgets the first rule.
+
+The ambient accessor mirrors the fabric's: :func:`install_result_store`
+pins a store for the process, otherwise :func:`get_result_store` lazily
+opens the path named by the :data:`STORE_ENV` environment variable
+(``REPRO_NAY_STORE``, also the CLI's ``--store``).  Environment variables
+cross ``fork`` and ``spawn`` boundaries alike, which is how fabric workers
+find the same file as their parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.wire import DEFINITIVE_VERDICTS, SCHEMA_VERSION
+
+#: Environment variable naming the store file (the CLI's ``--store``).
+STORE_ENV = "REPRO_NAY_STORE"
+
+#: Environment variable overriding the eviction bound (bytes).
+STORE_MAX_BYTES_ENV = "REPRO_NAY_STORE_MAX_BYTES"
+
+#: Default eviction bound: responses are a few KB each, so 64 MiB holds
+#: every benchmark x engine cell of the full suite many times over.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: ``solver_stats`` keys this layer adds to responses it served or
+#: recorded.  They are provenance, not solver work: strip them before
+#: storing or comparing payloads (:func:`pristine_response`).
+STORE_STAT_KEYS = frozenset(
+    {"store_hits", "store_misses", "store_stores", "store_evictions", "store_bypasses"}
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT NOT NULL,
+    engine TEXT NOT NULL,
+    schema_version INTEGER NOT NULL,
+    response TEXT NOT NULL,
+    size_bytes INTEGER NOT NULL,
+    created_unix REAL NOT NULL,
+    last_access INTEGER NOT NULL,
+    access_count INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (fingerprint, engine, schema_version)
+);
+CREATE INDEX IF NOT EXISTS results_lru ON results (last_access);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+def response_cacheable(payload: Dict[str, Any]) -> bool:
+    """May this response payload enter the store?
+
+    Only *definitive* verdicts are worth replaying (``unknown``/``timeout``
+    depend on the budget that produced them, ``error`` on transient state),
+    and a response that shows any fault-injection evidence is refused
+    outright — the consumers already bypass the store while faults are
+    armed, but the store is the last line of defense against a chaos run
+    poisoning clean traffic.
+    """
+    if payload.get("verdict") not in DEFINITIVE_VERDICTS:
+        return False
+    if payload.get("error"):
+        return False
+    stats = payload.get("solver_stats")
+    if isinstance(stats, dict) and stats.get("faults_injected"):
+        return False
+    details = payload.get("details")
+    if isinstance(details, dict) and details.get("fault_events"):
+        return False
+    return True
+
+
+def pristine_response(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The payload without store-provenance markers (fit for storing).
+
+    Responses accrue :data:`STORE_STAT_KEYS` counters and the serve tier's
+    ``details["deduplicated"]`` marker as they travel; the stored form must
+    be the response *as solved* so a store hit replays byte-identical JSON.
+    """
+    payload = dict(payload)
+    stats = payload.get("solver_stats")
+    if isinstance(stats, dict) and any(key in stats for key in STORE_STAT_KEYS):
+        payload["solver_stats"] = {
+            key: value for key, value in stats.items() if key not in STORE_STAT_KEYS
+        }
+    details = payload.get("details")
+    if isinstance(details, dict) and "deduplicated" in details:
+        payload["details"] = {
+            key: value for key, value in details.items() if key != "deduplicated"
+        }
+    return payload
+
+
+class ResultStore:
+    """One SQLite-backed result store file (see the module docstring).
+
+    Thread-safe and process-safe: connections are opened lazily per
+    (thread, pid), every multi-statement operation runs in an immediate
+    transaction, and WAL + a busy timeout arbitrate concurrent writers.
+    Instances pickle by ``(path, max_bytes)`` — counters are per-process.
+    """
+
+    def __init__(self, path: "str | Path", max_bytes: Optional[int] = None):
+        self.path = str(path)
+        if max_bytes is None:
+            raw = os.environ.get(STORE_MAX_BYTES_ENV)
+            max_bytes = int(raw) if raw else DEFAULT_MAX_BYTES
+        self.max_bytes = max(1, int(max_bytes))
+        self.busy_timeout_seconds = 10.0
+        self._local = threading.local()
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "bypasses": 0,
+            "errors": 0,
+        }
+        self._quarantines = 0
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.max_bytes))
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection, reopened after a fork."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", None) == os.getpid():
+            return conn
+        try:
+            conn = self._open()
+        except sqlite3.DatabaseError:
+            # A damaged file must never be fatal: move it aside, start over.
+            self._quarantine()
+            conn = self._open()
+        self._local.conn = conn
+        self._local.pid = os.getpid()
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        parent = Path(self.path).parent
+        if str(parent) not in ("", "."):
+            parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self.busy_timeout_seconds,
+            isolation_level=None,  # autocommit; transactions are explicit
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        return conn
+
+    def _quarantine(self) -> None:
+        """Rename the (corrupt) store file aside so ``_open`` starts fresh."""
+        self._drop_connection()
+        self._quarantines += 1
+        aside = f"{self.path}.corrupt-{os.getpid()}-{self._quarantines}"
+        for suffix in ("", "-wal", "-shm"):
+            source = f"{self.path}{suffix}"
+            if os.path.exists(source):
+                try:
+                    os.replace(source, f"{aside}{suffix}")
+                except OSError:
+                    pass
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Close the calling thread's connection (others close on GC)."""
+        self._drop_connection()
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[key] += amount
+
+    def note_bypass(self) -> None:
+        """Record that a consumer skipped the store (fault injection armed)."""
+        self._count("bypasses")
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Per-process counters plus the file's persistent totals.
+
+        ``entries``/``size_bytes`` describe the file now; ``stores_total``
+        counts every put across *all* processes that ever wrote this file
+        (the cross-process "exactly one solve per fingerprint" witness).
+        """
+        snapshot: Dict[str, Any] = {
+            "path": self.path,
+            "max_bytes": self.max_bytes,
+            **self.counters,
+        }
+        try:
+            conn = self._connection()
+            row = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) FROM results"
+            ).fetchone()
+            snapshot["entries"] = row[0]
+            snapshot["size_bytes"] = row[1]
+            snapshot["stores_total"] = self._meta(conn, "stores_total")
+            snapshot["evictions_total"] = self._meta(conn, "evictions_total")
+        except sqlite3.Error:
+            snapshot["entries"] = None
+            snapshot["size_bytes"] = None
+        return snapshot
+
+    def stores_recorded(self) -> int:
+        """Cross-process total of puts into this file (0 on any failure)."""
+        try:
+            return self._meta(self._connection(), "stores_total")
+        except sqlite3.Error:
+            return 0
+
+    @staticmethod
+    def _meta(conn: sqlite3.Connection, key: str) -> int:
+        row = conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    @staticmethod
+    def _bump_meta(conn: sqlite3.Connection, key: str, amount: int = 1) -> int:
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = value + ?",
+            (key, amount, amount),
+        )
+        return ResultStore._meta(conn, key)
+
+    # -- the store operations --------------------------------------------------
+
+    def get(
+        self,
+        fingerprint: str,
+        engine: str,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> Optional[Dict[str, Any]]:
+        """The stored response payload for a key, or ``None`` (a miss).
+
+        A hit bumps the row's access tick (the LRU ordering) and count.
+        Undecodable rows are deleted and reported as misses; any database
+        error degrades to a miss after quarantining the file.
+        """
+        key = (fingerprint, engine, int(schema_version))
+        try:
+            conn = self._connection()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT response FROM results WHERE fingerprint = ? "
+                    "AND engine = ? AND schema_version = ?",
+                    key,
+                ).fetchone()
+                if row is not None:
+                    tick = self._bump_meta(conn, "tick")
+                    conn.execute(
+                        "UPDATE results SET last_access = ?, "
+                        "access_count = access_count + 1 WHERE fingerprint = ? "
+                        "AND engine = ? AND schema_version = ?",
+                        (tick, *key),
+                    )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        except sqlite3.DatabaseError:
+            self._count("errors")
+            self._quarantine()
+            self._count("misses")
+            return None
+        if row is None:
+            self._count("misses")
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            # A torn row is unreadable, not fatal: drop it, report a miss.
+            self._count("errors")
+            try:
+                conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ? AND engine = ? "
+                    "AND schema_version = ?",
+                    key,
+                )
+            except sqlite3.Error:
+                pass
+            self._count("misses")
+            return None
+        self._count("hits")
+        return payload
+
+    def put(
+        self,
+        fingerprint: str,
+        engine: str,
+        payload: Dict[str, Any],
+        schema_version: int = SCHEMA_VERSION,
+    ) -> Tuple[bool, int]:
+        """Record a response payload; returns ``(stored, rows_evicted)``.
+
+        Refuses payloads :func:`response_cacheable` rejects and payloads
+        larger than the whole eviction bound.  After the insert,
+        least-recently-accessed rows (never the one just written) are
+        deleted until the payload bytes fit ``max_bytes`` again.  Errors
+        degrade to ``(False, 0)`` after quarantining the file.
+        """
+        if not response_cacheable(payload):
+            return False, 0
+        body = json.dumps(payload, sort_keys=True)
+        size = len(body.encode("utf-8"))
+        if size > self.max_bytes:
+            return False, 0
+        key = (fingerprint, engine, int(schema_version))
+        evicted = 0
+        try:
+            conn = self._connection()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                tick = self._bump_meta(conn, "tick")
+                conn.execute(
+                    "INSERT OR REPLACE INTO results (fingerprint, engine, "
+                    "schema_version, response, size_bytes, created_unix, "
+                    "last_access, access_count) VALUES (?, ?, ?, ?, ?, ?, ?, 0)",
+                    (*key, body, size, time.time(), tick),
+                )
+                self._bump_meta(conn, "stores_total")
+                total = conn.execute(
+                    "SELECT COALESCE(SUM(size_bytes), 0) FROM results"
+                ).fetchone()[0]
+                while total > self.max_bytes:
+                    victim = conn.execute(
+                        "SELECT rowid, size_bytes FROM results WHERE NOT "
+                        "(fingerprint = ? AND engine = ? AND schema_version = ?) "
+                        "ORDER BY last_access ASC, rowid ASC LIMIT 1",
+                        key,
+                    ).fetchone()
+                    if victim is None:
+                        break
+                    conn.execute("DELETE FROM results WHERE rowid = ?", (victim[0],))
+                    total -= victim[1]
+                    evicted += 1
+                if evicted:
+                    self._bump_meta(conn, "evictions_total", evicted)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        except sqlite3.DatabaseError:
+            self._count("errors")
+            self._quarantine()
+            return False, 0
+        self._count("stores")
+        if evicted:
+            self._count("evictions", evicted)
+        return True, evicted
+
+
+# ---------------------------------------------------------------------------
+# The ambient store (mirrors the fabric's install/get pair)
+# ---------------------------------------------------------------------------
+
+_AMBIENT: Optional[ResultStore] = None
+_AMBIENT_LOCK = threading.Lock()
+_ENV_STORES: Dict[str, ResultStore] = {}
+
+
+def install_result_store(store: Optional[ResultStore]) -> Optional[ResultStore]:
+    """Pin the process-wide store (``None`` falls back to the environment).
+
+    Returns the previously installed store so tests and embedders can
+    restore it.
+    """
+    global _AMBIENT
+    with _AMBIENT_LOCK:
+        previous, _AMBIENT = _AMBIENT, store
+    return previous
+
+
+def get_result_store() -> Optional[ResultStore]:
+    """The ambient store: the installed one, else the ``REPRO_NAY_STORE``
+    path (opened lazily and memoized per path), else ``None``."""
+    with _AMBIENT_LOCK:
+        if _AMBIENT is not None:
+            return _AMBIENT
+        path = os.environ.get(STORE_ENV)
+        if not path:
+            return None
+        store = _ENV_STORES.get(path)
+        if store is None:
+            store = ResultStore(path)
+            _ENV_STORES[path] = store
+        return store

@@ -116,11 +116,17 @@ DOMAINS_BENCH_SCHEMA_VERSION = 1
 #: the solve fabric; see docs/architecture/fabric.md).
 CHAOS_BENCH_SCHEMA_VERSION = 1
 
+#: Version of the BENCH_serve.json schema (the concurrent-client load
+#: harness over the HTTP server + persistent result store; see
+#: docs/bench-artifacts.md).
+SERVE_BENCH_SCHEMA_VERSION = 1
+
 #: Default artifact paths (repo root when run from a checkout).
 DEFAULT_BENCH_PATH = "BENCH_fixpoint.json"
 DEFAULT_LOGIC_BENCH_PATH = "BENCH_logic.json"
 DEFAULT_DOMAINS_BENCH_PATH = "BENCH_domains.json"
 DEFAULT_CHAOS_BENCH_PATH = "BENCH_chaos.json"
+DEFAULT_SERVE_BENCH_PATH = "BENCH_serve.json"
 
 
 # ---------------------------------------------------------------------------
@@ -1713,5 +1719,337 @@ def render_chaos_report(report: Dict[str, object]) -> str:
     lines.append(
         "  all scenarios ok: "
         + ("yes" if summary["all_scenarios_ok"] else "NO")
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The serve load harness (BENCH_serve.json)
+# ---------------------------------------------------------------------------
+
+#: Benchmark slate the serve load harness repeats: cheap, definitive
+#: unrealizable checks across the families the engines exercise, so a
+#: request stream over them is realistic but each individual solve stays
+#: sub-second (the harness measures the *service*, not the engines).
+SERVE_BENCH_SLATE = (
+    "plane1",
+    "plane2",
+    "plane3",
+    "guard1",
+    "guard2",
+    "guard3",
+    "mpg_guard1",
+    "ite1",
+    "ite2",
+    "max2",
+)
+
+#: The benchmark the harness solves once to warm the fabric workers and
+#: the parent's import caches before any timed leg (kept out of the slate
+#: so its store entry cannot turn a cold-leg request into a hit).
+SERVE_WARMUP_BENCHMARK = "guard4"
+
+
+def _serve_percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of a sample by rank (no interpolation)."""
+    import math
+
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _serve_drive(
+    server, payloads: List[Dict[str, object]], clients: int
+) -> List[Dict[str, object]]:
+    """POST every payload through ``clients`` concurrent threads.
+
+    Each worker thread opens one connection per request (the stdlib server
+    speaks HTTP/1.0, one request per connection) and records wall latency,
+    status, wire validity, verdict, and whether the response was served
+    from the persistent store.
+    """
+    import http.client
+    import threading as _threading
+
+    from repro.api.wire import SolveResponse
+
+    host, port = server.server_address[0], server.server_address[1]
+    results: List[Dict[str, object]] = []
+    lock = _threading.Lock()
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(payloads):
+                    return
+                cursor["next"] = index + 1
+            body = json.dumps(payloads[index]).encode("utf-8")
+            started = time.perf_counter()
+            conn = http.client.HTTPConnection(host, port, timeout=300)
+            try:
+                conn.request(
+                    "POST",
+                    "/solve",
+                    body,
+                    {"Content-Type": "application/json"},
+                )
+                reply = conn.getresponse()
+                status = reply.status
+                raw = reply.read()
+            finally:
+                conn.close()
+            elapsed = time.perf_counter() - started
+            row: Dict[str, object] = {
+                "seconds": elapsed,
+                "status": status,
+                "schema_valid": False,
+                "definitive": False,
+                "store_hit": False,
+            }
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                response = SolveResponse.from_json(payload)
+                row["schema_valid"] = status == 200
+                row["definitive"] = response.is_definitive
+                row["store_hit"] = bool(response.solver_stats.get("store_hits"))
+            except Exception:  # noqa: BLE001 — malformed replies count as invalid
+                pass
+            with lock:
+                results.append(row)
+
+    threads = [_threading.Thread(target=worker) for _ in range(max(1, clients))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _serve_leg(name: str, unique: int, rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate one driven leg into a BENCH_serve.json row."""
+    latencies = [row["seconds"] for row in rows]
+    seconds = sum(latencies)
+    wall = max(latencies) if latencies else 0.0  # placeholder; caller overwrites
+    hits = sum(1 for row in rows if row["store_hit"])
+    return {
+        "name": name,
+        "requests": len(rows),
+        "unique": unique,
+        "seconds": round(wall, 4),
+        "requests_per_sec": 0.0,
+        "p50_ms": round(_serve_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_serve_percentile(latencies, 0.99) * 1000, 3),
+        "mean_ms": round((seconds / len(rows)) * 1000, 3) if rows else 0.0,
+        "store_hits": hits,
+        "hit_ratio": round(hits / len(rows), 4) if rows else 0.0,
+        "schema_valid": sum(1 for row in rows if row["schema_valid"]),
+        "definitive": sum(1 for row in rows if row["definitive"]),
+    }
+
+
+def run_serve_suite(
+    repetitions: int = 3,
+    quick: bool = False,
+    clients: Optional[int] = None,
+) -> Dict[str, object]:
+    """Concurrent-client load over the real HTTP server + persistent store.
+
+    Spins up the production stack in-process — :func:`make_server` backed by
+    a supervised solve fabric and a fresh
+    :class:`~repro.engine.store.ResultStore` in a temp directory — and
+    drives ``clients`` concurrent threads through three request streams:
+
+    * **cold** — every slate benchmark exactly once: all misses, every
+      request pays for a real solve (the store is empty);
+    * **warm_repeat** — the repeat-heavy leg: the same slate round-robined
+      ``max(4, 2 * repetitions)`` times, every request a store hit;
+    * **mixed** — repeats interleaved with fresh variants (distinct seeds,
+      so distinct fingerprints but identical solve cost), the realistic
+      hit-ratio regime.
+
+    The headline gate is ``summary["gate_warm_vs_cold_throughput"]`` —
+    warm requests/sec over cold requests/sec, which the committed artifact
+    must show **>= 5x** (CI re-checks a fresh quick run against a
+    noise-tolerant 3x bar).  Ratios, not absolute rates, are gated: wall
+    clocks vary across machines, the cold/warm split on the same machine in
+    the same run does not.
+    """
+    import os
+    import shutil
+    import tempfile
+    import threading as _threading
+
+    from repro.api import Solver
+    from repro.api.service import make_server
+    from repro.engine.store import (
+        STORE_ENV,
+        ResultStore,
+        install_result_store,
+    )
+    from repro.engine.supervisor import (
+        BreakerBoard,
+        RetryPolicy,
+        Supervisor,
+        install_fabric,
+        shutdown_fabric,
+    )
+
+    slate = list(SERVE_BENCH_SLATE[:4] if quick else SERVE_BENCH_SLATE)
+    clients = clients if clients is not None else (4 if quick else 6)
+    warm_repeats = max(2, repetitions) if quick else max(4, 2 * repetitions)
+    workers = 2 if quick else 3
+
+    def request_payload(benchmark: str, seed: int = 0) -> Dict[str, object]:
+        return {
+            "benchmark": benchmark,
+            "engine": "naySL",
+            "kind": "check",
+            "seed": seed,
+            "timeout_seconds": 120.0,
+        }
+
+    tempdir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    store_path = os.path.join(tempdir, "store.sqlite")
+    previous_env = os.environ.get(STORE_ENV)
+    os.environ[STORE_ENV] = store_path  # workers inherit through fork/spawn
+    store = ResultStore(store_path)
+    previous_store = install_result_store(store)
+    fabric = Supervisor(
+        workers,
+        warm=False,
+        breakers=BreakerBoard(threshold=100),
+        retry=RetryPolicy(max_attempts=2, base_delay_seconds=0.05),
+        name="serve-bench",
+    )
+    previous_fabric = install_fabric(fabric)
+    server = make_server(
+        port=0, solver=Solver(timeout_seconds=120.0), max_inflight=64
+    )
+    server_thread = _threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    started = time.monotonic()
+    legs: List[Dict[str, object]] = []
+    try:
+        # Warm the workers (imports, caches) outside any timed leg; the
+        # warmup benchmark is not in the slate, so the cold leg stays cold.
+        _serve_drive(server, [request_payload(SERVE_WARMUP_BENCHMARK)], 1)
+
+        def timed_leg(name: str, payloads, unique: int) -> Dict[str, object]:
+            leg_started = time.perf_counter()
+            rows = _serve_drive(server, payloads, clients)
+            wall = time.perf_counter() - leg_started
+            leg = _serve_leg(name, unique, rows)
+            leg["seconds"] = round(wall, 4)
+            leg["requests_per_sec"] = round(len(rows) / wall, 3) if wall else 0.0
+            legs.append(leg)
+            return leg
+
+        # 1. cold — every request is a miss into an empty store.
+        cold = timed_leg(
+            "cold", [request_payload(name) for name in slate], unique=len(slate)
+        )
+
+        # 2. warm_repeat — the repeat-heavy leg: all hits, no admission
+        # slot, no engine run, certificate included in every reply.
+        warm_stream = [
+            request_payload(slate[index % len(slate)])
+            for index in range(len(slate) * warm_repeats)
+        ]
+        warm = timed_leg("warm_repeat", warm_stream, unique=len(slate))
+
+        # 3. mixed — ~70% repeats / ~30% fresh variants (new seeds solve
+        # identically but fingerprint differently, so they are real misses).
+        mixed_stream: List[Dict[str, object]] = []
+        fresh = 0
+        for index in range(len(slate) * 3):
+            benchmark = slate[index % len(slate)]
+            if index % 10 < 3:
+                fresh += 1
+                mixed_stream.append(request_payload(benchmark, seed=1000 + index))
+            else:
+                mixed_stream.append(request_payload(benchmark))
+        mixed = timed_leg("mixed", mixed_stream, unique=len(slate) + fresh)
+
+        store_snapshot = store.snapshot()
+    finally:
+        server.shutdown()
+        server.server_close()
+        server_thread.join(timeout=10)
+        install_fabric(previous_fabric)
+        fabric.shutdown()
+        install_result_store(previous_store)
+        if previous_env is None:
+            os.environ.pop(STORE_ENV, None)
+        else:
+            os.environ[STORE_ENV] = previous_env
+        store.close()
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+    total_requests = sum(leg["requests"] for leg in legs)
+    schema_valid = sum(leg["schema_valid"] for leg in legs)
+    definitive = sum(leg["definitive"] for leg in legs)
+    cold_rps = cold["requests_per_sec"]
+    warm_rps = warm["requests_per_sec"]
+    return {
+        "schema_version": SERVE_BENCH_SCHEMA_VERSION,
+        "suite": "serve",
+        "created_unix": int(time.time()),
+        "repetitions": repetitions,
+        "quick": quick,
+        "clients": clients,
+        "workers": workers,
+        "slate": slate,
+        "legs": legs,
+        "store": store_snapshot,
+        "summary": {
+            "requests": total_requests,
+            "schema_valid": schema_valid,
+            "all_schema_valid": schema_valid == total_requests,
+            "all_definitive": definitive == total_requests,
+            "cold_rps": cold_rps,
+            "warm_rps": warm_rps,
+            "gate_warm_vs_cold_throughput": (
+                round(warm_rps / cold_rps, 3) if cold_rps else None
+            ),
+            "warm_hit_ratio": warm["hit_ratio"],
+            "mixed_hit_ratio": mixed["hit_ratio"],
+            "warm_p50_ms": warm["p50_ms"],
+            "warm_p99_ms": warm["p99_ms"],
+            "cold_p50_ms": cold["p50_ms"],
+            "cold_p99_ms": cold["p99_ms"],
+            "total_seconds": round(time.monotonic() - started, 4),
+        },
+    }
+
+
+def render_serve_report(report: Dict[str, object]) -> str:
+    """A compact human-readable table of the serve load report."""
+    lines = [
+        f"{'leg':12s} {'reqs':>5s} {'uniq':>5s} {'rps':>8s} "
+        f"{'p50ms':>8s} {'p99ms':>8s} {'hits':>5s} {'ratio':>6s}"
+    ]
+    for leg in report["legs"]:
+        lines.append(
+            f"{leg['name']:12s} {leg['requests']:5d} {leg['unique']:5d} "
+            f"{leg['requests_per_sec']:8.1f} {leg['p50_ms']:8.1f} "
+            f"{leg['p99_ms']:8.1f} {leg['store_hits']:5d} {leg['hit_ratio']:6.2f}"
+        )
+    summary = report["summary"]
+    gate = summary["gate_warm_vs_cold_throughput"]
+    lines.append(
+        f"  cold: {summary['cold_rps']:.1f} req/s   warm: "
+        f"{summary['warm_rps']:.1f} req/s   warm/cold: "
+        + (f"{gate:.1f}x" if gate is not None else "n/a")
+    )
+    lines.append(
+        "  all schema-valid: "
+        + ("yes" if summary["all_schema_valid"] else "NO")
+        + "   all definitive: "
+        + ("yes" if summary["all_definitive"] else "NO")
     )
     return "\n".join(lines)

@@ -1,8 +1,9 @@
 """Robustness posture of the HTTP service (:mod:`repro.api.service`).
 
 Request-size bounds (413), admission control (503 + ``Retry-After``),
-in-flight dedup, the breaker/fabric surface on ``/healthz``, and the serve
-smoke that kills a fabric worker mid-request.
+in-flight dedup, the breaker/fabric surface on ``/healthz``, the serve
+smoke that kills a fabric worker mid-request, and the persistent result
+store tier (instant hits, monotone counters, saturation immunity).
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.api.facade import Solver
 from repro.api.service import make_server
 from repro.api.wire import SCHEMA_VERSION, SolveResponse
 from repro.engine.results import request_fingerprint
+from repro.engine.store import STORE_ENV, ResultStore, install_result_store
 from repro.engine.supervisor import (
     BreakerBoard,
     RetryPolicy,
@@ -36,9 +38,12 @@ from repro.testing.faults import reset_fault_state
 @pytest.fixture(autouse=True)
 def _isolate_global_state(monkeypatch):
     monkeypatch.delenv("REPRO_NAY_FAULTS", raising=False)
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    previous_store = install_result_store(None)
     get_breakers().reset()
     reset_fault_state()
     yield
+    install_result_store(previous_store)
     get_breakers().reset()
     reset_fault_state()
 
@@ -205,10 +210,35 @@ class TestDedup:
         deduplicated = [r for r in responses if r.details.get("deduplicated")]
         assert len(deduplicated) == 1
 
-    def test_different_tags_never_dedup(self):
+    def test_fault_tags_dedup_against_the_clean_twin(self):
+        """Regression for the semantic-tag allowlist: fault plans are
+        operational metadata, so the chaos twin shares the clean request's
+        fingerprint — one solve serves both."""
         clean = {"benchmark": "plane1", "engine": "naySL"}
         faulted = {**clean, "tags": {"faults": "error@*"}}
-        assert request_fingerprint(clean) != request_fingerprint(faulted)
+        assert request_fingerprint(clean) == request_fingerprint(faulted)
+
+    def test_semantic_tags_still_split_fingerprints(self):
+        clean = {"benchmark": "plane1", "engine": "naySL"}
+        pruned = {**clean, "tags": {"prune": "reduce"}}
+        assert request_fingerprint(clean) != request_fingerprint(pruned)
+
+    def test_store_still_refuses_fault_injected_payloads(self, tmp_path):
+        """The twin fingerprints match, but the other half of the contract
+        holds too: a response carrying fault evidence never enters the
+        persistent store, so dedup-by-fingerprint cannot poison it."""
+        from repro.engine.store import response_cacheable
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        fingerprint = request_fingerprint({"benchmark": "plane1", "engine": "naySL"})
+        poisoned = {
+            "verdict": "unrealizable",
+            "engine": "naySL",
+            "solver_stats": {"faults_injected": 1},
+        }
+        assert not response_cacheable(poisoned)
+        assert store.put(fingerprint, "naySL", poisoned) == (False, 0)
+        assert store.get(fingerprint, "naySL") is None
 
 
 class TestHealthz:
@@ -224,6 +254,111 @@ class TestHealthz:
         assert payload["inflight"] == 0
         assert payload["max_inflight"] == api_server.max_inflight
         assert "fabric" not in payload  # no fabric installed here
+
+
+class TestPersistentStoreTier:
+    def _healthz(self, server):
+        host, port = server.server_address[0], server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/healthz", timeout=30
+        ) as reply:
+            return json.load(reply)
+
+    def test_threaded_stress_mixed_stream(self, tmp_path, monkeypatch):
+        """The acceptance stress leg: concurrent clients over a duplicate +
+        unique mix — every response schema-valid, store hits monotone, and
+        ``/healthz`` surfaces the store counters."""
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "serve.sqlite"))
+        server = make_server(
+            port=0, solver=Solver(timeout_seconds=60.0), max_inflight=64
+        )
+        thread = _run(server)
+        try:
+            # 4 repeated benchmarks x 4 clients + 8 unique-by-seed requests.
+            repeats = ["plane1", "guard1", "plane2", "guard2"]
+            stream = [
+                {"benchmark": name, "engine": "naySL", "kind": "check"}
+                for name in repeats * 4
+            ] + [
+                {"benchmark": "plane1", "engine": "naySL", "seed": 100 + index}
+                for index in range(8)
+            ]
+            results = [None] * len(stream)
+            hits_after_wave = []
+
+            def fire(slot):
+                results[slot] = _post(server, stream[slot])
+
+            # Two waves so the second wave's repeats must hit the store.
+            for wave, chunk in enumerate((range(0, 12), range(12, len(stream)))):
+                threads = [
+                    threading.Thread(target=fire, args=(slot,)) for slot in chunk
+                ]
+                for worker in threads:
+                    worker.start()
+                for worker in threads:
+                    worker.join(timeout=120.0)
+                hits_after_wave.append(self._healthz(server)["store"]["hits"])
+
+            responses = []
+            for status, _, body in results:
+                assert status == 200
+                responses.append(SolveResponse.from_json(body))
+            assert all(r.verdict == "unrealizable" for r in responses)
+            # Store hits never decrease across waves and the second wave,
+            # full of already-solved fingerprints, must have produced some.
+            assert hits_after_wave == sorted(hits_after_wave)
+            assert hits_after_wave[-1] > 0
+            served = [r for r in responses if r.solver_stats.get("store_hits")]
+            assert served, "repeat traffic never hit the persistent tier"
+            health = self._healthz(server)
+            for counter in ("hits", "misses", "stores", "bypasses", "entries"):
+                assert counter in health["store"]
+            assert health["store"]["entries"] > 0
+        finally:
+            _stop(server, thread)
+
+    def test_store_hit_answers_under_saturation(self, tmp_path, monkeypatch):
+        """A stored request is served 200 while the only admission slot is
+        held — the persistent tier answers before ``try_admit``, so warm
+        traffic never sees 503 + ``Retry-After``."""
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "serve.sqlite"))
+        server = make_server(
+            port=0, solver=Solver(timeout_seconds=60.0), max_inflight=1
+        )
+        thread = _run(server)
+        try:
+            warm = {"benchmark": "guard1", "engine": "naySL", "kind": "check"}
+            status, _, body = _post(server, warm)  # primes the store
+            assert status == 200
+            holder = {}
+            slow = threading.Thread(
+                target=lambda: holder.update(
+                    slow=_post(
+                        server,
+                        {
+                            "benchmark": "plane1",
+                            "engine": "naySL",
+                            "tags": {"faults": "slow@*:1.0"},
+                        },
+                    )
+                )
+            )
+            slow.start()
+            deadline = time.monotonic() + 5.0
+            while server.inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.inflight >= 1, "slow holder never occupied the slot"
+            status, headers, body = _post(server, warm)
+            assert status == 200
+            assert "Retry-After" not in headers
+            response = SolveResponse.from_json(body)
+            assert response.verdict == "unrealizable"
+            assert response.solver_stats.get("store_hits") == 1
+            slow.join(timeout=30.0)
+            assert holder["slow"][0] == 200
+        finally:
+            _stop(server, thread)
 
 
 class TestServeWithFabric:
@@ -282,6 +417,85 @@ class TestServeWithFabric:
             assert len(health["fabric"]["worker_pids"]) == 2
             assert killed not in health["fabric"]["worker_pids"]
             assert health["fabric"]["stats"]["workers_replaced"] >= 1
+        finally:
+            _stop(server, thread)
+            shutdown_fabric()
+
+    def test_worker_killed_mid_stream_store_keeps_serving(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill -9 a fabric worker in the middle of a mixed request stream
+        backed by the persistent store: every reply still lands schema-valid
+        and the repeats keep hitting the store through the disruption."""
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "serve.sqlite"))
+        fabric = Supervisor(
+            2,
+            warm=False,
+            breakers=BreakerBoard(threshold=100),
+            retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.01),
+            name="t-serve-store",
+        )
+        install_fabric(fabric)
+        server = make_server(port=0, solver=Solver(timeout_seconds=60.0))
+        thread = _run(server)
+        try:
+            warm = {"benchmark": "plane1", "engine": "naySL", "kind": "check"}
+            assert _post(server, warm)[0] == 200  # primes the store
+            stream = [
+                warm,
+                {"benchmark": "guard1", "engine": "naySL", "kind": "check"},
+                warm,
+                {"benchmark": "plane2", "engine": "naySL", "kind": "check"},
+                warm,
+            ]
+            results = [None] * len(stream)
+
+            def fire(slot):
+                results[slot] = _post(server, stream[slot])
+
+            # A slow chaos request occupies a worker so there is a mid-solve
+            # window to kill it in while the stream is in flight.
+            holder = {}
+            slow = threading.Thread(
+                target=lambda: holder.update(
+                    slow=_post(
+                        server,
+                        {
+                            "benchmark": "guard2",
+                            "engine": "naySL",
+                            "tags": {"faults": "slow@*:1.0"},
+                        },
+                    )
+                )
+            )
+            slow.start()
+            threads = [
+                threading.Thread(target=fire, args=(slot,))
+                for slot in range(len(stream))
+            ]
+            for worker in threads:
+                worker.start()
+            killed = None
+            deadline = time.monotonic() + 5.0
+            while killed is None and time.monotonic() < deadline:
+                busy = fabric.busy_pids()
+                if busy:
+                    killed = busy[0]
+                    os.kill(killed, signal.SIGKILL)
+                else:
+                    time.sleep(0.02)
+            assert killed is not None, "fabric worker never became busy"
+            for worker in threads:
+                worker.join(timeout=120.0)
+            slow.join(timeout=60.0)
+            responses = []
+            for status, _, body in results:
+                assert status == 200
+                responses.append(SolveResponse.from_json(body))
+            assert all(r.verdict == "unrealizable" for r in responses)
+            # The primed repeats rode the store through the worker loss.
+            assert any(r.solver_stats.get("store_hits") for r in responses)
+            assert holder["slow"][0] == 200
         finally:
             _stop(server, thread)
             shutdown_fabric()

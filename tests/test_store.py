@@ -1,0 +1,496 @@
+"""The persistent result store (:mod:`repro.engine.store`).
+
+Four layers of battery, mirroring the store's consumers:
+
+* **unit** — put/get/evict/quarantine semantics of one ``ResultStore``;
+* **fingerprint** — the semantic-tag allowlist: a fault-tagged request and
+  its clean twin hash identically, while the store still refuses
+  fault-injected payloads;
+* **integration** — the facade's read-through/write-back tier
+  (``run_engine``, ``solve_batch``) plus a differential sweep asserting
+  store-served responses are byte-identical to the fresh solves that
+  populated them, certificates re-verified by the independent checker;
+* **cross-process** — two supervised fabric workers against one store
+  file pay for each fingerprint exactly once (counter-based witness), and
+  store objects survive ``fork`` and ``spawn`` boundaries.
+
+Every test isolates the ambient store and the ``REPRO_NAY_STORE`` /
+``REPRO_NAY_FAULTS`` environment so nothing leaks between tests.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.analysis import check_certificate
+from repro.api.facade import Solver, engine_store_key
+from repro.api.wire import SCHEMA_VERSION, SolveRequest, SolveResponse
+from repro.engine import engine_names
+from repro.engine.results import SEMANTIC_TAGS, request_fingerprint
+from repro.engine.store import (
+    STORE_ENV,
+    STORE_MAX_BYTES_ENV,
+    STORE_STAT_KEYS,
+    ResultStore,
+    get_result_store,
+    install_result_store,
+    pristine_response,
+    response_cacheable,
+)
+from repro.engine.supervisor import Supervisor, get_breakers
+from repro.suites import get_benchmark
+from repro.testing.faults import reset_fault_state
+
+
+@pytest.fixture(autouse=True)
+def _isolate_store_state(monkeypatch):
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    monkeypatch.delenv(STORE_MAX_BYTES_ENV, raising=False)
+    monkeypatch.delenv("REPRO_NAY_FAULTS", raising=False)
+    previous = install_result_store(None)
+    get_breakers().reset()
+    reset_fault_state()
+    yield
+    install_result_store(previous)
+    get_breakers().reset()
+    reset_fault_state()
+
+
+def payload(verdict="unrealizable", pad=0, **overrides):
+    """A minimal cacheable response payload (padded to control its size)."""
+    base = {
+        "verdict": verdict,
+        "engine": "naySL",
+        "kind": "check",
+        "problem": "plane1",
+        "elapsed_seconds": 0.01,
+        "solver_stats": {},
+        "details": {"pad": "x" * pad} if pad else {},
+    }
+    base.update(overrides)
+    return base
+
+
+def canonical(payload_dict):
+    """The byte string the differential tests compare."""
+    return json.dumps(pristine_response(payload_dict), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Unit: one ResultStore
+# ---------------------------------------------------------------------------
+
+
+class TestResultStoreUnit:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        stored, evicted = store.put("fp1", "naySL", payload())
+        assert (stored, evicted) == (True, 0)
+        assert store.get("fp1", "naySL") == payload()
+        assert store.get("fp1", "nayHorn") is None  # engine is part of the key
+        counters = store.counters
+        assert counters["stores"] == 1
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert store.stores_recorded() == 1
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put("fp", "naySL", payload())
+        assert store.get("fp", "naySL", schema_version=SCHEMA_VERSION + 1) is None
+        assert store.get("fp", "naySL", schema_version=SCHEMA_VERSION) == payload()
+        # Different schema versions coexist rather than clobbering each other.
+        store.put("fp", "naySL", payload(problem="other"), schema_version=SCHEMA_VERSION + 1)
+        assert store.get("fp", "naySL") == payload()
+
+    def test_lru_eviction_respects_bound_and_recency(self, tmp_path):
+        one = len(json.dumps(payload(problem="p0", pad=200), sort_keys=True))
+        store = ResultStore(tmp_path / "s.sqlite", max_bytes=3 * one + 10)
+        for index in range(3):
+            store.put(f"fp{index}", "naySL", payload(problem=f"p{index}", pad=200))
+        # Touch fp0 so fp1 becomes the least-recently-accessed row.
+        assert store.get("fp0", "naySL") is not None
+        stored, evicted = store.put("fp3", "naySL", payload(problem="p3", pad=200))
+        assert stored and evicted == 1
+        assert store.get("fp1", "naySL") is None  # the LRU victim
+        assert store.get("fp0", "naySL") is not None  # recency saved it
+        assert store.get("fp3", "naySL") is not None
+        snapshot = store.snapshot()
+        assert snapshot["size_bytes"] <= store.max_bytes
+        assert snapshot["evictions_total"] == 1
+        assert store.counters["evictions"] == 1
+
+    def test_eviction_never_deletes_the_row_just_written(self, tmp_path):
+        one = len(json.dumps(payload(pad=500), sort_keys=True))
+        store = ResultStore(tmp_path / "s.sqlite", max_bytes=one + 5)
+        store.put("fpA", "naySL", payload(pad=500))
+        stored, evicted = store.put("fpB", "naySL", payload(pad=500))
+        assert stored and evicted == 1
+        assert store.get("fpA", "naySL") is None
+        assert store.get("fpB", "naySL") is not None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            payload(verdict="unknown"),
+            payload(verdict="timeout"),
+            payload(verdict="error", error="boom"),
+            payload(error="late failure"),
+            payload(solver_stats={"faults_injected": 1}),
+            payload(details={"fault_events": [{"kind": "slow"}]}),
+        ],
+    )
+    def test_uncacheable_payloads_refused(self, tmp_path, bad):
+        assert not response_cacheable(bad)
+        store = ResultStore(tmp_path / "s.sqlite")
+        assert store.put("fp", "naySL", bad) == (False, 0)
+        assert store.get("fp", "naySL") is None
+
+    def test_oversize_payload_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite", max_bytes=64)
+        assert store.put("fp", "naySL", payload(pad=500)) == (False, 0)
+        assert store.snapshot()["entries"] == 0
+
+    def test_corrupted_file_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all\x00\xff" * 40)
+        store = ResultStore(path)
+        assert store.get("fp", "naySL") is None  # degraded to a miss
+        assert store.put("fp", "naySL", payload())[0] is True
+        assert store.get("fp", "naySL") == payload()
+        quarantined = list(tmp_path.glob("s.sqlite.corrupt-*"))
+        assert quarantined, "damaged file should be renamed aside"
+
+    def test_torn_row_deleted_and_reported_as_miss(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = ResultStore(path)
+        store.put("fp", "naySL", payload())
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE results SET response = '{torn'")
+        assert store.get("fp", "naySL") is None
+        assert store.counters["errors"] == 1
+        assert store.snapshot()["entries"] == 0  # the torn row is gone
+
+    def test_pickle_roundtrip_shares_the_file(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite", max_bytes=12345)
+        store.put("fp", "naySL", payload())
+        clone = pickle.loads(pickle.dumps(store))
+        assert (clone.path, clone.max_bytes) == (store.path, 12345)
+        assert clone.get("fp", "naySL") == payload()
+
+    def test_env_var_overrides_default_bound(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_MAX_BYTES_ENV, "4096")
+        assert ResultStore(tmp_path / "s.sqlite").max_bytes == 4096
+
+    def test_snapshot_shape(self, tmp_path):
+        snapshot = ResultStore(tmp_path / "s.sqlite").snapshot()
+        for key in (
+            "path",
+            "max_bytes",
+            "hits",
+            "misses",
+            "stores",
+            "evictions",
+            "bypasses",
+            "errors",
+            "entries",
+            "size_bytes",
+            "stores_total",
+            "evictions_total",
+        ):
+            assert key in snapshot
+
+
+# ---------------------------------------------------------------------------
+# The ambient store
+# ---------------------------------------------------------------------------
+
+
+class TestAmbientStore:
+    def test_unconfigured_is_none(self):
+        assert get_result_store() is None
+
+    def test_env_path_opens_lazily_and_memoizes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "env.sqlite"))
+        first = get_result_store()
+        assert first is not None and first.path == str(tmp_path / "env.sqlite")
+        assert get_result_store() is first
+
+    def test_installed_store_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "env.sqlite"))
+        pinned = ResultStore(tmp_path / "pinned.sqlite")
+        install_result_store(pinned)
+        assert get_result_store() is pinned
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint semantics (the tag allowlist)
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintSemantics:
+    def test_fault_tags_are_not_semantic(self):
+        assert "faults" not in SEMANTIC_TAGS
+
+    def test_chaos_twin_hashes_identically(self):
+        clean = SolveRequest(benchmark="plane1", engine="naySL", kind="check")
+        chaos = SolveRequest(
+            benchmark="plane1",
+            engine="naySL",
+            kind="check",
+            tags={"faults": "slow@naySL:0.5"},
+        )
+        assert request_fingerprint(clean.to_json()) == request_fingerprint(
+            chaos.to_json()
+        )
+
+    def test_absent_and_vacuous_tags_agree(self):
+        base = {"benchmark": "plane1", "engine": "naySL"}
+        assert (
+            request_fingerprint(base)
+            == request_fingerprint({**base, "tags": {}})
+            == request_fingerprint({**base, "tags": {"faults": "crash@*"}})
+        )
+
+    def test_semantic_tags_still_split_fingerprints(self):
+        base = {"benchmark": "plane1", "engine": "naySL"}
+        assert request_fingerprint(base) != request_fingerprint(
+            {**base, "tags": {"prune": "reduce"}}
+        )
+
+    def test_engine_store_key_ignores_timeout_and_fault_tags(self):
+        problem = get_benchmark("plane1").problem
+        from repro.semantics.examples import ExampleSet
+
+        examples = ExampleSet()
+        key = engine_store_key(
+            "naySL",
+            "check",
+            problem,
+            examples,
+            knobs={"timeout_seconds": 5.0, "seed": 0},
+        )
+        twin = engine_store_key(
+            "naySL",
+            "check",
+            problem,
+            examples,
+            knobs={"timeout_seconds": 90.0, "seed": 0},
+            tags={"faults": "slow@*:1"},
+        )
+        assert key == twin
+        other = engine_store_key(
+            "naySL",
+            "check",
+            problem,
+            examples,
+            knobs={"seed": 1},
+        )
+        assert key != other
+
+    def test_store_refuses_fault_evidence_even_under_clean_key(self, tmp_path):
+        """The twin hashes identically, but a poisoned payload never lands."""
+        store = ResultStore(tmp_path / "s.sqlite")
+        fingerprint = request_fingerprint(
+            SolveRequest(benchmark="plane1", engine="naySL").to_json()
+        )
+        poisoned = payload(solver_stats={"faults_injected": 2})
+        assert store.put(fingerprint, "naySL", poisoned) == (False, 0)
+        assert store.get(fingerprint, "naySL") is None
+
+
+# ---------------------------------------------------------------------------
+# Facade integration: read-through / write-back
+# ---------------------------------------------------------------------------
+
+
+class TestFacadeIntegration:
+    def test_run_engine_miss_then_hit_markers(self, tmp_path):
+        install_result_store(ResultStore(tmp_path / "s.sqlite"))
+        solver = Solver(timeout_seconds=30.0)
+        first = solver.check("plane1")
+        assert first.solver_stats.get("store_misses") == 1
+        assert first.solver_stats.get("store_stores") == 1
+        second = solver.check("plane1")
+        assert second.solver_stats.get("store_hits") == 1
+        assert "store_misses" not in second.solver_stats
+
+    def test_hit_is_byte_identical_modulo_markers(self, tmp_path):
+        install_result_store(ResultStore(tmp_path / "s.sqlite"))
+        solver = Solver(timeout_seconds=30.0)
+        first = solver.check("guard1")
+        second = solver.check("guard1")
+        assert canonical(first.to_json()) == canonical(second.to_json())
+        assert second.certificate is not None
+        # The replayed elapsed time is the original solve's, not the read's.
+        assert second.elapsed_seconds == first.elapsed_seconds
+
+    def test_fault_tagged_requests_bypass_both_directions(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        install_result_store(store)
+        solver = Solver(timeout_seconds=30.0)
+        chaos = solver.check("plane1", tags={"faults": "slow@naySL:0.01"})
+        assert chaos.verdict == "unrealizable"
+        assert chaos.solver_stats.get("store_bypasses") == 1
+        assert "store_hits" not in chaos.solver_stats
+        assert store.snapshot()["entries"] == 0  # nothing written
+        # A later clean run is a genuine miss: the chaos run neither
+        # populated the store nor read from it.
+        clean = solver.check("plane1")
+        assert clean.solver_stats.get("store_misses") == 1
+        # And the chaos twin's evidence never lands even via a direct put.
+        assert not response_cacheable(chaos.to_json())
+
+    def test_solve_batch_prefilters_solved_fingerprints(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        install_result_store(store)
+        solver = Solver(timeout_seconds=30.0)
+        problems = ["plane1", "guard1", "plane2"]
+        cold = solver.solve_batch(problems)
+        assert [response.verdict for response in cold] == ["unrealizable"] * 3
+        recorded = store.stores_recorded()
+        assert recorded >= 3  # request tier (+ engine tier inside run_engine)
+        warm = solver.solve_batch(problems)
+        assert [response.verdict for response in warm] == ["unrealizable"] * 3
+        assert all(r.solver_stats.get("store_hits") == 1 for r in warm)
+        assert store.stores_recorded() == recorded  # no new solves recorded
+
+    def test_batch_responses_match_cold_run_byte_for_byte(self, tmp_path):
+        install_result_store(ResultStore(tmp_path / "s.sqlite"))
+        solver = Solver(timeout_seconds=30.0)
+        cold = solver.solve_batch(["plane1", "guard1"])
+        warm = solver.solve_batch(["plane1", "guard1"])
+        for before, after in zip(cold, warm):
+            assert canonical(before.to_json()) == canonical(after.to_json())
+
+
+# ---------------------------------------------------------------------------
+# Differential sweep: every registered engine, store vs fresh
+# ---------------------------------------------------------------------------
+
+
+#: The registry's built-in engines, pinned explicitly: ``engine_names()``
+#: at collection time can include transient engines other test modules
+#: register (e.g. the fabric suite's ``slowpoke``).
+SWEEP_ENGINES = ("naySL", "nayHorn", "nope", "nayInt", "nayFin")
+
+
+class TestDifferentialSweep:
+    def test_sweep_covers_every_builtin_engine(self):
+        assert set(SWEEP_ENGINES) <= set(engine_names())
+
+    # Note: the parameter is "bench", not "benchmark" — pytest-benchmark
+    # reserves the latter name for its own fixture.
+    @pytest.mark.parametrize("engine", SWEEP_ENGINES)
+    @pytest.mark.parametrize("bench", ["plane1", "guard1"])
+    def test_store_served_equals_fresh_solve(self, tmp_path, engine, bench):
+        install_result_store(ResultStore(tmp_path / "s.sqlite"))
+        solver = Solver(timeout_seconds=60.0)
+        fresh = solver.check(bench, engine=engine)
+        assert fresh.verdict == "unrealizable"
+        assert fresh.solver_stats.get("store_stores") == 1
+        served = solver.check(bench, engine=engine)
+        assert served.solver_stats.get("store_hits") == 1
+        assert canonical(fresh.to_json()) == canonical(served.to_json())
+        # The replayed certificate still convinces the independent checker.
+        assert served.certificate is not None
+        problem = get_benchmark(bench).problem
+        assert check_certificate(problem, served.certificate)
+
+    def test_markers_are_the_only_difference(self, tmp_path):
+        """The pristine view strips exactly the store-provenance keys."""
+        install_result_store(ResultStore(tmp_path / "s.sqlite"))
+        solver = Solver(timeout_seconds=30.0)
+        fresh = solver.check("plane1").to_json()
+        served = solver.check("plane1").to_json()
+        fresh_markers = set(fresh["solver_stats"]) & STORE_STAT_KEYS
+        served_markers = set(served["solver_stats"]) & STORE_STAT_KEYS
+        assert fresh_markers == {"store_misses", "store_stores"}
+        assert served_markers == {"store_hits"}
+
+
+# ---------------------------------------------------------------------------
+# Cross-process: the fabric against one store file
+# ---------------------------------------------------------------------------
+
+
+def _mp_child_reads(store, fingerprint, queue):
+    """Module-level so both fork and spawn contexts can pickle it."""
+    queue.put(store.get(fingerprint, "naySL"))
+
+
+def _mp_child_writes(store, fingerprint, queue):
+    queue.put(store.put(fingerprint, "naySL", payload(problem="from-child")))
+
+
+class TestCrossProcess:
+    def _requests(self, benchmarks):
+        return [
+            SolveRequest(
+                benchmark=name, engine="naySL", kind="check", timeout_seconds=30.0
+            )
+            for name in benchmarks
+        ]
+
+    def test_two_workers_exactly_one_solve_per_fingerprint(
+        self, tmp_path, monkeypatch
+    ):
+        """The counter-based witness: N unique requests through a 2-worker
+        fabric record exactly N engine-tier stores; a second pass (with
+        duplicates) is all hits and records nothing new."""
+        store_path = tmp_path / "shared.sqlite"
+        monkeypatch.setenv(STORE_ENV, str(store_path))
+        benchmarks = ["plane1", "guard1", "plane2", "guard2"]
+        with Supervisor(2, warm=False, name="store-battery") as fabric:
+            cold = fabric.map(self._requests(benchmarks))
+            assert [r.verdict for r in cold] == ["unrealizable"] * 4
+            witness = ResultStore(store_path)
+            recorded = witness.stores_recorded()
+            assert recorded == len(benchmarks)
+            warm = fabric.map(self._requests(benchmarks + benchmarks))
+            assert [r.verdict for r in warm] == ["unrealizable"] * 8
+            assert all(r.solver_stats.get("store_hits") == 1 for r in warm)
+            assert witness.stores_recorded() == recorded
+
+    def test_warm_responses_replay_cold_bytes_across_processes(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "shared.sqlite"))
+        with Supervisor(2, warm=False, name="store-differential") as fabric:
+            cold = fabric.map(self._requests(["plane1", "guard1"]))
+            warm = fabric.map(self._requests(["plane1", "guard1"]))
+        for before, after in zip(cold, warm):
+            assert canonical(before.to_json()) == canonical(after.to_json())
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_store_object_crosses_process_boundaries(self, tmp_path, method):
+        try:
+            context = multiprocessing.get_context(method)
+        except ValueError:
+            pytest.skip(f"{method} start method unavailable")
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put("fp-parent", "naySL", payload())
+        queue = context.Queue()
+        reader = context.Process(
+            target=_mp_child_reads, args=(store, "fp-parent", queue)
+        )
+        reader.start()
+        reader.join(timeout=60)
+        assert reader.exitcode == 0
+        assert queue.get(timeout=10) == payload()
+        writer = context.Process(
+            target=_mp_child_writes, args=(store, "fp-child", queue)
+        )
+        writer.start()
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+        assert queue.get(timeout=10) == (True, 0)
+        # WAL safety: the parent's (pre-fork) connection sees the child's row.
+        assert store.get("fp-child", "naySL") == payload(problem="from-child")
+        assert store.stores_recorded() == 2
